@@ -1,0 +1,139 @@
+package chant
+
+import (
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/core"
+	"chant/internal/machine"
+	"chant/internal/ult"
+)
+
+// Real-mode benchmarks: wall-clock performance of the library itself (as a
+// user would feel it), complementing the simulated paper reproductions.
+// These run a 2-PE machine on the in-memory transport per iteration batch.
+
+// benchRealMachine runs a 2-PE real-mode machine whose pe0 main executes
+// rounds iterations of loop, with pe1 running peer.
+func benchRealMachine(b *testing.B, policy core.PolicyKind,
+	main0 func(t *core.Thread, rounds int), main1 func(t *core.Thread, rounds int)) {
+	b.Helper()
+	rt := core.NewRealRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: policy, DisableServer: false}, machine.Modern())
+	rounds := b.N
+	b.ResetTimer()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) { main0(t, rounds) },
+		{PE: 1, Proc: 0}: func(t *core.Thread) { main1(t, rounds) },
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRealPingPong measures round-trip latency between two talking
+// threads over the in-memory transport, per polling policy.
+func BenchmarkRealPingPong(b *testing.B) {
+	for _, pol := range []core.PolicyKind{core.ThreadPolls, core.SchedulerPollsPS, core.SchedulerPollsWQ} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			benchRealMachine(b, pol,
+				func(t *core.Thread, rounds int) {
+					peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+					buf := make([]byte, 64)
+					out := make([]byte, 64)
+					for i := 0; i < rounds; i++ {
+						t.Send(peer, 1, out)
+						t.Recv(peer, 1, buf)
+					}
+				},
+				func(t *core.Thread, rounds int) {
+					peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+					buf := make([]byte, 64)
+					out := make([]byte, 64)
+					for i := 0; i < rounds; i++ {
+						t.Recv(peer, 1, buf)
+						t.Send(peer, 1, out)
+					}
+				})
+		})
+	}
+}
+
+// BenchmarkRealRSR measures remote-procedure-call round trips through the
+// server thread.
+func BenchmarkRealRSR(b *testing.B) {
+	benchRealMachine(b, core.SchedulerPollsPS,
+		func(t *core.Thread, rounds int) {
+			var reply [16]byte
+			for i := 0; i < rounds; i++ {
+				if _, err := t.Call(comm.Addr{PE: 1, Proc: 0}, 1, []byte("ping"), reply[:]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		},
+		func(t *core.Thread, rounds int) {
+			t.Process().RegisterHandler(1, func(ctx *core.RSRContext) ([]byte, error) {
+				return ctx.Req, nil
+			})
+		})
+}
+
+// BenchmarkRealSharedRead measures cached shared-variable reads (after the
+// first fetch, a read is purely local).
+func BenchmarkRealSharedRead(b *testing.B) {
+	home := comm.Addr{PE: 0, Proc: 0}
+	benchRealMachine(b, core.SchedulerPollsPS,
+		func(t *core.Thread, rounds int) {
+			v, err := t.Process().NewShared("bench", home, []byte("value"))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf := make([]byte, 16)
+			for i := 0; i < rounds; i++ {
+				if _, err := v.Read(t, buf); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		},
+		func(t *core.Thread, rounds int) {})
+}
+
+// BenchmarkRealLocalSendRecv measures same-process thread-to-thread
+// messaging (the loopback path).
+func BenchmarkRealLocalSendRecv(b *testing.B) {
+	rt := core.NewRealRuntime(core.Topology{PEs: 1, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS, DisableServer: true}, machine.Modern())
+	rounds := b.N
+	b.ResetTimer()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) {
+			echo := t.Process().CreateLocal("echo", func(me *core.Thread) {
+				buf := make([]byte, 32)
+				for i := 0; i < rounds; i++ {
+					_, from, err := me.Recv(core.AnyThread, 1, buf)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					me.Send(from, 2, buf[:4])
+				}
+			}, ult.SpawnOpts{})
+			buf := make([]byte, 32)
+			out := make([]byte, 32)
+			for i := 0; i < rounds; i++ {
+				t.Send(echo.ID(), 1, out)
+				t.Recv(echo.ID(), 2, buf)
+			}
+			t.JoinLocal(echo)
+		},
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package chant
+
+import (
+	"chant/internal/comm"
+	"chant/internal/core"
+	"chant/internal/machine"
+	"chant/internal/ult"
+)
+
+// The public surface is defined by aliases onto the implementation
+// packages, so the documented types here are identical to the ones the
+// runtime uses internally; see doc.go for the Appendix-A mapping.
+
+type (
+	// ChanterID names a thread anywhere in the machine: the paper's
+	// pthread_chanter_t 3-tuple (processing element, process, local
+	// thread).
+	ChanterID = core.GlobalID
+	// Thread is a chanter: the handle through which a thread performs all
+	// Chant operations. Thread functions receive their own *Thread.
+	Thread = core.Thread
+	// Process is one Chant process: a scheduler of threads attached to a
+	// communication endpoint.
+	Process = core.Process
+	// Runtime assembles and runs one Chant machine.
+	Runtime = core.Runtime
+	// Topology describes the machine: PEs x ProcsPerPE processes.
+	Topology = core.Topology
+	// Config selects polling policy, delivery mode, and server options.
+	Config = core.Config
+	// Result reports end-of-run counters for every process.
+	Result = core.Result
+	// MainFunc is a process main body.
+	MainFunc = core.MainFunc
+	// ThreadFunc is a registered thread body that Create can name.
+	ThreadFunc = core.ThreadFunc
+	// CreateOpts configures thread creation through Create.
+	CreateOpts = core.CreateOpts
+	// Handler services one remote service request on the server thread.
+	Handler = core.Handler
+	// RSRContext carries one remote service request through its handler.
+	RSRContext = core.RSRContext
+	// PolicyKind names a message-polling scheduling algorithm.
+	PolicyKind = core.PolicyKind
+	// DeliveryMode selects where destination thread names travel.
+	DeliveryMode = core.DeliveryMode
+	// Group is an ordered set of global threads supporting collective
+	// operations (barrier, broadcast, reduce, gather).
+	Group = core.Group
+	// ReduceFunc combines two partial reduction values.
+	ReduceFunc = core.ReduceFunc
+	// Int64Op names a built-in int64 reduction (OpSum, OpMin, OpMax).
+	Int64Op = core.Int64Op
+	// SharedVar is an owner-based distributed shared variable with
+	// read-caching and write-invalidation coherence carried by remote
+	// service requests (the paper's "coherence management" RSR use).
+	SharedVar = core.SharedVar
+	// Channel is a Fortran-M / NewThreads-style port-based stream between
+	// two threads, with credit flow control and receive-port handoff,
+	// built entirely on Chant primitives.
+	Channel = core.Channel
+	// SendPort is the sending end of a Channel.
+	SendPort = core.SendPort
+	// RecvPort is the receiving end of a Channel.
+	RecvPort = core.RecvPort
+
+	// Addr names a process (PE, process index) at the communication layer.
+	Addr = comm.Addr
+	// Handle is a nonblocking-receive completion handle
+	// (pthread_chanter_irecv's result).
+	Handle = comm.RecvHandle
+	// Header is a received message's header.
+	Header = comm.Header
+
+	// Model is a machine cost model for simulated runs.
+	Model = machine.Model
+
+	// TCB is the local lightweight thread beneath a chanter
+	// (pthread_chanter_pthread's result); purely-local operations —
+	// priorities, thread-local data — are performed on it.
+	TCB = ult.TCB
+	// Mutex is a thread-level mutual-exclusion lock within one process.
+	Mutex = ult.Mutex
+	// Cond is a thread-level condition variable within one process.
+	Cond = ult.Cond
+	// Key identifies a slot of thread-local data.
+	Key = ult.Key
+	// SpawnOpts configures local thread creation.
+	SpawnOpts = ult.SpawnOpts
+)
+
+// Polling policies (paper Section 4.2).
+const (
+	// ThreadPolls has each waiting thread test its own request on every
+	// reschedule (Figure 5); works with any thread package.
+	ThreadPolls = core.ThreadPolls
+	// SchedulerPollsPS stores the request in the TCB and tests it during a
+	// partial context switch; the paper's fastest policy.
+	SchedulerPollsPS = core.SchedulerPollsPS
+	// SchedulerPollsWQ keeps a waiting queue of requests walked at every
+	// scheduling point (Figure 6).
+	SchedulerPollsWQ = core.SchedulerPollsWQ
+	// SchedulerPollsWQAny is WQ with a single msgtestany per scheduling
+	// point (the paper's MPI hypothesis).
+	SchedulerPollsWQAny = core.SchedulerPollsWQAny
+)
+
+// Delivery modes (paper Section 3.1).
+const (
+	// DeliverCtx carries the thread id in a header context field
+	// (MPI-communicator style).
+	DeliverCtx = core.DeliverCtx
+	// DeliverTagPack overloads the tag field (NX/p4 style), halving tag
+	// space and losing source-thread selection.
+	DeliverTagPack = core.DeliverTagPack
+	// DeliverBody embeds the thread id in the body via an intermediate
+	// dispatcher thread; the design the paper rejects, kept for ablation.
+	DeliverBody = core.DeliverBody
+)
+
+// Built-in int64 reductions for Group collectives.
+const (
+	OpSum = core.OpSum
+	OpMin = core.OpMin
+	OpMax = core.OpMax
+)
+
+// NewGroup builds a collective group over members; every member constructs
+// its own handle with the identical member list and tag base.
+func NewGroup(members []ChanterID, tagBase int32) (*Group, error) {
+	return core.NewGroup(members, tagBase)
+}
+
+// OpenChannel creates a channel descriptor brokered by the calling
+// thread's process; ship it to the endpoint threads, which BindSend and
+// BindRecv.
+func OpenChannel(t *Thread, capacity, tagBase int32) (Channel, error) {
+	return core.OpenChannel(t, capacity, tagBase)
+}
+
+// DecodeChannel reverses Channel.Encode.
+func DecodeChannel(b []byte) (Channel, error) { return core.DecodeChannel(b) }
+
+// Any is the wildcard for ChanterID fields and tags.
+const Any = core.AnyField
+
+// AnyThread matches a message from any thread anywhere.
+var AnyThread = core.AnyThread
+
+// TagReserved is the first reserved tag value; user tags are
+// [0, TagReserved).
+const TagReserved = core.TagReserved
+
+// NewSimRuntime creates a runtime whose processes execute deterministically
+// in virtual time on a simulated multicomputer with the given cost model.
+func NewSimRuntime(topo Topology, cfg Config, model *Model) *Runtime {
+	return core.NewSimRuntime(topo, cfg, model)
+}
+
+// NewRealRuntime creates a runtime whose processes execute on goroutines
+// against the wall clock, joined by the in-memory transport.
+func NewRealRuntime(topo Topology, cfg Config, model *Model) *Runtime {
+	return core.NewRealRuntime(topo, cfg, model)
+}
+
+// Paragon1994 is the cost model calibrated against the paper's Intel
+// Paragon / NX measurements; the experiment harness runs on it.
+func Paragon1994() *Model { return machine.Paragon1994() }
+
+// Modern is a contemporary-cluster cost model, for contrast runs.
+func Modern() *Model { return machine.Modern() }
+
+// Errors re-exported from the implementation.
+var (
+	ErrBadTag      = core.ErrBadTag
+	ErrBadTarget   = core.ErrBadTarget
+	ErrNoFunc      = core.ErrNoFunc
+	ErrNoThread    = core.ErrNoThread
+	ErrNoHandler   = core.ErrNoHandler
+	ErrRemote      = core.ErrRemote
+	ErrRSRTooLarge = core.ErrRSRTooLarge
+	ErrTruncated   = comm.ErrTruncated
+	ErrCanceled    = ult.ErrCanceled
+	ErrDetached    = ult.ErrDetached
+	ErrSelfJoin    = ult.ErrSelfJoin
+	ErrDeadlock    = ult.ErrDeadlock
+)
+
+// NewMutex creates a mutex for threads of process p.
+func NewMutex(p *Process) *Mutex { return ult.NewMutex(p.Sched()) }
+
+// NewCond creates a condition variable using m.
+func NewCond(m *Mutex) *Cond { return ult.NewCond(m) }
+
+// NewKey creates a thread-local data key; destructor (optional) runs for
+// each thread's value when that thread finishes.
+func NewKey(name string, destructor func(value any)) *Key {
+	return ult.NewKey(name, destructor)
+}

@@ -1,0 +1,371 @@
+package chant_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"chant"
+)
+
+// These tests exercise the public API end to end, the way a downstream
+// user would: simulated machines for determinism, a real-mode machine for
+// wall-clock behaviour, and each Appendix-A routine at least once.
+
+func sim2(t *testing.T, cfg chant.Config, main0, main1 chant.MainFunc) *chant.Result {
+	t.Helper()
+	rt := chant.NewSimRuntime(chant.Topology{PEs: 2, ProcsPerPE: 1}, cfg, chant.Paragon1994())
+	res, err := rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: main0,
+		{PE: 1, Proc: 0}: main1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPublicSendRecv(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true}
+	var got string
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			err := th.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 3, []byte("over the wire"))
+			if err != nil {
+				t.Error(err)
+			}
+		},
+		func(th *chant.Thread) {
+			buf := make([]byte, 32)
+			n, from, err := th.Recv(chant.AnyThread, 3, buf)
+			if err != nil {
+				t.Error(err)
+			}
+			if !from.Equal(chant.ChanterID{PE: 0, Proc: 0, Thread: 0}) {
+				t.Errorf("from = %v", from)
+			}
+			got = string(buf[:n])
+		},
+	)
+	if got != "over the wire" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPublicIdentityOps(t *testing.T) {
+	cfg := chant.Config{Policy: chant.ThreadPolls, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			if th.PE() != 0 || th.Proc() != 0 {
+				t.Errorf("identity: pe=%d proc=%d", th.PE(), th.Proc())
+			}
+			self := th.ID()
+			if !self.Equal(chant.ChanterID{PE: 0, Proc: 0, Thread: 0}) {
+				t.Errorf("self = %v", self)
+			}
+			if th.TCB() == nil || th.TCB().ID() != 0 {
+				t.Error("TCB accessor broken")
+			}
+			th.Yield() // must not disturb anything with an empty queue
+		},
+		nil,
+	)
+}
+
+func TestPublicCreateJoinAcrossMachine(t *testing.T) {
+	rt := chant.NewSimRuntime(chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsWQ}, chant.Paragon1994())
+	rt.Register("worker", func(th *chant.Thread, arg []byte) {
+		th.Exit(append([]byte("did:"), arg...))
+	})
+	_, err := rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(th *chant.Thread) {
+			remote, err := th.Create(1, 0, "worker", []byte("task"), chant.CreateOpts{})
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			v, err := th.Join(remote)
+			if err != nil {
+				t.Errorf("join: %v", err)
+				return
+			}
+			if b, ok := v.([]byte); !ok || !bytes.Equal(b, []byte("did:task")) {
+				t.Errorf("join value %v", v)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRSR(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			var reply [16]byte
+			n, err := th.Call(chant.Addr{PE: 1, Proc: 0}, 7, []byte("6x7"), reply[:])
+			if err != nil {
+				t.Errorf("call: %v", err)
+				return
+			}
+			if string(reply[:n]) != "42" {
+				t.Errorf("reply %q", reply[:n])
+			}
+		},
+		func(th *chant.Thread) {
+			th.Process().RegisterHandler(7, func(ctx *chant.RSRContext) ([]byte, error) {
+				if string(ctx.Req) != "6x7" {
+					return nil, fmt.Errorf("bad request %q", ctx.Req)
+				}
+				return []byte("42"), nil
+			})
+		},
+	)
+}
+
+func TestPublicMutexCondAcrossThreads(t *testing.T) {
+	cfg := chant.Config{Policy: chant.ThreadPolls, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			p := th.Process()
+			m := chant.NewMutex(p)
+			c := chant.NewCond(m)
+			fed := false
+			eater := p.CreateLocal("eater", func(me *chant.Thread) {
+				m.Lock()
+				for !fed {
+					c.Wait()
+				}
+				m.Unlock()
+			}, chant.SpawnOpts{})
+			th.Yield()
+			m.Lock()
+			fed = true
+			c.Signal()
+			m.Unlock()
+			if _, err := th.JoinLocal(eater); err != nil {
+				t.Error(err)
+			}
+		},
+		nil,
+	)
+}
+
+func TestPublicThreadLocalData(t *testing.T) {
+	cfg := chant.Config{Policy: chant.ThreadPolls, DisableServer: true}
+	destroyed := 0
+	key := chant.NewKey("conn", func(any) { destroyed++ })
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			w := th.Process().CreateLocal("w", func(me *chant.Thread) {
+				me.TCB().SetLocal(key, "resource")
+				if me.TCB().Local(key) != "resource" {
+					t.Error("local lost")
+				}
+			}, chant.SpawnOpts{})
+			th.JoinLocal(w)
+		},
+		nil,
+	)
+	if destroyed != 1 {
+		t.Fatalf("destructor ran %d times", destroyed)
+	}
+}
+
+func TestPublicCancelSemantics(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			victim := th.Process().CreateLocal("victim", func(me *chant.Thread) {
+				buf := make([]byte, 4)
+				me.Recv(chant.AnyThread, 9, buf) // never arrives
+			}, chant.SpawnOpts{})
+			th.Yield()
+			th.CancelLocal(victim)
+			if _, err := th.JoinLocal(victim); !errors.Is(err, chant.ErrCanceled) {
+				t.Errorf("join err = %v, want ErrCanceled", err)
+			}
+		},
+		nil,
+	)
+}
+
+func TestPublicErrors(t *testing.T) {
+	cfg := chant.Config{Policy: chant.ThreadPolls, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			if err := th.Send(chant.ChanterID{PE: 5, Proc: 0}, 1, nil); !errors.Is(err, chant.ErrBadTarget) {
+				t.Errorf("bad target: %v", err)
+			}
+			if err := th.Send(chant.ChanterID{PE: 1, Proc: 0}, chant.TagReserved+1, nil); !errors.Is(err, chant.ErrBadTag) {
+				t.Errorf("reserved tag: %v", err)
+			}
+		},
+		nil,
+	)
+}
+
+func TestPublicTruncatedRecv(t *testing.T) {
+	cfg := chant.Config{Policy: chant.ThreadPolls, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			th.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 1, []byte("0123456789"))
+		},
+		func(th *chant.Thread) {
+			buf := make([]byte, 4)
+			n, _, err := th.Recv(chant.AnyThread, 1, buf)
+			if !errors.Is(err, chant.ErrTruncated) {
+				t.Errorf("err = %v, want ErrTruncated", err)
+			}
+			if n != 4 || string(buf) != "0123" {
+				t.Errorf("n=%d buf=%q", n, buf)
+			}
+		},
+	)
+}
+
+func TestPublicRealRuntime(t *testing.T) {
+	rt := chant.NewRealRuntime(chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsWQ}, chant.Modern())
+	sum := 0
+	_, err := rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(th *chant.Thread) {
+			for i := 1; i <= 10; i++ {
+				th.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 1, []byte{byte(i)})
+			}
+			buf := make([]byte, 2)
+			th.Recv(chant.AnyThread, 2, buf)
+			sum = int(buf[0])
+		},
+		{PE: 1, Proc: 0}: func(th *chant.Thread) {
+			total := 0
+			buf := make([]byte, 2)
+			for i := 0; i < 10; i++ {
+				th.Recv(chant.AnyThread, 1, buf)
+				total += int(buf[0])
+			}
+			th.Send(chant.ChanterID{PE: 0, Proc: 0, Thread: 0}, 2, []byte{byte(total)})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 55 {
+		t.Fatalf("sum = %d, want 55", sum)
+	}
+}
+
+func TestPublicCountersExposed(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true}
+	res := sim2(t, cfg,
+		func(th *chant.Thread) {
+			th.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 1, []byte("x"))
+		},
+		func(th *chant.Thread) {
+			buf := make([]byte, 4)
+			th.Recv(chant.AnyThread, 1, buf)
+		},
+	)
+	if res.Total.Sends < 1 || res.Total.Recvs < 1 {
+		t.Fatalf("counters missing traffic: %+v", res.Total)
+	}
+	if res.VirtualEnd <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestPublicGroupCollectives(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS}
+	// Group of the two main threads themselves.
+	members := []chant.ChanterID{{PE: 0, Proc: 0, Thread: 0}, {PE: 1, Proc: 0, Thread: 0}}
+	sums := make([]int64, 2)
+	mk := func(pe int32) chant.MainFunc {
+		return func(th *chant.Thread) {
+			g, err := chant.NewGroup(members, 0x3000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := g.Barrier(th); err != nil {
+				t.Errorf("barrier: %v", err)
+			}
+			sum, err := g.AllReduceInt64(th, chant.OpSum, int64(pe)+10)
+			if err != nil {
+				t.Errorf("allreduce: %v", err)
+				return
+			}
+			sums[pe] = sum
+			// Broadcast a payload from rank 1.
+			buf := make([]byte, 5)
+			if pe == 1 {
+				copy(buf, "token")
+			}
+			if _, err := g.Broadcast(th, 1, buf); err != nil {
+				t.Errorf("broadcast: %v", err)
+			}
+			if string(buf) != "token" {
+				t.Errorf("pe%d broadcast got %q", pe, buf)
+			}
+		}
+	}
+	sim2(t, cfg, mk(0), mk(1))
+	if sums[0] != 21 || sums[1] != 21 {
+		t.Fatalf("allreduce sums = %v, want [21 21]", sums)
+	}
+}
+
+func TestPublicSharedVar(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsWQ}
+	home := chant.Addr{PE: 0, Proc: 0}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			v, err := th.Process().NewShared("conf", home, []byte("release-1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 4)
+			th.Recv(chant.AnyThread, 9, buf) // wait for the reader's ack
+			if err := v.Write(th, []byte("release-2")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			th.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 9, []byte("go"))
+		},
+		func(th *chant.Thread) {
+			v, err := th.Process().NewShared("conf", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 16)
+			n, err := v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "release-1" {
+				t.Errorf("read = (%q, %v)", buf[:n], err)
+			}
+			th.Send(chant.ChanterID{PE: 0, Proc: 0, Thread: 0}, 9, []byte("ok"))
+			th.Recv(chant.AnyThread, 9, buf[:4])
+			n, err = v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "release-2" {
+				t.Errorf("read after write = (%q, %v)", buf[:n], err)
+			}
+		},
+	)
+}
+
+func TestPublicSendSync(t *testing.T) {
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true}
+	sim2(t, cfg,
+		func(th *chant.Thread) {
+			if err := th.SendSync(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 4, []byte("sync")); err != nil {
+				t.Errorf("sendsync: %v", err)
+			}
+		},
+		func(th *chant.Thread) {
+			buf := make([]byte, 8)
+			if _, _, err := th.Recv(chant.AnyThread, 4, buf); err != nil {
+				t.Error(err)
+			}
+		},
+	)
+}

@@ -1,0 +1,110 @@
+// Command chantbench regenerates the paper's evaluation: every table and
+// figure of "On the Design of Chant" (Section 4), plus the ablations
+// described in DESIGN.md, printed next to the paper's published values.
+//
+// Usage:
+//
+//	chantbench                         # run everything, terminal rendering
+//	chantbench -exp table3             # one experiment
+//	chantbench -report -md             # full Markdown report (EXPERIMENTS.md)
+//	chantbench -exp table2 -rounds 2000
+//
+// Experiments: table1 table2 fig8 table3 table4 table5 fig10 fig11 fig12
+// fig13 ablation-testany ablation-fastpath ablation-delivery
+// ablation-scaling modern all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chant/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (see package comment)")
+		md     = flag.Bool("md", false, "render Markdown instead of terminal tables")
+		report = flag.Bool("report", false, "run everything and emit the full report")
+		rounds = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
+	)
+	flag.Parse()
+
+	if *report {
+		fmt.Print(experiments.FullReport(*md))
+		return
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println("Table 1: thread package operations")
+			fmt.Print(experiments.FormatTable1(experiments.RunTable1(8000), *md))
+		case "table2":
+			fmt.Println("Table 2: thread-based point-to-point overhead")
+			rows := experiments.RunTable2(experiments.Table2Config{Rounds: *rounds})
+			fmt.Print(experiments.FormatTable2(rows, *md))
+		case "fig8":
+			rows := experiments.RunTable2(experiments.Table2Config{Rounds: *rounds})
+			fmt.Print(experiments.FormatFig8(rows))
+		case "table3", "table4", "table5":
+			beta := experiments.PaperBetaFor[name]
+			paper := map[string]experiments.PaperPollingTable{
+				"table3": experiments.PaperTable3,
+				"table4": experiments.PaperTable4,
+				"table5": experiments.PaperTable5,
+			}[name]
+			fmt.Printf("%s: polling algorithms, beta=%d\n",
+				strings.ToUpper(name[:1])+name[1:], beta)
+			s := experiments.RunPollingSweep(beta, nil, experiments.StandardPollingBase)
+			fmt.Print(experiments.FormatPollingSweep(s, paper, *md))
+		case "fig10", "fig11", "fig12", "fig13":
+			s := experiments.RunPollingSweep(100, nil, experiments.StandardPollingBase)
+			switch name {
+			case "fig10":
+				fmt.Print(experiments.FormatPollingChart(s, "time", "Figure 10: execution time", "ms"))
+			case "fig11":
+				fmt.Print(experiments.FormatPollingChart(s, "ctxsw", "Figure 11: context switches", ""))
+			case "fig12":
+				fmt.Print(experiments.FormatPollingChart(s, "msgtest", "Figure 12: msgtest calls", ""))
+			case "fig13":
+				fmt.Print(experiments.FormatPollingChart(s, "waiting", "Figure 13: average waiting threads", ""))
+			}
+		case "ablation-testany":
+			fmt.Println("Ablation A: WQ with msgtestany (paper Section 4.2 hypothesis)")
+			fmt.Print(experiments.FormatPollingSweep(experiments.RunAblationTestAny(), experiments.PaperTable3, *md))
+		case "ablation-fastpath":
+			fmt.Println("Ablation B: single-thread yield fast path")
+			fmt.Print(experiments.FormatAblationFastPath(experiments.RunAblationFastPath(), *md))
+		case "ablation-delivery":
+			fmt.Println("Ablation C: delivery designs (Section 3.1)")
+			fmt.Print(experiments.FormatAblationDelivery(experiments.RunAblationDelivery(), *md))
+		case "modern":
+			fmt.Println("Contrast: the polling experiment on a modern cost model")
+			s := experiments.RunModernContrast()
+			fmt.Print(experiments.FormatPollingSweep(s, nil, *md))
+		case "ablation-scaling":
+			fmt.Println("Ablation E: polling cost vs thread population")
+			fmt.Print(experiments.FormatScaling(experiments.RunScaling(nil), *md))
+		default:
+			fmt.Fprintf(os.Stderr, "chantbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "table2", "fig8", "table3", "table4", "table5",
+			"fig10", "fig11", "fig12", "fig13",
+			"ablation-testany", "ablation-fastpath", "ablation-delivery",
+			"ablation-scaling", "modern",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

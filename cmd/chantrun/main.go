@@ -1,0 +1,164 @@
+// Command chantrun demonstrates Chant across real OS processes: it forks
+// itself once per processing element, rendezvouses the processes over TCP,
+// and runs a token-ring demo in which every PE's thread-0 passes an
+// incrementing token around the machine and PE 0 finishes by creating a
+// thread remotely on every other PE.
+//
+// Usage:
+//
+//	chantrun -n 3              # launch a 3-PE machine (parent forks workers)
+//
+// Internal (child) mode, used by the parent when forking:
+//
+//	chantrun -child -pe 1 -n 3 -rendezvous 127.0.0.1:45123
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+
+	"chant"
+	"chant/internal/comm"
+	"chant/internal/comm/tcpnet"
+	"chant/internal/core"
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 2, "number of processing elements (OS processes)")
+		child      = flag.Bool("child", false, "internal: run as one PE of an existing machine")
+		pe         = flag.Int("pe", 0, "internal: this process's PE number")
+		rendezvous = flag.String("rendezvous", "", "rendezvous address (chosen automatically by the parent)")
+		laps       = flag.Int("laps", 3, "times the token circles the ring")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix(fmt.Sprintf("[pe%d] ", *pe))
+
+	if *n < 2 {
+		log.Fatal("chantrun: need at least 2 PEs")
+	}
+	if !*child {
+		parent(*n, *laps)
+		return
+	}
+	runPE(int32(*pe), *n, *rendezvous, *laps)
+}
+
+// parent picks a rendezvous port, forks one child per non-zero PE, and
+// then becomes PE 0 itself (the rendezvous leader and coordinator).
+func parent(n, laps int) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rendezvous := l.Addr().String()
+	l.Close()
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kids []*exec.Cmd
+	for pe := 1; pe < n; pe++ {
+		cmd := exec.Command(self,
+			"-child", "-pe", fmt.Sprint(pe), "-n", fmt.Sprint(n),
+			"-rendezvous", rendezvous, "-laps", fmt.Sprint(laps))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("fork pe%d: %v", pe, err)
+		}
+		kids = append(kids, cmd)
+	}
+	runPE(0, n, rendezvous, laps)
+	for i, k := range kids {
+		if err := k.Wait(); err != nil {
+			log.Fatalf("pe%d exited: %v", i+1, err)
+		}
+	}
+	fmt.Println("[parent] all processes exited cleanly")
+}
+
+// runPE is one processing element's whole life: bootstrap, run, shut down.
+func runPE(pe int32, n int, rendezvous string, laps int) {
+	node, err := tcpnet.Bootstrap(tcpnet.Options{
+		Self:       comm.Addr{PE: pe, Proc: 0},
+		Rendezvous: rendezvous,
+		Lead:       pe == 0,
+		Procs:      n,
+	})
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	defer node.Close()
+
+	ep := node.NewEndpoint(comm.Addr{PE: pe, Proc: 0},
+		machine.NewRealHost(machine.Modern()), &trace.Counters{})
+
+	rt := core.NewDistRuntime(
+		chant.Topology{PEs: n, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		machine.Modern(),
+	)
+	rt.Register("announcer", func(t *chant.Thread, arg []byte) {
+		fmt.Printf("[pe%d]   remotely created thread %v says: %s\n", t.PE(), t.ID(), arg)
+		t.Exit("announced")
+	})
+
+	main := func(t *chant.Thread) {
+		next := chant.ChanterID{PE: (pe + 1) % int32(n), Proc: 0, Thread: 0}
+		token := make([]byte, 4)
+		if pe == 0 {
+			// Start the token; each lap every PE increments it once.
+			for lap := 0; lap < laps; lap++ {
+				if err := t.Send(next, 1, token); err != nil {
+					log.Fatal(err)
+				}
+				if _, _, err := t.Recv(chant.AnyThread, 1, token); err != nil {
+					log.Fatal(err)
+				}
+				token[0]++
+				fmt.Printf("[pe0] lap %d complete, token=%d\n", lap+1, token[0])
+			}
+			want := byte(laps * n)
+			if token[0] != want {
+				log.Fatalf("token = %d, want %d", token[0], want)
+			}
+			// Finale: create a thread on every other PE and join it.
+			for other := int32(1); other < int32(n); other++ {
+				id, err := t.Create(other, 0, "announcer", []byte("hello from pe0"), chant.CreateOpts{})
+				if err != nil {
+					log.Fatalf("remote create on pe%d: %v", other, err)
+				}
+				if v, err := t.Join(id); err != nil || v != "announced" {
+					log.Fatalf("remote join on pe%d: (%v, %v)", other, v, err)
+				}
+			}
+			fmt.Printf("[pe0] ring of %d PEs verified: token reached %d\n", n, token[0])
+			return
+		}
+		for lap := 0; lap < laps; lap++ {
+			if _, _, err := t.Recv(chant.AnyThread, 1, token); err != nil {
+				log.Fatal(err)
+			}
+			token[0]++
+			if err := t.Send(next, 1, token); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	snap, err := rt.RunOne(comm.Addr{PE: pe, Proc: 0}, ep, main)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("[pe%d] done: %d sends, %d recvs, %d RSRs served\n",
+		pe, snap.Sends, snap.Recvs, snap.RSRRequests)
+}

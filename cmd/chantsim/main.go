@@ -1,0 +1,123 @@
+// Command chantsim runs custom polling-experiment configurations on the
+// simulated machine — the knobs behind Tables 3-5, exposed for
+// exploration — and prints one CSV row (or aligned text) per run.
+//
+// Examples:
+//
+//	chantsim -policy ps -alpha 5000 -beta 100 -workers 16 -msg 2048
+//	chantsim -policy all -alpha 100,1000,10000 -csv
+//	chantsim -policy wq,wq-any -model modern -workers 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chant/internal/core"
+	"chant/internal/experiments"
+	"chant/internal/machine"
+)
+
+var policyNames = map[string]core.PolicyKind{
+	"tp":     core.ThreadPolls,
+	"ps":     core.SchedulerPollsPS,
+	"wq":     core.SchedulerPollsWQ,
+	"wq-any": core.SchedulerPollsWQAny,
+}
+
+func main() {
+	var (
+		policy  = flag.String("policy", "all", "tp|ps|wq|wq-any, comma-separated, or all")
+		alphas  = flag.String("alpha", "1000", "comma-separated compute(alpha) sizes")
+		beta    = flag.Int64("beta", 100, "compute(beta) size")
+		workers = flag.Int("workers", 12, "threads per PE")
+		iters   = flag.Int("iters", 100, "send/recv iterations per thread")
+		msg     = flag.Int("msg", 4096, "message size in bytes")
+		shift   = flag.Int("shift", 1, "partner-pairing shift")
+		jitter  = flag.Int64("jitter", 0, "compute jitter percent (deterministic, seeded)")
+		seed    = flag.Uint64("seed", 7, "workload RNG seed")
+		model   = flag.String("model", "paragon", "paragon|modern")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	var m *machine.Model
+	switch *model {
+	case "paragon":
+		m = machine.Paragon1994()
+	case "modern":
+		m = machine.Modern()
+	default:
+		fmt.Fprintf(os.Stderr, "chantsim: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	var policies []core.PolicyKind
+	if *policy == "all" {
+		policies = []core.PolicyKind{core.ThreadPolls, core.SchedulerPollsPS,
+			core.SchedulerPollsWQ, core.SchedulerPollsWQAny}
+	} else {
+		for _, name := range strings.Split(*policy, ",") {
+			k, ok := policyNames[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chantsim: unknown policy %q\n", name)
+				os.Exit(2)
+			}
+			policies = append(policies, k)
+		}
+	}
+
+	var alphaList []int64
+	for _, a := range strings.Split(*alphas, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chantsim: bad alpha %q\n", a)
+			os.Exit(2)
+		}
+		alphaList = append(alphaList, v)
+	}
+
+	if *csv {
+		fmt.Println("policy,alpha,beta,workers,msg,time_ms,ctxsw,partialsw,msgtest,msgtest_fails,testany,avg_waiting")
+	} else {
+		fmt.Printf("%-8s %8s %8s %9s %7s %9s %8s %9s\n",
+			"policy", "alpha", "time ms", "ctxsw", "partial", "msgtest", "fails", "avg wait")
+	}
+	for _, pol := range policies {
+		for _, alpha := range alphaList {
+			row := experiments.RunPolling(experiments.PollingConfig{
+				Workers:   *workers,
+				Iters:     *iters,
+				Alpha:     alpha,
+				Beta:      *beta,
+				MsgSize:   *msg,
+				Shift:     int32(*shift),
+				JitterPct: *jitter,
+				Seed:      *seed,
+				Policy:    pol,
+				Model:     m,
+			})
+			if *csv {
+				fmt.Printf("%v,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%.3f\n",
+					pol, alpha, *beta, *workers, *msg, row.TimeMS, row.CtxSw,
+					row.PartialSw, row.MsgTest, row.MsgTestFails, row.TestAnyCalls, row.AvgWaiting)
+			} else {
+				fmt.Printf("%-8s %8d %8.1f %9d %7d %9d %8d %9.2f\n",
+					short(pol), alpha, row.TimeMS, row.CtxSw, row.PartialSw,
+					row.MsgTest, row.MsgTestFails, row.AvgWaiting)
+			}
+		}
+	}
+}
+
+func short(k core.PolicyKind) string {
+	for name, v := range policyNames {
+		if v == k {
+			return name
+		}
+	}
+	return k.String()
+}

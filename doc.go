@@ -1,0 +1,62 @@
+// Package chant is a Go implementation of Chant, the "talking threads"
+// runtime of Haines, Cronk & Mehrotra (ICASE / NASA Langley, 1994):
+// lightweight user-level threads that communicate directly with one
+// another across address spaces, using point-to-point message passing and
+// remote service requests layered over a standard communication library
+// and a standard lightweight-thread library.
+//
+// # Layers
+//
+// Exactly as the paper's Figure 4 draws them:
+//
+//	Chant pthread-style interface      — this package
+//	global thread operations           — Thread.Create / Join / Cancel across PEs
+//	remote service requests            — Thread.Call / Notify, RegisterHandler
+//	point-to-point message passing     — Thread.Send / Recv / Irecv / Msgtest / Msgwait
+//	communication library              — internal/comm (NX/MPI-style, 3 transports)
+//	lightweight thread library         — internal/ult (cooperative, TCB-based)
+//
+// # Appendix-A mapping
+//
+// The paper specifies the interface as an extension of POSIX pthreads;
+// this package renders each routine as idiomatic Go:
+//
+//	pthread_chanter_t        ChanterID (PE, process, local thread)
+//	pthread_chanter_create   Thread.Create (remote or LOCAL)
+//	pthread_chanter_join     Thread.Join / Thread.JoinLocal
+//	pthread_chanter_detach   Thread.Detach / Thread.DetachGlobal
+//	pthread_chanter_exit     Thread.Exit
+//	pthread_chanter_yield    Thread.Yield
+//	pthread_chanter_self     Thread.ID
+//	pthread_chanter_pthread  Thread.TCB (the local thread underneath)
+//	pthread_chanter_pe       Thread.PE
+//	pthread_chanter_process  Thread.Proc
+//	pthread_chanter_equal    ChanterID.Equal
+//	pthread_chanter_cancel   Thread.Cancel / Thread.CancelLocal
+//	pthread_chanter_send     Thread.Send
+//	pthread_chanter_recv     Thread.Recv
+//	pthread_chanter_irecv    Thread.Irecv
+//	pthread_chanter_msgtest  Thread.Msgtest
+//	pthread_chanter_msgwait  Thread.Msgwait
+//
+// # Running a machine
+//
+// A Runtime assembles a whole machine: a topology of processing elements
+// and processes, a polling policy (the paper's Section 4.2 algorithms), a
+// delivery mode (Section 3.1), and a transport. NewSimRuntime runs the
+// machine deterministically in virtual time on a simulated Intel-Paragon
+// cost model; NewRealRuntime runs it on goroutines against the wall clock.
+//
+//	rt := chant.NewSimRuntime(
+//	    chant.Topology{PEs: 2, ProcsPerPE: 1},
+//	    chant.Config{Policy: chant.SchedulerPollsPS},
+//	    chant.Paragon1994(),
+//	)
+//	rt.Run(map[chant.Addr]chant.MainFunc{
+//	    {PE: 0, Proc: 0}: func(t *chant.Thread) { ... },
+//	    {PE: 1, Proc: 0}: func(t *chant.Thread) { ... },
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package chant

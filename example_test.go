@@ -1,0 +1,93 @@
+package chant_test
+
+import (
+	"fmt"
+
+	"chant"
+)
+
+// A minimal two-PE machine: thread 0 on PE 0 messages thread 0 on PE 1.
+func Example() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true},
+		chant.Paragon1994(),
+	)
+	rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			t.Send(chant.ChanterID{PE: 1, Proc: 0, Thread: 0}, 1, []byte("hello"))
+		},
+		{PE: 1, Proc: 0}: func(t *chant.Thread) {
+			buf := make([]byte, 16)
+			n, from, _ := t.Recv(chant.AnyThread, 1, buf)
+			fmt.Printf("%s from %v\n", buf[:n], from)
+		},
+	})
+	// Output: hello from pe0.p0.t0
+}
+
+// Remote thread creation and join: the global-thread-operations layer.
+func ExampleThread_Create() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+	rt.Register("worker", func(t *chant.Thread, arg []byte) {
+		t.Exit("processed " + string(arg))
+	})
+	rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			id, _ := t.Create(1, 0, "worker", []byte("dataset-7"), chant.CreateOpts{})
+			v, _ := t.Join(id)
+			fmt.Println(v)
+		},
+	})
+	// Output: processed dataset-7
+}
+
+// A remote service request: the Section 3.2 communication style.
+func ExampleThread_Call() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsWQ},
+		chant.Paragon1994(),
+	)
+	rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			var reply [32]byte
+			n, _ := t.Call(chant.Addr{PE: 1, Proc: 0}, 1, []byte("stat"), reply[:])
+			fmt.Printf("%s\n", reply[:n])
+		},
+		{PE: 1, Proc: 0}: func(t *chant.Thread) {
+			t.Process().RegisterHandler(1, func(ctx *chant.RSRContext) ([]byte, error) {
+				return []byte("load=0.42"), nil
+			})
+		},
+	})
+	// Output: load=0.42
+}
+
+// A collective all-reduce across the machine's main threads.
+func ExampleGroup() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS, DisableServer: true},
+		chant.Paragon1994(),
+	)
+	members := []chant.ChanterID{{PE: 0, Proc: 0, Thread: 0}, {PE: 1, Proc: 0, Thread: 0}}
+	mk := func(pe int32) chant.MainFunc {
+		return func(t *chant.Thread) {
+			g, _ := chant.NewGroup(members, 0x1000)
+			sum, _ := g.AllReduceInt64(t, chant.OpSum, int64(pe)+1)
+			if pe == 0 {
+				fmt.Println("sum:", sum)
+			}
+		}
+	}
+	rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: mk(0),
+		{PE: 1, Proc: 0}: mk(1),
+	})
+	// Output: sum: 3
+}

@@ -1,0 +1,113 @@
+// Latency: the paper's headline motivation — "in a distributed memory
+// system, lightweight threads can overlap communication with computation
+// (latency tolerance)". A fixed volume of work (remote fetches plus
+// per-fetch computation) runs on a 2-PE machine with 1, 2, 4, 8, and 16
+// threads per PE: more threads hide more of the wire latency behind
+// computation, shrinking total time until the processor is saturated.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chant"
+)
+
+const (
+	fetches      = 64     // remote fetches per PE
+	computeUnits = 20_000 // work per fetch (~0.76 virtual ms)
+	fetchBytes   = 2048
+)
+
+func main() {
+	fmt.Println("threads/PE   virtual time    speedup   (fixed total work)")
+	base := 0.0
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		ms := run(threads)
+		if base == 0 {
+			base = ms
+		}
+		fmt.Printf("%10d   %9.1f ms   %6.2fx\n", threads, ms, base/ms)
+	}
+}
+
+// run executes the workload with the given concurrency and returns the
+// virtual completion time in milliseconds.
+func run(threads int) float64 {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+
+	peMain := func(pe int32) chant.MainFunc {
+		return func(t *chant.Thread) {
+			p := t.Process()
+			host := p.Endpoint().Host()
+
+			// Each PE runs a fetch server holding this PE's share of the
+			// data. It is a daemon: it serves until the whole machine shuts
+			// down, so the peer can fetch for as long as it needs.
+			server := p.CreateLocal("fetchserver", func(me *chant.Thread) {
+				data := make([]byte, fetchBytes)
+				req := make([]byte, 4)
+				for {
+					_, from, err := me.Recv(chant.AnyThread, 1, req)
+					if err != nil {
+						return
+					}
+					if err := me.Send(from, 2, data); err != nil {
+						return
+					}
+				}
+			}, chant.SpawnOpts{Daemon: true})
+
+			// Exchange server identities with the peer's main thread.
+			peerMain := chant.ChanterID{PE: 1 - pe, Proc: 0, Thread: 0}
+			if err := t.Send(peerMain, 3, []byte{byte(server.ID().Thread)}); err != nil {
+				log.Fatal(err)
+			}
+			idBuf := make([]byte, 1)
+			if _, _, err := t.Recv(peerMain, 3, idBuf); err != nil {
+				log.Fatal(err)
+			}
+			peerServer := chant.ChanterID{PE: 1 - pe, Proc: 0, Thread: int32(idBuf[0])}
+
+			// The fetchers: request remote data, then compute on it. With
+			// several fetchers, one thread's wire wait overlaps another's
+			// computation — the latency-tolerance effect.
+			perThread := fetches / threads
+			var ws []*chant.Thread
+			for w := 0; w < threads; w++ {
+				ws = append(ws, p.CreateLocal("fetcher", func(me *chant.Thread) {
+					buf := make([]byte, fetchBytes)
+					for i := 0; i < perThread; i++ {
+						if err := me.Send(peerServer, 1, []byte{'d'}); err != nil {
+							log.Fatal(err)
+						}
+						if _, _, err := me.Recv(peerServer, 2, buf); err != nil {
+							log.Fatal(err)
+						}
+						host.Compute(computeUnits)
+					}
+				}, chant.SpawnOpts{}))
+			}
+			for _, w := range ws {
+				if _, err := t.JoinLocal(w); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	res, err := rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: peMain(0),
+		{PE: 1, Proc: 0}: peMain(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.VirtualEnd.Millis()
+}

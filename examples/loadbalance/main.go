@@ -1,0 +1,121 @@
+// Loadbalance: a dynamic self-scheduling task farm — one of the paper's
+// motivating uses ("they can permit dynamic scheduling and load
+// balancing"). PE 0 owns a bag of unevenly sized tasks; worker threads
+// created remotely on every PE pull tasks through remote service requests
+// whenever they go idle, so fast PEs automatically take more work.
+//
+//	go run ./examples/loadbalance [-tasks N] [-workers N]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+
+	"chant"
+)
+
+const (
+	hGrab   int32 = iota // worker asks the master for the next task
+	hReport              // worker reports a finished task's result
+)
+
+func main() {
+	tasks := flag.Int("tasks", 64, "number of tasks in the bag")
+	workers := flag.Int("workers", 3, "worker threads per PE")
+	pes := flag.Int("pes", 4, "processing elements")
+	flag.Parse()
+
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: *pes, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+	master := chant.Addr{PE: 0, Proc: 0}
+
+	// Worker body: grab, compute, report, repeat until the bag is empty.
+	rt.Register("worker", func(t *chant.Thread, arg []byte) {
+		host := t.Process().Endpoint().Host()
+		var reply [8]byte
+		done := 0
+		for {
+			n, err := t.Call(master, hGrab, nil, reply[:])
+			if err != nil || n == 0 {
+				break // bag empty
+			}
+			units := int64(binary.LittleEndian.Uint32(reply[:]))
+			host.Compute(units * 1000) // the task's work
+			var report [8]byte
+			binary.LittleEndian.PutUint32(report[:], uint32(units))
+			if err := t.Notify(master, hReport, report[:4]); err != nil {
+				break
+			}
+			done++
+		}
+		t.Exit(int64(done))
+	})
+
+	mains := map[chant.Addr]chant.MainFunc{}
+	mains[master] = func(t *chant.Thread) {
+		// Build an uneven bag: task i costs (i*7 mod 97)+3 kilounits.
+		bag := make([]uint32, *tasks)
+		for i := range bag {
+			bag[i] = uint32((i*7)%97 + 3)
+		}
+		next := 0
+		finished := 0
+		unitsDone := make(map[int32]uint64) // per requesting PE
+
+		p := t.Process()
+		p.RegisterHandler(hGrab, func(ctx *chant.RSRContext) ([]byte, error) {
+			if next >= len(bag) {
+				return nil, nil // empty reply: shut down, worker
+			}
+			var out [4]byte
+			binary.LittleEndian.PutUint32(out[:], bag[next])
+			next++
+			return out[:], nil
+		})
+		p.RegisterHandler(hReport, func(ctx *chant.RSRContext) ([]byte, error) {
+			finished++
+			unitsDone[ctx.Src.PE] += uint64(binary.LittleEndian.Uint32(ctx.Req))
+			return nil, nil
+		})
+
+		// Create the workers across the whole machine.
+		var ids []chant.ChanterID
+		for pe := 0; pe < *pes; pe++ {
+			for w := 0; w < *workers; w++ {
+				id, err := t.Create(int32(pe), 0, "worker", nil, chant.CreateOpts{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+		}
+		// Join them all; each returns how many tasks it ran.
+		total := int64(0)
+		for _, id := range ids {
+			v, err := t.Join(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += v.(int64)
+		}
+		fmt.Printf("tasks completed: %d (by %d workers on %d PEs)\n", total, len(ids), *pes)
+		for pe := int32(0); pe < int32(*pes); pe++ {
+			fmt.Printf("  pe%d computed %6d kilounits\n", pe, unitsDone[pe])
+		}
+		if total != int64(*tasks) || finished != *tasks {
+			log.Fatalf("lost tasks: joined %d, reported %d, want %d", total, finished, *tasks)
+		}
+	}
+
+	res, err := rt.Run(mains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished at virtual %.1fms; %d RSRs served by the master\n",
+		res.VirtualEnd.Millis(), res.PerProc[master].RSRRequests)
+}

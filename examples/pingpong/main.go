@@ -1,0 +1,77 @@
+// Pingpong: per-message latency between two talking threads, across the
+// polling policies and message sizes — a miniature of the paper's Table 2
+// experiment that an application programmer could run to choose a policy.
+//
+//	go run ./examples/pingpong [-rounds N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"chant"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 300, "message exchanges per configuration")
+	flag.Parse()
+
+	policies := []chant.PolicyKind{
+		chant.ThreadPolls, chant.SchedulerPollsPS,
+		chant.SchedulerPollsWQ, chant.SchedulerPollsWQAny,
+	}
+	sizes := []int{64, 1024, 8192}
+
+	fmt.Printf("%-24s", "policy")
+	for _, s := range sizes {
+		fmt.Printf("  %8dB", s)
+	}
+	fmt.Println("   (virtual us per one-way message)")
+
+	for _, pol := range policies {
+		fmt.Printf("%-24v", pol)
+		for _, size := range sizes {
+			fmt.Printf("  %9.1f", measure(pol, size, *rounds))
+		}
+		fmt.Println()
+	}
+}
+
+// measure runs one ping-pong configuration on a simulated 2-PE machine and
+// returns the average one-way message time in virtual microseconds.
+func measure(policy chant.PolicyKind, size, rounds int) float64 {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: policy, DisableServer: true},
+		chant.Paragon1994(),
+	)
+	var perMsgUS float64
+	_, err := rt.Run(map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			peer := chant.ChanterID{PE: 1, Proc: 0, Thread: 0}
+			out := make([]byte, size)
+			buf := make([]byte, size)
+			host := t.Process().Endpoint().Host()
+			start := host.Now()
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				t.Recv(peer, 1, buf)
+			}
+			perMsgUS = host.Now().Sub(start).Micros() / float64(2*rounds)
+		},
+		{PE: 1, Proc: 0}: func(t *chant.Thread) {
+			peer := chant.ChanterID{PE: 0, Proc: 0, Thread: 0}
+			out := make([]byte, size)
+			buf := make([]byte, size)
+			for i := 0; i < rounds; i++ {
+				t.Recv(peer, 1, buf)
+				t.Send(peer, 1, out)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return perMsgUS
+}

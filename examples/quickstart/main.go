@@ -1,0 +1,73 @@
+// Quickstart: a two-PE Chant machine. Thread 0 on PE 0 talks to thread 0
+// on PE 1 with point-to-point messages, then creates a thread remotely and
+// joins it — the paper's two communication styles in one page.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chant"
+)
+
+func main() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+
+	// Thread bodies that remote creates can name must be registered up
+	// front (code cannot travel between address spaces).
+	rt.Register("greeter", func(t *chant.Thread, arg []byte) {
+		t.Exit(fmt.Sprintf("hello %s, from %v", arg, t.ID()))
+	})
+
+	mains := map[chant.Addr]chant.MainFunc{
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			// Point-to-point: send to the global thread (pe=1, proc=0,
+			// thread=0) and await its reply.
+			peer := chant.ChanterID{PE: 1, Proc: 0, Thread: 0}
+			if err := t.Send(peer, 1, []byte("ping")); err != nil {
+				log.Fatal(err)
+			}
+			buf := make([]byte, 64)
+			n, from, err := t.Recv(peer, 2, buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("p2p reply from %v: %s\n", from, buf[:n])
+
+			// Global thread operations: create a thread on the other PE,
+			// then join it for its exit value.
+			remote, err := t.Create(1, 0, "greeter", []byte("world"), chant.CreateOpts{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, err := t.Join(remote)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("remote thread %v exited with: %v\n", remote, v)
+		},
+		{PE: 1, Proc: 0}: func(t *chant.Thread) {
+			buf := make([]byte, 64)
+			n, from, err := t.Recv(chant.AnyThread, 1, buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.Send(from, 2, append([]byte("pong:"), buf[:n]...)); err != nil {
+				log.Fatal(err)
+			}
+		},
+	}
+
+	res, err := rt.Run(mains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine finished at virtual time %.2fms (%d messages)\n",
+		res.VirtualEnd.Millis(), res.Total.Sends)
+}

@@ -1,0 +1,123 @@
+// Reduction: data-parallel numerical work on talking threads — the kind of
+// HPF-style task the paper built Chant to support. A group of threads
+// spread over several PEs estimates pi by integrating 4/(1+x^2) over
+// [0,1]: the interval count is published through a shared variable (owner-
+// based coherence over remote service requests), each thread integrates
+// its strip, and a tree all-reduce combines the partial sums. A barrier
+// brackets the timed region, as an SPMD code would.
+//
+//	go run ./examples/reduction [-pes N] [-threads N] [-intervals N]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"chant"
+)
+
+func main() {
+	pes := flag.Int("pes", 4, "processing elements")
+	threads := flag.Int("threads", 4, "group threads per PE")
+	intervals := flag.Int64("intervals", 1_000_000, "integration intervals")
+	flag.Parse()
+
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: *pes, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+
+	// The group: thread w on each PE; worker local ids start at 2 (main=0,
+	// server=1) and are identical on every PE by construction.
+	var members []chant.ChanterID
+	for w := 0; w < *threads; w++ {
+		for pe := 0; pe < *pes; pe++ {
+			members = append(members, chant.ChanterID{PE: int32(pe), Proc: 0, Thread: int32(w) + 2})
+		}
+	}
+	home := chant.Addr{PE: 0, Proc: 0}
+
+	var piEstimate float64
+	mains := map[chant.Addr]chant.MainFunc{}
+	for pe := 0; pe < *pes; pe++ {
+		pe := int32(pe)
+		mains[chant.Addr{PE: pe, Proc: 0}] = func(t *chant.Thread) {
+			p := t.Process()
+
+			// The problem size is published through a shared variable
+			// homed on PE 0; every other PE's first read fetches and
+			// caches it.
+			var nbuf [8]byte
+			binary.LittleEndian.PutUint64(nbuf[:], uint64(*intervals))
+			var init []byte
+			if pe == 0 {
+				init = nbuf[:]
+			}
+			shared, err := p.NewShared("intervals", home, init)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			var ws []*chant.Thread
+			for w := 0; w < *threads; w++ {
+				ws = append(ws, p.CreateLocal("integrator", func(me *chant.Thread) {
+					g, err := chant.NewGroup(members, 0x1000)
+					if err != nil {
+						log.Fatal(err)
+					}
+					rank := g.Rank(me.ID())
+					size := g.Size()
+
+					var buf [8]byte
+					if _, err := shared.Read(me, buf[:]); err != nil {
+						log.Fatal(err)
+					}
+					n := int64(binary.LittleEndian.Uint64(buf[:]))
+
+					if err := g.Barrier(me); err != nil {
+						log.Fatal(err)
+					}
+
+					// Integrate this thread's strip; count the work against
+					// the simulated processor so the speedup is honest.
+					h := 1.0 / float64(n)
+					sum := 0.0
+					for i := int64(rank); i < n; i += int64(size) {
+						x := h * (float64(i) + 0.5)
+						sum += 4.0 / (1.0 + x*x)
+					}
+					me.Process().Endpoint().Host().Compute(n / int64(size))
+
+					// Combine partial sums with a fixed-point all-reduce
+					// (collectives carry bytes; we scale to keep precision).
+					scaled := int64(sum * h * 1e12)
+					total, err := g.AllReduceInt64(me, chant.OpSum, scaled)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if rank == 0 {
+						piEstimate = float64(total) / 1e12
+					}
+				}, chant.SpawnOpts{}))
+			}
+			for _, w := range ws {
+				if _, err := t.JoinLocal(w); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	res, err := rt.Run(mains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pi ~= %.9f (error %.2e) with %d threads on %d PEs\n",
+		piEstimate, math.Abs(piEstimate-math.Pi), len(members), *pes)
+	fmt.Printf("virtual time %.2fms, %d messages, %d RSRs\n",
+		res.VirtualEnd.Millis(), res.Total.Sends, res.Total.RSRRequests)
+}

@@ -1,0 +1,111 @@
+// RPC: a distributed key-value store built on Chant's remote service
+// requests — the Section 3.2 usage pattern. PE 1 owns the store; clients
+// anywhere issue remote fetches and updates through the server thread,
+// which polls for requests without interrupts (paper Figure 7). A slow
+// lookup shows the deferred-reply pattern: the handler hands the work to a
+// spawned thread so the server keeps serving.
+//
+//	go run ./examples/rpc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chant"
+)
+
+// Handler ids agreed between client and server.
+const (
+	hPut int32 = iota
+	hGet
+	hSlowGet
+)
+
+func main() {
+	rt := chant.NewSimRuntime(
+		chant.Topology{PEs: 2, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsWQ},
+		chant.Paragon1994(),
+	)
+	server := chant.Addr{PE: 1, Proc: 0}
+
+	mains := map[chant.Addr]chant.MainFunc{
+		server: func(t *chant.Thread) {
+			// The store lives in this process; only its threads touch it,
+			// so no locking is needed (handlers run on the server thread).
+			store := map[string]string{}
+			p := t.Process()
+
+			p.RegisterHandler(hPut, func(ctx *chant.RSRContext) ([]byte, error) {
+				k, v := split(ctx.Req)
+				store[k] = v
+				return nil, nil
+			})
+			p.RegisterHandler(hGet, func(ctx *chant.RSRContext) ([]byte, error) {
+				v, ok := store[string(ctx.Req)]
+				if !ok {
+					return nil, fmt.Errorf("no such key %q", ctx.Req)
+				}
+				return []byte(v), nil
+			})
+			p.RegisterHandler(hSlowGet, func(ctx *chant.RSRContext) ([]byte, error) {
+				// Simulate an expensive lookup: defer the reply and let a
+				// worker thread carry it, so the server thread can keep
+				// serving other requests meanwhile.
+				key := string(ctx.Req) // copy out: Req dies with the handler
+				ctx.DeferReply()
+				p.CreateLocal("slow-lookup", func(w *chant.Thread) {
+					w.Process().Endpoint().Host().Compute(200_000) // ~8ms of work
+					v, ok := store[key]
+					if !ok {
+						ctx.Reply(nil, fmt.Errorf("no such key %q", key))
+						return
+					}
+					ctx.Reply([]byte(v), nil)
+				}, chant.SpawnOpts{})
+				return nil, nil
+			})
+		},
+		{PE: 0, Proc: 0}: func(t *chant.Thread) {
+			reply := make([]byte, 256)
+
+			must(t.Notify(server, hPut, []byte("lang\x00Fortran M")))
+			must(t.Notify(server, hPut, []byte("machine\x00Intel Paragon")))
+
+			n, err := t.Call(server, hGet, []byte("machine"), reply)
+			must(err)
+			fmt.Printf("get machine      -> %s\n", reply[:n])
+
+			n, err = t.Call(server, hSlowGet, []byte("lang"), reply)
+			must(err)
+			fmt.Printf("slow-get lang    -> %s\n", reply[:n])
+
+			if _, err := t.Call(server, hGet, []byte("missing"), reply); err != nil {
+				fmt.Printf("get missing      -> error: %v\n", err)
+			}
+		},
+	}
+
+	res, err := rt.Run(mains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d remote service requests in %.2f virtual ms\n",
+		res.Total.RSRRequests, res.VirtualEnd.Millis())
+}
+
+func split(req []byte) (string, string) {
+	for i, b := range req {
+		if b == 0 {
+			return string(req[:i]), string(req[i+1:])
+		}
+	}
+	return string(req), ""
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"testing"
+
+	"chant/internal/trace"
+)
+
+// Edge cases for the endpoint beyond the basic cost-accounting tests.
+
+func TestWaitOnAlreadyCompleteHandle(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	ep.DeliverLocal(&Message{Hdr: Header{Size: 1}, Data: []byte("x")})
+	h := ep.Irecv(MatchAll, make([]byte, 4))
+	if !h.Done() {
+		t.Fatal("handle not born complete")
+	}
+	ep.Wait(h) // must not call Idle (fakeHost panics on Idle)
+	if ctrs.Recvs.Load() != 1 {
+		t.Fatal("completion not observed")
+	}
+}
+
+func TestTestAnyEmptyList(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	if got := ep.TestAny(nil); got != -1 {
+		t.Fatalf("TestAny(nil) = %d", got)
+	}
+	if got := ep.TestAny([]*RecvHandle{}); got != -1 {
+		t.Fatalf("TestAny(empty) = %d", got)
+	}
+}
+
+func TestTestAnyReturnsFirstCompleted(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	h1 := ep.Irecv(MatchSpec{SrcPE: Any, SrcProc: Any, SrcThread: Any, Ctx: Any, Tag: 1}, make([]byte, 4))
+	h2 := ep.Irecv(MatchSpec{SrcPE: Any, SrcProc: Any, SrcThread: Any, Ctx: Any, Tag: 2}, make([]byte, 4))
+	h3 := ep.Irecv(MatchSpec{SrcPE: Any, SrcProc: Any, SrcThread: Any, Ctx: Any, Tag: 3}, make([]byte, 4))
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 2, Size: 1}, Data: []byte("b")})
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 3, Size: 1}, Data: []byte("c")})
+	if got := ep.TestAny([]*RecvHandle{h1, h2, h3}); got != 1 {
+		t.Fatalf("TestAny = %d, want 1 (first completed in list order)", got)
+	}
+}
+
+func TestZeroLengthMessage(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	h := ep.Irecv(MatchAll, nil)
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 1}, Data: nil})
+	if !h.Done() || h.Len() != 0 || h.Err() != nil {
+		t.Fatalf("zero-length delivery: done=%v n=%d err=%v", h.Done(), h.Len(), h.Err())
+	}
+}
+
+func TestTruncationOnImmediatePath(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	ep.DeliverLocal(&Message{Hdr: Header{Size: 6}, Data: []byte("toobig")})
+	h := ep.Irecv(MatchAll, make([]byte, 3))
+	if h.Err() != ErrTruncated || h.Len() != 3 {
+		t.Fatalf("immediate truncation: n=%d err=%v", h.Len(), h.Err())
+	}
+}
+
+func TestWildcardRecvPreservesArrivalOrder(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	// Messages from three different sources arrive, then a wildcard
+	// receive drains them: FIFO across sources.
+	for i := int32(0); i < 3; i++ {
+		ep.DeliverLocal(&Message{Hdr: Header{SrcPE: i, Tag: 1, Size: 1}, Data: []byte{byte(i)}})
+	}
+	for i := int32(0); i < 3; i++ {
+		buf := make([]byte, 1)
+		h := ep.Irecv(MatchSpec{SrcPE: Any, SrcProc: Any, SrcThread: Any, Ctx: Any, Tag: 1}, buf)
+		if !h.Done() || h.Header().SrcPE != i {
+			t.Fatalf("arrival order broken at %d: src=%d", i, h.Header().SrcPE)
+		}
+	}
+}
+
+func TestCancelCompletedRecvIsNoop(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	h := ep.Irecv(MatchAll, make([]byte, 4))
+	ep.DeliverLocal(&Message{Hdr: Header{Size: 1}, Data: []byte("x")})
+	if ep.CancelRecv(h) {
+		t.Fatal("cancel of completed receive reported pending")
+	}
+	if h.Canceled() {
+		t.Fatal("completed handle marked canceled")
+	}
+}
+
+func TestProbeDoesNotSeePosted(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	// Probe inspects unexpected messages only: a message consumed by a
+	// posted receive never shows up.
+	ep.Irecv(MatchAll, make([]byte, 4))
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 5, Size: 1}, Data: []byte("x")})
+	if _, ok := ep.Probe(MatchAll); ok {
+		t.Fatal("probe matched a message already delivered to a posted receive")
+	}
+}
+
+func TestSelectiveRecvLeavesOthersBuffered(t *testing.T) {
+	host := newFakeHost()
+	var ctrs trace.Counters
+	ep := NewEndpoint(Addr{}, host, &ctrs, &captureTransport{})
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 1, Size: 1}, Data: []byte("a")})
+	ep.DeliverLocal(&Message{Hdr: Header{Tag: 2, Size: 1}, Data: []byte("b")})
+	h := ep.Irecv(MatchSpec{SrcPE: Any, SrcProc: Any, SrcThread: Any, Ctx: Any, Tag: 2}, make([]byte, 4))
+	if !h.Done() || h.Header().Tag != 2 {
+		t.Fatal("selective receive failed")
+	}
+	if _, unexpected := ep.QueueDepths(); unexpected != 1 {
+		t.Fatalf("other message lost: %d buffered", unexpected)
+	}
+}

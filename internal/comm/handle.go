@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"sync/atomic"
+
+	"chant/internal/sim"
+)
+
+// RecvHandle is the completion handle returned by a nonblocking receive,
+// analogous to the handle of NX irecv / MPI_IRECV. The handle becomes done
+// when a matching message has been deposited into the user buffer; Test,
+// TestAny, and the blocking wait paths observe completion through it.
+type RecvHandle struct {
+	spec MatchSpec
+	buf  []byte
+
+	done atomic.Bool
+
+	// Completion results; written before done is set, valid after done
+	// observes true.
+	n           int
+	hdr         Header
+	err         error
+	completedAt sim.Time
+
+	// observed records that a completing call already charged the receive
+	// overhead and counted the receive, so completion is accounted once no
+	// matter how many tests follow.
+	observed bool
+
+	// canceled marks a handle removed from its mailbox before completion.
+	canceled bool
+
+	// acked latches the synchronous-send acknowledgement so it is sent at
+	// most once no matter how many calls observe completion.
+	acked bool
+}
+
+// NeedsSyncAck reports (and latches) whether this completed receive
+// matched a synchronous send that has not yet been acknowledged. The first
+// caller gets true and must send the ack; later callers get false.
+func (h *RecvHandle) NeedsSyncAck() bool {
+	if !h.done.Load() || h.hdr.Flags&FlagSync == 0 || h.acked {
+		return false
+	}
+	h.acked = true
+	return true
+}
+
+// Spec reports the match specification the receive was posted with.
+func (h *RecvHandle) Spec() MatchSpec { return h.spec }
+
+// Done reports whether the receive has completed. It performs no cost
+// accounting; use Endpoint.Test for a paper-faithful msgtest.
+func (h *RecvHandle) Done() bool { return h.done.Load() }
+
+// Len reports the number of payload bytes deposited. Valid once Done.
+func (h *RecvHandle) Len() int { return h.n }
+
+// Header reports the header of the matched message. Valid once Done.
+func (h *RecvHandle) Header() Header { return h.hdr }
+
+// Err reports a delivery error such as ErrTruncated. Valid once Done.
+func (h *RecvHandle) Err() error { return h.err }
+
+// CompletedAt reports the virtual time at which the message was deposited.
+// Valid once Done.
+func (h *RecvHandle) CompletedAt() sim.Time { return h.completedAt }
+
+// Canceled reports whether the receive was canceled before completing.
+func (h *RecvHandle) Canceled() bool { return h.canceled }
+
+// complete deposits msg into the handle's buffer and marks it done.
+// The caller must hold the owning mailbox's lock.
+func (h *RecvHandle) complete(msg *Message, at sim.Time) {
+	h.n = copy(h.buf, msg.Data)
+	if len(msg.Data) > len(h.buf) {
+		h.err = ErrTruncated
+	}
+	h.hdr = msg.Hdr
+	h.completedAt = at
+	h.done.Store(true)
+}

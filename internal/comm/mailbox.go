@@ -1,0 +1,89 @@
+package comm
+
+import (
+	"sync"
+
+	"chant/internal/sim"
+)
+
+// mailbox is the matching engine of one endpoint: a list of posted receives
+// and a queue of unexpected (early-arrival) messages. Matching is FIFO on
+// both sides: an arriving message matches the oldest compatible posted
+// receive; a newly posted receive matches the oldest compatible unexpected
+// message. Together with transports that preserve per-pair submission order,
+// this gives the non-overtaking guarantee message-passing programs expect.
+type mailbox struct {
+	mu         sync.Mutex
+	posted     []*RecvHandle
+	unexpected []*Message
+}
+
+// deliver matches msg against posted receives. If a receive matches, the
+// payload is deposited directly into its user buffer (the no-extra-copy path
+// the paper's design is built around) and the handle is returned. Otherwise
+// the message joins the unexpected queue and nil is returned.
+func (mb *mailbox) deliver(msg *Message, at sim.Time) *RecvHandle {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, h := range mb.posted {
+		if h.spec.Matches(msg.Hdr) {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			h.complete(msg, at)
+			return h
+		}
+	}
+	mb.unexpected = append(mb.unexpected, msg)
+	return nil
+}
+
+// post registers a receive. If an unexpected message already matches, it is
+// consumed and deposited immediately (this is the system-buffer-copy path)
+// and post reports true.
+func (mb *mailbox) post(h *RecvHandle, at sim.Time) (immediate bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, msg := range mb.unexpected {
+		if h.spec.Matches(msg.Hdr) {
+			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
+			h.complete(msg, at)
+			return true
+		}
+	}
+	mb.posted = append(mb.posted, h)
+	return false
+}
+
+// remove cancels a posted receive, reporting whether it was still pending.
+// A handle that already completed (or was never posted) is left untouched.
+func (mb *mailbox) remove(h *RecvHandle) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, p := range mb.posted {
+		if p == h {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			h.canceled = true
+			return true
+		}
+	}
+	return false
+}
+
+// findUnexpected reports the header of the oldest unexpected message
+// matching spec, without consuming it (MPI_Probe-style).
+func (mb *mailbox) findUnexpected(spec MatchSpec) (Header, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, msg := range mb.unexpected {
+		if spec.Matches(msg.Hdr) {
+			return msg.Hdr, true
+		}
+	}
+	return Header{}, false
+}
+
+// depths reports queue lengths, for tests and diagnostics.
+func (mb *mailbox) depths() (posted, unexpected int) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.posted), len(mb.unexpected)
+}

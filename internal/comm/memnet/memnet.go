@@ -1,0 +1,56 @@
+// Package memnet is the in-memory transport for real-time, single-OS-process
+// runs: messages are delivered synchronously from the sender's goroutine
+// into the destination endpoint's mailbox. It provides the same interface
+// and matching semantics as the simulated and TCP transports, so programs
+// written against the Chant API run unchanged in all three.
+package memnet
+
+import (
+	"fmt"
+	"sync"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+// Network is an in-memory interconnect between processes hosted in one Go
+// program. Unlike simnet, endpoints may be registered concurrently and
+// delivery happens immediately (the wall clock is the only latency).
+type Network struct {
+	mu  sync.RWMutex
+	eps map[comm.Addr]*comm.Endpoint
+}
+
+// New creates an empty in-memory network.
+func New() *Network {
+	return &Network{eps: make(map[comm.Addr]*comm.Endpoint)}
+}
+
+// NewEndpoint attaches process addr to the network.
+func (n *Network) NewEndpoint(addr comm.Addr, host machine.Host, ctrs *trace.Counters) *comm.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.eps[addr]; dup {
+		panic(fmt.Sprintf("memnet: duplicate endpoint %v", addr))
+	}
+	ep := comm.NewEndpoint(addr, host, ctrs, n)
+	n.eps[addr] = ep
+	return ep
+}
+
+// Endpoint looks up the endpoint registered for addr, or nil.
+func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.eps[addr]
+}
+
+// Deliver implements comm.Transport with immediate synchronous delivery.
+func (n *Network) Deliver(msg *comm.Message) {
+	ep := n.Endpoint(msg.Hdr.Dst())
+	if ep == nil {
+		panic(fmt.Sprintf("memnet: send to unknown process %v", msg.Hdr.Dst()))
+	}
+	ep.DeliverLocal(msg)
+}

@@ -1,0 +1,117 @@
+package memnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+func newPair(t *testing.T) (*comm.Endpoint, *comm.Endpoint) {
+	t.Helper()
+	net := New()
+	model := machine.Modern()
+	a := net.NewEndpoint(comm.Addr{PE: 0, Proc: 0}, machine.NewRealHost(model), &trace.Counters{})
+	b := net.NewEndpoint(comm.Addr{PE: 1, Proc: 0}, machine.NewRealHost(model), &trace.Counters{})
+	return a, b
+}
+
+func TestMemnetBasicSendRecv(t *testing.T) {
+	a, b := newPair(t)
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 32)
+		n, hdr, err := b.Recv(comm.MatchAll, buf)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- fmt.Sprintf("%s/tag%d", buf[:n], hdr.Tag)
+	}()
+	a.Send(comm.Addr{PE: 1, Proc: 0}, 0, 42, 0, []byte("hello"))
+	if got := <-done; got != "hello/tag42" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMemnetConcurrentTraffic(t *testing.T) {
+	a, b := newPair(t)
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			a.Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, []byte{byte(i)})
+		}
+	}()
+	var sum int
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 1)
+		for i := 0; i < n; i++ {
+			b.Recv(comm.MatchAll, buf)
+			sum += int(buf[0])
+		}
+	}()
+	wg.Wait()
+	want := n * (n - 1) / 2 % 256 // bytes wrap, so compare mod-256 sums
+	got := 0
+	for i := 0; i < n; i++ {
+		got += int(byte(i))
+	}
+	if sum != got {
+		t.Fatalf("sum=%d want=%d", sum, want)
+	}
+	if b.Counters().Recvs.Load() != n {
+		t.Fatalf("recv count = %d, want %d", b.Counters().Recvs.Load(), n)
+	}
+}
+
+func TestMemnetBidirectionalPingPong(t *testing.T) {
+	a, b := newPair(t)
+	const rounds = 100
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8)
+		for i := 0; i < rounds; i++ {
+			a.Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, []byte("ping"))
+			a.Recv(comm.MatchAll, buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8)
+		for i := 0; i < rounds; i++ {
+			b.Recv(comm.MatchAll, buf)
+			b.Send(comm.Addr{PE: 0, Proc: 0}, 0, 1, 0, []byte("pong"))
+		}
+	}()
+	wg.Wait()
+}
+
+func TestMemnetUnknownDestinationPanics(t *testing.T) {
+	a, _ := newPair(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unknown process did not panic")
+		}
+	}()
+	a.Send(comm.Addr{PE: 9, Proc: 9}, 0, 1, 0, []byte("x"))
+}
+
+func TestMemnetEndpointLookup(t *testing.T) {
+	net := New()
+	model := machine.Modern()
+	ep := net.NewEndpoint(comm.Addr{PE: 2, Proc: 3}, machine.NewRealHost(model), &trace.Counters{})
+	if net.Endpoint(comm.Addr{PE: 2, Proc: 3}) != ep {
+		t.Fatal("lookup failed")
+	}
+	if net.Endpoint(comm.Addr{PE: 0, Proc: 0}) != nil {
+		t.Fatal("lookup of unregistered address returned an endpoint")
+	}
+}

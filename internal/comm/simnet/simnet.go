@@ -1,0 +1,106 @@
+// Package simnet is the simulated transport: messages traverse a modeled
+// interconnect with latency NetBase + NetPerByte*size (the alpha+beta*n
+// model fitted from the paper's Table 2) and are delivered as
+// discrete-event callbacks at their arrival times. Because arrival time is
+// always send time plus a positive latency, and the kernel executes events
+// in global virtual-time order, no message can arrive in a receiver's past
+// — the conservative-simulation property the runtime relies on.
+package simnet
+
+import (
+	"fmt"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/sim"
+	"chant/internal/trace"
+)
+
+// Network is a simulated interconnect joining the endpoints of one
+// simulation kernel.
+type Network struct {
+	kernel *sim.Kernel
+	model  *machine.Model
+	eps    map[comm.Addr]*comm.Endpoint
+
+	// MeshWidth, when positive, arranges processing elements in a 2D mesh
+	// of that width (the Paragon's topology): pe i sits at (i mod width,
+	// i div width), and each hop beyond the first adds Model.NetPerHop of
+	// latency. Zero models a flat (distance-independent) network. Set it
+	// before traffic flows.
+	MeshWidth int
+
+	// Delivered counts messages handed to destination endpoints.
+	Delivered uint64
+}
+
+// New creates a network delivering through kernel with model's latency.
+func New(kernel *sim.Kernel, model *machine.Model) *Network {
+	return &Network{
+		kernel: kernel,
+		model:  model,
+		eps:    make(map[comm.Addr]*comm.Endpoint),
+	}
+}
+
+// NewEndpoint attaches process addr to the network, executing on host and
+// counting into ctrs. Attaching the same address twice panics: it would
+// make delivery ambiguous.
+func (n *Network) NewEndpoint(addr comm.Addr, host machine.Host, ctrs *trace.Counters) *comm.Endpoint {
+	if _, dup := n.eps[addr]; dup {
+		panic(fmt.Sprintf("simnet: duplicate endpoint %v", addr))
+	}
+	ep := comm.NewEndpoint(addr, host, ctrs, n)
+	n.eps[addr] = ep
+	return ep
+}
+
+// Endpoint looks up the endpoint registered for addr, or nil.
+func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint { return n.eps[addr] }
+
+// Deliver implements comm.Transport: it schedules the message's arrival at
+// its destination after the modeled wire latency. Sending to an address
+// with no endpoint panics — simulated experiments construct their full
+// topology up front, so this is always a harness bug.
+func (n *Network) Deliver(msg *comm.Message) {
+	dst := msg.Hdr.Dst()
+	ep := n.eps[dst]
+	if ep == nil {
+		panic(fmt.Sprintf("simnet: send to unknown process %v", dst))
+	}
+	var latency sim.Duration
+	if dst == msg.Hdr.Src() {
+		latency = n.model.Loopback + n.model.CopyCost(len(msg.Data))
+	} else {
+		latency = n.model.MsgLatency(len(msg.Data))
+		if hops := n.hops(msg.Hdr.SrcPE, dst.PE); hops > 1 {
+			latency += n.model.NetPerHop.Scale(float64(hops - 1))
+		}
+	}
+	n.kernel.After(latency, func() {
+		n.Delivered++
+		ep.DeliverLocal(msg)
+	})
+}
+
+// hops reports the Manhattan distance between two PEs on the configured
+// mesh, or 1 for a flat network (and for same-PE, different-process pairs).
+func (n *Network) hops(srcPE, dstPE int32) int {
+	if n.MeshWidth <= 0 || srcPE == dstPE {
+		return 1
+	}
+	sx, sy := int(srcPE)%n.MeshWidth, int(srcPE)/n.MeshWidth
+	dx, dy := int(dstPE)%n.MeshWidth, int(dstPE)/n.MeshWidth
+	d := abs(sx-dx) + abs(sy-dy)
+	if d == 0 {
+		return 1
+	}
+	return d
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

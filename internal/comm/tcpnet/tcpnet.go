@@ -1,0 +1,379 @@
+// Package tcpnet is the distributed transport: Chant processes running in
+// separate OS processes (or machines) exchange messages over TCP with a
+// length-prefixed binary wire format. A rendezvous leader collects every
+// process's listen address and broadcasts the peer table, after which data
+// flows directly process-to-process over one connection per direction —
+// preserving the per-pair FIFO order the mailbox matching relies on.
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+// Options configures one process's attachment to the distributed machine.
+type Options struct {
+	// Self is this process's Chant address.
+	Self comm.Addr
+	// Rendezvous is the leader's host:port.
+	Rendezvous string
+	// Lead makes this process host the rendezvous (exactly one process
+	// must lead; by convention pe0.p0).
+	Lead bool
+	// Procs is the total number of processes in the machine (the leader
+	// waits for all of them).
+	Procs int
+	// ListenAddr is this process's data-plane listen address
+	// (default "127.0.0.1:0").
+	ListenAddr string
+	// DialTimeout bounds rendezvous and peer dials (default 10s).
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Node is one OS process's endpoint registry plus its TCP machinery. It
+// implements comm.Transport for the endpoints created through it.
+type Node struct {
+	self  comm.Addr
+	ln    net.Listener
+	peers map[comm.Addr]string // every process's data listen address
+
+	mu      sync.Mutex
+	eps     map[comm.Addr]*comm.Endpoint
+	conns   map[string]*sender
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// sender is one outbound connection with a write lock (frames must not
+// interleave).
+type sender struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// regMsg is the rendezvous control-plane message.
+type regMsg struct {
+	PE, Proc int32
+	Data     string // data-plane listen address
+}
+
+// tableMsg broadcasts the completed peer table.
+type tableMsg struct {
+	Peers []regMsg
+}
+
+// wireHeaderLen is the fixed encoded header size: nine int32 fields.
+const wireHeaderLen = 36
+
+// maxFrame bounds a frame so a corrupt length prefix cannot allocate
+// unbounded memory.
+const maxFrame = 64 << 20
+
+// Bootstrap joins (or leads) the machine's rendezvous and returns a Node
+// ready to create endpoints. It blocks until every process has registered.
+func Bootstrap(o Options) (*Node, error) {
+	o = o.withDefaults()
+	ln, err := net.Listen("tcp", o.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: data listen: %w", err)
+	}
+	n := &Node{
+		self:    o.Self,
+		ln:      ln,
+		eps:     make(map[comm.Addr]*comm.Endpoint),
+		conns:   make(map[string]*sender),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	if o.Lead {
+		n.peers, err = lead(o, ln.Addr().String())
+	} else {
+		n.peers, err = join(o, ln.Addr().String())
+	}
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// lead runs the rendezvous: collect Procs registrations (including our
+// own), then send everyone the table.
+func lead(o Options, dataAddr string) (map[comm.Addr]string, error) {
+	ctl, err := net.Listen("tcp", o.Rendezvous)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rendezvous listen: %w", err)
+	}
+	defer ctl.Close()
+
+	table := []regMsg{{PE: o.Self.PE, Proc: o.Self.Proc, Data: dataAddr}}
+	var conns []net.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for len(table) < o.Procs {
+		c, err := ctl.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: rendezvous accept: %w", err)
+		}
+		conns = append(conns, c)
+		var reg regMsg
+		if err := json.NewDecoder(c).Decode(&reg); err != nil {
+			return nil, fmt.Errorf("tcpnet: bad registration: %w", err)
+		}
+		table = append(table, reg)
+	}
+	msg := tableMsg{Peers: table}
+	for _, c := range conns {
+		if err := json.NewEncoder(c).Encode(msg); err != nil {
+			return nil, fmt.Errorf("tcpnet: table broadcast: %w", err)
+		}
+	}
+	return tableToMap(table)
+}
+
+// join registers with the leader and waits for the table.
+func join(o Options, dataAddr string) (map[comm.Addr]string, error) {
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(o.DialTimeout)
+	for {
+		c, err = net.DialTimeout("tcp", o.Rendezvous, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpnet: rendezvous dial: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond) // leader may not be up yet
+	}
+	defer c.Close()
+	reg := regMsg{PE: o.Self.PE, Proc: o.Self.Proc, Data: dataAddr}
+	if err := json.NewEncoder(c).Encode(reg); err != nil {
+		return nil, fmt.Errorf("tcpnet: register: %w", err)
+	}
+	var msg tableMsg
+	if err := json.NewDecoder(c).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("tcpnet: table receive: %w", err)
+	}
+	return tableToMap(msg.Peers)
+}
+
+func tableToMap(table []regMsg) (map[comm.Addr]string, error) {
+	m := make(map[comm.Addr]string, len(table))
+	for _, r := range table {
+		a := comm.Addr{PE: r.PE, Proc: r.Proc}
+		if _, dup := m[a]; dup {
+			return nil, fmt.Errorf("tcpnet: duplicate process %v at rendezvous", a)
+		}
+		m[a] = r.Data
+	}
+	return m, nil
+}
+
+// NewEndpoint attaches a local Chant process to the node.
+func (n *Node) NewEndpoint(addr comm.Addr, host machine.Host, ctrs *trace.Counters) *comm.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.eps[addr]; dup {
+		panic(fmt.Sprintf("tcpnet: duplicate endpoint %v", addr))
+	}
+	ep := comm.NewEndpoint(addr, host, ctrs, n)
+	n.eps[addr] = ep
+	return ep
+}
+
+// Peers reports the full process table discovered at rendezvous.
+func (n *Node) Peers() map[comm.Addr]string {
+	out := make(map[comm.Addr]string, len(n.peers))
+	for k, v := range n.peers {
+		out[k] = v
+	}
+	return out
+}
+
+// Deliver implements comm.Transport: local destinations are delivered
+// directly; remote ones are framed onto the destination's connection.
+func (n *Node) Deliver(msg *comm.Message) {
+	dst := msg.Hdr.Dst()
+	n.mu.Lock()
+	ep := n.eps[dst]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.DeliverLocal(msg)
+		return
+	}
+	addr, ok := n.peers[dst]
+	if !ok {
+		panic(fmt.Sprintf("tcpnet: send to unknown process %v", dst))
+	}
+	s, err := n.senderFor(addr)
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: connect to %v (%s): %v", dst, addr, err))
+	}
+	if err := s.writeFrame(msg); err != nil {
+		panic(fmt.Sprintf("tcpnet: send to %v: %v", dst, err))
+	}
+}
+
+// senderFor returns (dialing if necessary) the outbound connection to a
+// peer's data address.
+func (n *Node) senderFor(addr string) (*sender, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("tcpnet: node closed")
+	}
+	if s, ok := n.conns[addr]; ok {
+		return s, nil
+	}
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	s := &sender{c: c, w: bufio.NewWriter(c)}
+	n.conns[addr] = s
+	return s, nil
+}
+
+// writeFrame encodes and flushes one message.
+func (s *sender) writeFrame(msg *comm.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hdr [4 + wireHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(wireHeaderLen+len(msg.Data)))
+	putHeader(hdr[4:], msg.Hdr)
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(msg.Data); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func putHeader(b []byte, h comm.Header) {
+	fields := [9]int32{h.SrcPE, h.SrcProc, h.SrcThread, h.DstPE, h.DstProc, h.Ctx, h.Tag, h.Size, h.Flags}
+	for i, f := range fields {
+		binary.BigEndian.PutUint32(b[i*4:], uint32(f))
+	}
+}
+
+func getHeader(b []byte) comm.Header {
+	f := func(i int) int32 { return int32(binary.BigEndian.Uint32(b[i*4:])) }
+	return comm.Header{
+		SrcPE: f(0), SrcProc: f(1), SrcThread: f(2),
+		DstPE: f(3), DstProc: f(4), Ctx: f(5), Tag: f(6), Size: f(7), Flags: f(8),
+	}
+}
+
+// acceptLoop receives inbound connections; each gets a reader goroutine.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.inbound[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+// readLoop decodes frames from one inbound connection and delivers them to
+// the addressed local endpoint.
+func (n *Node) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.inbound, c)
+		n.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return // peer closed
+		}
+		frameLen := binary.BigEndian.Uint32(lenBuf[:])
+		if frameLen < wireHeaderLen || frameLen > maxFrame {
+			return // corrupt stream
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return
+		}
+		hdr := getHeader(frame)
+		data := frame[wireHeaderLen:]
+		n.mu.Lock()
+		ep := n.eps[hdr.Dst()]
+		n.mu.Unlock()
+		if ep == nil {
+			continue // no such local endpoint; drop (like NX)
+		}
+		ep.DeliverLocal(&comm.Message{Hdr: hdr, Data: data})
+	}
+}
+
+// Close shuts the node down: the listener, all connections, and the reader
+// goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = map[string]*sender{}
+	var inbound []net.Conn
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	for _, s := range conns {
+		s.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,237 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+// freeRendezvous picks an ephemeral rendezvous address by binding and
+// immediately releasing a port. (A race with other processes is possible
+// in principle; these tests run alone in CI.)
+func freeRendezvous(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// bootMachine starts procs nodes joined at one rendezvous, with one
+// endpoint each, and returns them with a cleanup.
+func bootMachine(t *testing.T, procs int) ([]*Node, []*comm.Endpoint) {
+	t.Helper()
+	rendezvous := freeRendezvous(t)
+	nodes := make([]*Node, procs)
+	eps := make([]*comm.Endpoint, procs)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := Bootstrap(Options{
+				Self:       comm.Addr{PE: int32(i), Proc: 0},
+				Rendezvous: rendezvous,
+				Lead:       i == 0,
+				Procs:      procs,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nodes[i] = n
+			eps[i] = n.NewEndpoint(comm.Addr{PE: int32(i), Proc: 0},
+				machine.NewRealHost(machine.Modern()), &trace.Counters{})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d bootstrap: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	return nodes, eps
+}
+
+func TestBootstrapDiscoversAllPeers(t *testing.T) {
+	nodes, _ := bootMachine(t, 3)
+	for i, n := range nodes {
+		if got := len(n.Peers()); got != 3 {
+			t.Errorf("node %d sees %d peers, want 3", i, got)
+		}
+	}
+}
+
+func TestSendRecvOverTCP(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, hdr, err := eps[1].Recv(comm.MatchAll, buf)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- fmt.Sprintf("%s tag=%d src=%d", buf[:n], hdr.Tag, hdr.SrcPE)
+	}()
+	eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 5, 9, 2, []byte("across the wire"))
+	select {
+	case got := <-done:
+		if got != "across the wire tag=9 src=0" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestTCPNonOvertaking(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	const n = 200
+	done := make(chan bool, 1)
+	go func() {
+		buf := make([]byte, 4)
+		for i := 0; i < n; i++ {
+			eps[1].Recv(comm.MatchAll, buf)
+			if int(buf[0]) != i%256 {
+				t.Errorf("message %d arrived out of order (got %d)", i, buf[0])
+				done <- false
+				return
+			}
+		}
+		done <- true
+	}()
+	for i := 0; i < n; i++ {
+		eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, []byte{byte(i % 256)})
+	}
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		n, _, err := eps[1].Recv(comm.MatchAll, buf)
+		if err != nil || n != len(payload) {
+			t.Errorf("recv n=%d err=%v", n, err)
+		}
+		for i := range buf {
+			if buf[i] != byte(i*31) {
+				t.Errorf("payload corrupt at %d", i)
+				break
+			}
+		}
+		done <- true
+	}()
+	eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, payload)
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	const rounds = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8)
+		for i := 0; i < rounds; i++ {
+			eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, []byte("ping"))
+			eps[0].Recv(comm.MatchAll, buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8)
+		for i := 0; i < rounds; i++ {
+			eps[1].Recv(comm.MatchAll, buf)
+			eps[1].Send(comm.Addr{PE: 0, Proc: 0}, 0, 2, 0, []byte("pong"))
+		}
+	}()
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ping-pong deadlocked")
+	}
+}
+
+func TestHeaderWireRoundtrip(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, j int32) bool {
+		hdr := comm.Header{SrcPE: a, SrcProc: b, SrcThread: c, DstPE: d, DstProc: e, Ctx: g, Tag: h, Size: i, Flags: j}
+		var buf [wireHeaderLen]byte
+		putHeader(buf[:], hdr)
+		return getHeader(buf[:]) == hdr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nodes, _ := bootMachine(t, 2)
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToUnknownPanics(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to process outside the table did not panic")
+		}
+	}()
+	eps[0].Send(comm.Addr{PE: 9, Proc: 9}, 0, 1, 0, []byte("x"))
+}
+
+func TestLoopbackThroughNode(t *testing.T) {
+	_, eps := bootMachine(t, 2)
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 8)
+		eps[0].Recv(comm.MatchAll, buf)
+		close(done)
+	}()
+	eps[0].Send(comm.Addr{PE: 0, Proc: 0}, 0, 1, 0, []byte("self"))
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loopback lost")
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/sim"
+)
+
+func TestChannelDescriptorCodec(t *testing.T) {
+	c := Channel{Home: comm.Addr{PE: 3, Proc: 1}, ID: 42, Capacity: 16, TagBase: 0x2000}
+	got, err := DecodeChannel(c.Encode())
+	if err != nil || got != c {
+		t.Fatalf("roundtrip = (%+v, %v)", got, err)
+	}
+	if _, err := DecodeChannel([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+}
+
+func TestChannelBasicStream(t *testing.T) {
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := Config{Policy: pol}
+			const msgs = 25 // more than the window: forces credit traffic
+			runSim2(t, cfg,
+				func(th *Thread) { // home + sender
+					ch, err := OpenChannel(th, 4, 0x2000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Ship the descriptor to the receiver thread on pe1.
+					if err := th.Send(gid(1, 0, 0), 1, ch.Encode()); err != nil {
+						t.Fatal(err)
+					}
+					sp, err := ch.BindSend(th)
+					if err != nil {
+						t.Fatalf("bind send: %v", err)
+					}
+					for i := 0; i < msgs; i++ {
+						if err := sp.Send([]byte{byte(i)}); err != nil {
+							t.Fatalf("send %d: %v", i, err)
+						}
+					}
+				},
+				func(th *Thread) {
+					buf := make([]byte, 32)
+					n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ch, err := DecodeChannel(buf[:n])
+					if err != nil {
+						t.Fatal(err)
+					}
+					rp, err := ch.BindRecv(th)
+					if err != nil {
+						t.Fatalf("bind recv: %v", err)
+					}
+					for i := 0; i < msgs; i++ {
+						n, err := rp.Recv(buf)
+						if err != nil || n != 1 || buf[0] != byte(i) {
+							t.Fatalf("recv %d: n=%d v=%d err=%v", i, n, buf[0], err)
+						}
+					}
+				},
+			)
+		})
+	}
+}
+
+func TestChannelFlowControlBlocksSender(t *testing.T) {
+	// With window 2 and a receiver that waits 30 virtual ms before
+	// draining, a sender pushing 10 messages must take at least that long.
+	cfg := Config{Policy: SchedulerPollsPS}
+	var senderDone sim.Time
+	runSim2(t, cfg,
+		func(th *Thread) {
+			ch, err := OpenChannel(th, 2, 0x2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th.Send(gid(1, 0, 0), 1, ch.Encode())
+			sp, err := ch.BindSend(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := sp.Send([]byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			senderDone = th.proc.ep.Host().Now()
+		},
+		func(th *Thread) {
+			buf := make([]byte, 32)
+			n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, _ := DecodeChannel(buf[:n])
+			rp, err := ch.BindRecv(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th.proc.ep.Host().Charge(30 * sim.Millisecond)
+			for i := 0; i < 10; i++ {
+				if _, err := rp.Recv(buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		},
+	)
+	if senderDone < sim.Time(30*sim.Millisecond) {
+		t.Fatalf("sender finished at %v despite window 2 and a 30ms-stalled receiver", senderDone)
+	}
+}
+
+func TestChannelHandoff(t *testing.T) {
+	// The receive port moves from one thread to another (on a different
+	// PE) mid-stream; no message may be lost or reordered.
+	cfg := Config{Policy: SchedulerPollsWQ}
+	const total = 20
+	var got []byte
+	runSim2(t, cfg,
+		func(th *Thread) { // home + sender
+			ch, err := OpenChannel(th, 4, 0x2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th.Send(gid(1, 0, 0), 1, ch.Encode())
+			sp, err := ch.BindSend(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < total; i++ {
+				if err := sp.Send([]byte{byte(i)}); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+		},
+		func(th *Thread) { // first receiver; hands off to a local successor
+			buf := make([]byte, 32)
+			n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, _ := DecodeChannel(buf[:n])
+
+			successor := th.proc.CreateLocal("successor", func(me *Thread) {
+				rp, pending, err := ch.AcceptRecv(me)
+				if err != nil {
+					t.Errorf("accept: %v", err)
+					return
+				}
+				for _, m := range pending {
+					got = append(got, m...)
+				}
+				rbuf := make([]byte, 32)
+				for len(got) < total {
+					n, err := rp.Recv(rbuf)
+					if err != nil {
+						t.Errorf("successor recv: %v", err)
+						return
+					}
+					got = append(got, rbuf[:n]...)
+				}
+			}, defaultSpawn())
+
+			rp, err := ch.BindRecv(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 7; i++ {
+				n, err := rp.Recv(buf)
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				got = append(got, buf[:n]...)
+			}
+			if err := rp.Handoff(successor.ID()); err != nil {
+				t.Fatalf("handoff: %v", err)
+			}
+			th.JoinLocal(successor)
+		},
+	)
+	if len(got) != total {
+		t.Fatalf("received %d of %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("stream broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestChannelHandoffAcrossPEs(t *testing.T) {
+	// Successor lives on the sending PE itself: the port crosses the
+	// machine and traffic becomes loopback.
+	cfg := Config{Policy: SchedulerPollsPS}
+	const total = 12
+	received := 0
+	runSim2(t, cfg,
+		func(th *Thread) { // home + sender + eventual receiver
+			ch, err := OpenChannel(th, 3, 0x2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			successor := th.proc.CreateLocal("successor", func(me *Thread) {
+				rp, pending, err := ch.AcceptRecv(me)
+				if err != nil {
+					t.Errorf("accept: %v", err)
+					return
+				}
+				received += len(pending)
+				buf := make([]byte, 32)
+				for received < total {
+					if _, err := rp.Recv(buf); err != nil {
+						t.Errorf("recv: %v", err)
+						return
+					}
+					received++
+				}
+			}, defaultSpawn())
+			th.Send(gid(1, 0, 0), 1, append(ch.Encode(), byte(successor.ID().Thread)))
+			sp, err := ch.BindSend(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < total; i++ {
+				if err := sp.Send([]byte{byte(i)}); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			th.JoinLocal(successor)
+		},
+		func(th *Thread) {
+			buf := make([]byte, 32)
+			n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, _ := DecodeChannel(buf[:n-1])
+			successor := gid(0, 0, int32(buf[n-1]))
+			rp, err := ch.BindRecv(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if _, err := rp.Recv(buf); err != nil {
+					t.Fatal(err)
+				}
+				received++
+			}
+			if err := rp.Handoff(successor); err != nil {
+				t.Fatalf("handoff: %v", err)
+			}
+		},
+	)
+	if received != total {
+		t.Fatalf("received %d of %d across the handoff", received, total)
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			if _, err := OpenChannel(th, 0, 0x2000); err == nil {
+				t.Error("zero capacity accepted")
+			}
+			if _, err := OpenChannel(th, 4, TagReserved); !errors.Is(err, ErrBadTag) {
+				t.Error("tag window outside user space accepted")
+			}
+			// Bind against a nonexistent channel id.
+			bogus := Channel{Home: comm.Addr{PE: 1, Proc: 0}, ID: 999, Capacity: 4, TagBase: 0x2000}
+			if _, err := bogus.BindSend(th); !errors.Is(err, ErrRemote) {
+				t.Errorf("bind to missing channel: %v", err)
+			}
+		},
+		nil,
+	)
+}
+
+func TestManyChannels(t *testing.T) {
+	// Several channels between the same pair of threads, interleaved.
+	cfg := Config{Policy: ThreadPolls}
+	const nch = 3
+	runSim2(t, cfg,
+		func(th *Thread) {
+			var sps []*SendPort
+			for i := 0; i < nch; i++ {
+				ch, err := OpenChannel(th, 2, 0x2000+int32(i)*chTagCount)
+				if err != nil {
+					t.Fatal(err)
+				}
+				th.Send(gid(1, 0, 0), 1, ch.Encode())
+				sp, err := ch.BindSend(th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sps = append(sps, sp)
+			}
+			for round := 0; round < 6; round++ {
+				for i, sp := range sps {
+					if err := sp.Send([]byte{byte(i*100 + round)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		},
+		func(th *Thread) {
+			buf := make([]byte, 32)
+			var rps []*RecvPort
+			for i := 0; i < nch; i++ {
+				n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ch, _ := DecodeChannel(buf[:n])
+				rp, err := ch.BindRecv(th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rps = append(rps, rp)
+			}
+			for round := 0; round < 6; round++ {
+				for i, rp := range rps {
+					n, err := rp.Recv(buf)
+					if err != nil || n != 1 || buf[0] != byte(i*100+round) {
+						t.Fatalf("ch%d round %d: n=%d v=%d err=%v", i, round, n, buf[0], err)
+					}
+				}
+			}
+		},
+	)
+}
+
+func TestChannelBindRendezvousOrderIndependent(t *testing.T) {
+	// Receiver binds long before the sender: the broker must defer its
+	// reply, not fail.
+	cfg := Config{Policy: SchedulerPollsPS}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			ch, err := OpenChannel(th, 2, 0x2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th.Send(gid(1, 0, 0), 1, ch.Encode())
+			// Delay our own bind well past the receiver's.
+			th.proc.ep.Host().Charge(20 * sim.Millisecond)
+			sp, err := ch.BindSend(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.Send([]byte("late binder")); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func(th *Thread) {
+			buf := make([]byte, 32)
+			n, _, err := th.Recv(gid(0, 0, 0), 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, _ := DecodeChannel(buf[:n])
+			rp, err := ch.BindRecv(th) // blocks ~20ms until the sender binds
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := rp.Recv(buf); err != nil || string(buf[:n]) != "late binder" {
+				t.Fatalf("recv: %q err=%v", buf[:n], err)
+			}
+		},
+	)
+}
+
+func TestChannelIDsDistinct(t *testing.T) {
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1},
+		Config{Policy: SchedulerPollsPS}, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			seen := map[int32]bool{}
+			for i := 0; i < 5; i++ {
+				ch, err := OpenChannel(th, 1, 0x2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[ch.ID] {
+					t.Fatalf("duplicate channel id %d", ch.ID)
+				}
+				seen[ch.ID] = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fmt.Sprint() // keep fmt imported if assertions change
+}

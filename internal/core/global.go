@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"chant/internal/comm"
+	"chant/internal/ult"
+)
+
+// Global thread operations (paper Section 3.3): primitives affected by
+// global identifiers — create, join, cancel, detach — handle remote targets
+// by sending a remote service request to the target process, "similar to
+// how Unix creates a process on a remote machine". Local targets take the
+// local fast path directly.
+
+// Builtin handler ids (negative; user ids are >= 0).
+const (
+	hCreate int32 = -1
+	hJoin   int32 = -2
+	hCancel int32 = -3
+	hDetach int32 = -4
+	hPing   int32 = -5
+)
+
+// ThreadFunc is a registered thread body that remote creates can name.
+// Code cannot travel between address spaces, so — as in every RPC system —
+// both sides agree on names bound via Runtime.Register.
+type ThreadFunc func(t *Thread, arg []byte)
+
+// CreateOpts configures remote or local creation through Create.
+type CreateOpts struct {
+	// Priority for the new thread (default 0).
+	Priority int
+	// Detached marks the thread detached at birth.
+	Detached bool
+}
+
+// ErrNoFunc reports a Create naming an unregistered thread function.
+var ErrNoFunc = errors.New("core: no registered thread function with that name")
+
+// ErrNoThread reports a global operation on a thread id that is not alive
+// in its process.
+var ErrNoThread = errors.New("core: no such thread")
+
+// Create creates a thread running the registered function name with arg in
+// the given processing element and process, which may be the caller's own
+// (pthread_chanter_create; "which may be LOCAL"). It returns the new
+// thread's global identifier.
+func (t *Thread) Create(pe, proc int32, name string, arg []byte, opts CreateOpts) (GlobalID, error) {
+	t.mustCurrent("Create")
+	dst := comm.Addr{PE: pe, Proc: proc}
+	if !t.proc.rt.validAddr(dst) {
+		return GlobalID{}, fmt.Errorf("%w: %v", ErrBadTarget, dst)
+	}
+	if dst == t.proc.addr {
+		nt, err := t.proc.createByName(name, arg, opts)
+		if err != nil {
+			return GlobalID{}, err
+		}
+		return nt.gid, nil
+	}
+	req := encodeCreate(name, arg, opts)
+	var reply [4]byte
+	n, err := t.Call(dst, hCreate, req, reply[:])
+	if err != nil {
+		return GlobalID{}, err
+	}
+	if n != 4 {
+		return GlobalID{}, fmt.Errorf("core: malformed create reply (%d bytes)", n)
+	}
+	local := int32(binary.LittleEndian.Uint32(reply[:]))
+	return GlobalID{PE: pe, Proc: proc, Thread: local}, nil
+}
+
+// Join blocks until the thread named target exits and returns its exit
+// value (pthread_chanter_join). Values crossing address spaces are limited
+// to []byte, string, integers, and nil; remote joins of other types return
+// their string rendering.
+func (t *Thread) Join(target GlobalID) (any, error) {
+	t.mustCurrent("Join")
+	if target.Addr() == t.proc.addr {
+		lt, ok := t.proc.Lookup(target.Thread)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrNoThread, target)
+		}
+		return t.JoinLocal(lt)
+	}
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], uint32(target.Thread))
+	reply := make([]byte, t.proc.cfg.MaxRSR)
+	n, err := t.Call(target.Addr(), hJoin, req[:], reply)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJoinValue(reply[:n])
+}
+
+// Cancel requests that the thread named target exit as if it had called
+// Exit (pthread_chanter_cancel).
+func (t *Thread) Cancel(target GlobalID) error {
+	t.mustCurrent("Cancel")
+	if target.Addr() == t.proc.addr {
+		lt, ok := t.proc.Lookup(target.Thread)
+		if !ok {
+			return nil // already gone: cancel of a finished thread is a no-op
+		}
+		t.proc.sched.Cancel(lt.tcb)
+		return nil
+	}
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], uint32(target.Thread))
+	_, err := t.Call(target.Addr(), hCancel, req[:], nil)
+	return err
+}
+
+// DetachGlobal marks the thread named target detached
+// (pthread_chanter_detach for an arbitrary global thread).
+func (t *Thread) DetachGlobal(target GlobalID) error {
+	t.mustCurrent("DetachGlobal")
+	if target.Addr() == t.proc.addr {
+		lt, ok := t.proc.Lookup(target.Thread)
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrNoThread, target)
+		}
+		lt.tcb.Detach()
+		if lt.tcb.State() == ult.Done {
+			t.proc.unregister(lt)
+		}
+		return nil
+	}
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], uint32(target.Thread))
+	_, err := t.Call(target.Addr(), hDetach, req[:], nil)
+	return err
+}
+
+// Ping round-trips an empty request through dst's server thread; useful for
+// liveness checks and as the minimal RSR cost probe.
+func (t *Thread) Ping(dst comm.Addr) error {
+	t.mustCurrent("Ping")
+	_, err := t.Call(dst, hPing, nil, nil)
+	return err
+}
+
+// createByName runs the local side of Create.
+func (p *Process) createByName(name string, arg []byte, opts CreateOpts) (*Thread, error) {
+	fn := p.rt.lookupFunc(name)
+	if fn == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoFunc, name)
+	}
+	argCopy := make([]byte, len(arg))
+	copy(argCopy, arg)
+	nt := p.CreateLocal(name, func(t *Thread) { fn(t, argCopy) }, ult.SpawnOpts{Priority: opts.Priority})
+	if opts.Detached {
+		nt.tcb.Detach()
+	}
+	return nt, nil
+}
+
+// registerBuiltinHandlers installs the global-operation handlers every
+// process serves.
+func (p *Process) registerBuiltinHandlers() {
+	p.handlers[hPing] = func(ctx *RSRContext) ([]byte, error) { return nil, nil }
+
+	p.handlers[hCreate] = func(ctx *RSRContext) ([]byte, error) {
+		name, arg, opts, err := decodeCreate(ctx.Req)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := p.createByName(name, arg, opts)
+		if err != nil {
+			return nil, err
+		}
+		var reply [4]byte
+		binary.LittleEndian.PutUint32(reply[:], uint32(nt.gid.Thread))
+		return reply[:], nil
+	}
+
+	p.handlers[hJoin] = func(ctx *RSRContext) ([]byte, error) {
+		local := int32(binary.LittleEndian.Uint32(ctx.Req))
+		lt, ok := p.Lookup(local)
+		if !ok {
+			return nil, fmt.Errorf("%w: thread %d", ErrNoThread, local)
+		}
+		// Joining blocks, and the server must keep serving: hand the join
+		// to a proxy thread and defer the reply (paper Section 3.3).
+		ctx.DeferReply()
+		proxy := p.CreateLocal("join-proxy", func(proxy *Thread) {
+			v, err := proxy.JoinLocal(lt)
+			if err != nil {
+				ctx.Reply(nil, err)
+				return
+			}
+			ctx.Reply(encodeJoinValue(v), nil)
+		}, ult.SpawnOpts{})
+		proxy.Detach()
+		return nil, nil
+	}
+
+	p.handlers[hCancel] = func(ctx *RSRContext) ([]byte, error) {
+		local := int32(binary.LittleEndian.Uint32(ctx.Req))
+		if lt, ok := p.Lookup(local); ok {
+			p.sched.Cancel(lt.tcb)
+		}
+		return nil, nil
+	}
+
+	p.handlers[hDetach] = func(ctx *RSRContext) ([]byte, error) {
+		local := int32(binary.LittleEndian.Uint32(ctx.Req))
+		lt, ok := p.Lookup(local)
+		if !ok {
+			return nil, fmt.Errorf("%w: thread %d", ErrNoThread, local)
+		}
+		lt.tcb.Detach()
+		if lt.tcb.State() == ult.Done {
+			p.unregister(lt)
+		}
+		return nil, nil
+	}
+}
+
+// --- wire encodings ---
+
+func encodeCreate(name string, arg []byte, opts CreateOpts) []byte {
+	out := make([]byte, 7+len(name)+len(arg))
+	if opts.Detached {
+		out[0] = 1
+	}
+	binary.LittleEndian.PutUint32(out[1:], uint32(int32(opts.Priority)))
+	binary.LittleEndian.PutUint16(out[5:], uint16(len(name)))
+	copy(out[7:], name)
+	copy(out[7+len(name):], arg)
+	return out
+}
+
+func decodeCreate(req []byte) (name string, arg []byte, opts CreateOpts, err error) {
+	if len(req) < 7 {
+		return "", nil, opts, errors.New("core: malformed create request")
+	}
+	opts.Detached = req[0] == 1
+	opts.Priority = int(int32(binary.LittleEndian.Uint32(req[1:])))
+	nameLen := int(binary.LittleEndian.Uint16(req[5:]))
+	if 7+nameLen > len(req) {
+		return "", nil, opts, errors.New("core: malformed create request name")
+	}
+	return string(req[7 : 7+nameLen]), req[7+nameLen:], opts, nil
+}
+
+// Join-value wire format: one kind byte then the payload.
+const (
+	jvNil byte = iota
+	jvBytes
+	jvString
+	jvInt64
+)
+
+func encodeJoinValue(v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return []byte{jvNil}
+	case []byte:
+		return append([]byte{jvBytes}, x...)
+	case string:
+		return append([]byte{jvString}, x...)
+	case int:
+		var out [9]byte
+		out[0] = jvInt64
+		binary.LittleEndian.PutUint64(out[1:], uint64(int64(x)))
+		return out[:]
+	case int64:
+		var out [9]byte
+		out[0] = jvInt64
+		binary.LittleEndian.PutUint64(out[1:], uint64(x))
+		return out[:]
+	default:
+		return append([]byte{jvString}, fmt.Sprint(x)...)
+	}
+}
+
+func decodeJoinValue(wire []byte) (any, error) {
+	if len(wire) == 0 {
+		return nil, errors.New("core: empty join value")
+	}
+	body := wire[1:]
+	switch wire[0] {
+	case jvNil:
+		return nil, nil
+	case jvBytes:
+		out := make([]byte, len(body))
+		copy(out, body)
+		return out, nil
+	case jvString:
+		return string(body), nil
+	case jvInt64:
+		if len(body) != 8 {
+			return nil, errors.New("core: malformed int64 join value")
+		}
+		return int64(binary.LittleEndian.Uint64(body)), nil
+	}
+	return nil, errors.New("core: unknown join value kind")
+}

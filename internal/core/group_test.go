@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+)
+
+// groupFixture runs body on every member of a group of n threads spread
+// round-robin across 2 PEs (worker k lives on PE k%2 with local id
+// k/2 + 1). body receives the member's own group handle and rank.
+func groupFixture(t *testing.T, cfg Config, n int, body func(g *Group, th *Thread, rank int)) {
+	t.Helper()
+	// Worker local ids start after main (0) and, in body mode, the
+	// dispatcher daemon.
+	base := int32(1)
+	if cfg.Delivery == DeliverBody {
+		base = 2
+	}
+	if !cfg.DisableServer {
+		base++
+	}
+	members := make([]GlobalID, n)
+	for k := 0; k < n; k++ {
+		members[k] = GlobalID{PE: int32(k % 2), Proc: 0, Thread: int32(k/2) + base}
+	}
+	mk := func(pe int32) MainFunc {
+		return func(th *Thread) {
+			var locals []*Thread
+			for k := 0; k < n; k++ {
+				if int32(k%2) != pe {
+					continue
+				}
+				rank := k
+				locals = append(locals, th.proc.CreateLocal(fmt.Sprintf("m%d", rank), func(me *Thread) {
+					g, err := NewGroup(members, 0x1000)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if g.Rank(me.ID()) != rank {
+						t.Errorf("member %v got rank %d, want %d", me.ID(), g.Rank(me.ID()), rank)
+						return
+					}
+					body(g, me, rank)
+				}, defaultSpawn()))
+			}
+			for _, lt := range locals {
+				if _, err := th.JoinLocal(lt); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}
+	runSim2(t, cfg, mk(0), mk(1))
+}
+
+func TestGroupBroadcast(t *testing.T) {
+	for _, mode := range allDeliveries {
+		for _, n := range []int{1, 2, 3, 5, 8, 9} {
+			mode, n := mode, n
+			t.Run(fmt.Sprintf("%v/n=%d", mode, n), func(t *testing.T) {
+				cfg := Config{Policy: SchedulerPollsPS, Delivery: mode, DisableServer: true}
+				root := n / 2
+				payload := []byte("broadcast payload")
+				groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+					buf := make([]byte, len(payload))
+					if rank == root {
+						copy(buf, payload)
+					}
+					got, err := g.Broadcast(th, root, buf)
+					if err != nil {
+						t.Errorf("rank %d: %v", rank, err)
+						return
+					}
+					if got != len(payload) || !bytes.Equal(buf, payload) {
+						t.Errorf("rank %d received %q", rank, buf[:got])
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestGroupReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 12} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cfg := Config{Policy: ThreadPolls, DisableServer: true}
+			want := int64(n * (n + 1) / 2)
+			groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+				got, err := g.ReduceInt64(th, 0, OpSum, int64(rank)+1)
+				if err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+					return
+				}
+				if rank == 0 && got != want {
+					t.Errorf("root sum = %d, want %d", got, want)
+				}
+			})
+		})
+	}
+}
+
+func TestGroupReduceMinMax(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsWQ, DisableServer: true}
+	const n = 6
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		v := int64((rank*37)%11 - 5)
+		mn, err := g.ReduceInt64(th, 0, OpMin, v)
+		if err != nil {
+			t.Errorf("min: %v", err)
+		}
+		mx, err := g.ReduceInt64(th, 0, OpMax, v)
+		if err != nil {
+			t.Errorf("max: %v", err)
+		}
+		if rank == 0 {
+			wantMn, wantMx := int64(1<<62), int64(-1<<62)
+			for k := 0; k < n; k++ {
+				kv := int64((k*37)%11 - 5)
+				if kv < wantMn {
+					wantMn = kv
+				}
+				if kv > wantMx {
+					wantMx = kv
+				}
+			}
+			if mn != wantMn || mx != wantMx {
+				t.Errorf("min/max = %d/%d, want %d/%d", mn, mx, wantMn, wantMx)
+			}
+		}
+	})
+}
+
+func TestGroupBarrierSynchronizes(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	const n = 8
+	var entered atomic.Int32
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		// Stagger arrivals so a broken barrier would be caught.
+		th.proc.ep.Host().Compute(int64(rank) * 50_000)
+		entered.Add(1)
+		if err := g.Barrier(th); err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		if got := entered.Load(); got != n {
+			t.Errorf("rank %d passed the barrier with only %d of %d entered", rank, got, n)
+		}
+	})
+}
+
+func TestGroupGather(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	const n = 7
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		val := []byte(fmt.Sprintf("rank-%d", rank))
+		out, err := g.Gather(th, 2, val, 32)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		if rank != 2 {
+			if out != nil {
+				t.Errorf("non-root got %v", out)
+			}
+			return
+		}
+		for k, got := range out {
+			if string(got) != fmt.Sprintf("rank-%d", k) {
+				t.Errorf("slot %d = %q", k, got)
+			}
+		}
+	})
+}
+
+func TestGroupAllReduce(t *testing.T) {
+	cfg := Config{Policy: ThreadPolls, DisableServer: true}
+	const n = 5
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		got, err := g.AllReduceInt64(th, OpSum, int64(rank))
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		if want := int64(n * (n - 1) / 2); got != want {
+			t.Errorf("rank %d allreduce = %d, want %d", rank, got, want)
+		}
+	})
+}
+
+func TestGroupConsecutiveCollectivesDoNotInterfere(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	const n = 4
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		for round := 0; round < 10; round++ {
+			got, err := g.AllReduceInt64(th, OpSum, int64(round))
+			if err != nil {
+				t.Errorf("round %d rank %d: %v", round, rank, err)
+				return
+			}
+			if want := int64(round * n); got != want {
+				t.Errorf("round %d rank %d: %d, want %d", round, rank, got, want)
+			}
+		}
+	})
+}
+
+func TestGroupValidation(t *testing.T) {
+	members := []GlobalID{{PE: 0, Proc: 0, Thread: 1}, {PE: 1, Proc: 0, Thread: 1}}
+	if _, err := NewGroup(nil, 0); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroup(members, TagReserved); !errors.Is(err, ErrBadTag) {
+		t.Error("tag window outside user space accepted")
+	}
+	if _, err := NewGroup(append(members, members[0]), 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	g, err := NewGroup(members, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 || g.Member(1) != members[1] {
+		t.Error("accessors broken")
+	}
+	if g.Rank(GlobalID{PE: 9}) != -1 {
+		t.Error("non-member rank not -1")
+	}
+}
+
+func TestGroupNonMemberRejected(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1}, cfg, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			g, err := NewGroup([]GlobalID{{PE: 0, Proc: 0, Thread: 99}}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Barrier(th); err == nil {
+				t.Error("non-member barrier accepted")
+			}
+			if _, err := g.Broadcast(th, 5, nil); err == nil {
+				t.Error("non-member broadcast accepted")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupScatter(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	const n = 5
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		var values [][]byte
+		if rank == 1 { // root
+			for r := 0; r < n; r++ {
+				values = append(values, []byte(fmt.Sprintf("piece-%d", r)))
+			}
+		}
+		buf := make([]byte, 16)
+		got, err := g.Scatter(th, 1, values, buf)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		if want := fmt.Sprintf("piece-%d", rank); string(buf[:got]) != want {
+			t.Errorf("rank %d scattered %q, want %q", rank, buf[:got], want)
+		}
+	})
+}
+
+func TestGroupScatterWrongCount(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1}, cfg, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			g, err := NewGroup([]GlobalID{th.ID()}, 0x1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Scatter(th, 0, [][]byte{{1}, {2}}, make([]byte, 4)); err == nil {
+				t.Error("wrong value count accepted")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllGather(t *testing.T) {
+	cfg := Config{Policy: ThreadPolls, DisableServer: true}
+	const n = 6
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		out, err := g.AllGather(th, []byte(fmt.Sprintf("v%d", rank)), 8)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		if len(out) != n {
+			t.Errorf("rank %d got %d values", rank, len(out))
+			return
+		}
+		for r, v := range out {
+			if string(v) != fmt.Sprintf("v%d", r) {
+				t.Errorf("rank %d slot %d = %q", rank, r, v)
+			}
+		}
+	})
+}
+
+func TestGroupAllGatherEmptyValues(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsWQ, DisableServer: true}
+	const n = 3
+	groupFixture(t, cfg, n, func(g *Group, th *Thread, rank int) {
+		out, err := g.AllGather(th, nil, 4)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		for r, v := range out {
+			if len(v) != 0 {
+				t.Errorf("rank %d slot %d nonempty: %q", rank, r, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+
+	"chant/internal/comm"
+	"chant/internal/ult"
+)
+
+// PolicyKind names one of the message-polling scheduling algorithms the
+// paper measures in Section 4.2.
+type PolicyKind int
+
+const (
+	// ThreadPolls: the waiting thread stays on the ready queue and tests
+	// its own request each time it is rescheduled (Figure 5). Works with
+	// any thread package.
+	ThreadPolls PolicyKind = iota
+	// SchedulerPollsPS: the request lives in the waiting thread's TCB; the
+	// scheduler tests it during a partial context switch and only restores
+	// the thread when the message has arrived. Fastest, but requires a
+	// modifiable scheduler.
+	SchedulerPollsPS
+	// SchedulerPollsWQ: waiting threads move to a blocked queue and the
+	// scheduler walks the whole outstanding-request list, testing each
+	// request in turn, at every scheduling point (Figure 6).
+	SchedulerPollsWQ
+	// SchedulerPollsWQAny: the WQ algorithm "as originally intended" — a
+	// single msgtestany call per scheduling point instead of one test per
+	// request. This is the paper's Section 4.2 hypothesis about running WQ
+	// over MPI's MPI_TESTANY.
+	SchedulerPollsWQAny
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case ThreadPolls:
+		return "thread-polls"
+	case SchedulerPollsPS:
+		return "scheduler-polls-ps"
+	case SchedulerPollsWQ:
+		return "scheduler-polls-wq"
+	case SchedulerPollsWQAny:
+		return "scheduler-polls-wq-any"
+	}
+	return "invalid"
+}
+
+// noBoost disables the priority boost on wait completion.
+const noBoost = math.MinInt
+
+// policy is the strategy object behind every blocking receive: Wait parks
+// the calling thread until h completes, under the policy's polling rules.
+// boostTo, unless noBoost, is a priority assigned to the thread the moment
+// its message is noticed — the paper's server-thread boost ("assumes a
+// higher scheduling priority ... ensuring that it is scheduled at the next
+// context switch point").
+type policy interface {
+	Kind() PolicyKind
+	Wait(h *comm.RecvHandle, boostTo int)
+	// external reports whether the policy holds outstanding requests that
+	// an arriving message could complete (used for idle/deadlock decisions).
+	external() bool
+}
+
+func newPolicy(kind PolicyKind, sched *ult.Sched, ep *comm.Endpoint) policy {
+	switch kind {
+	case ThreadPolls:
+		return &tpPolicy{sched: sched, ep: ep}
+	case SchedulerPollsPS:
+		return &psPolicy{sched: sched, ep: ep}
+	case SchedulerPollsWQ, SchedulerPollsWQAny:
+		p := &wqPolicy{sched: sched, ep: ep, useTestAny: kind == SchedulerPollsWQAny}
+		sched.SetPreSchedule(p.preSchedule)
+		sched.SetExternalWaiters(p.external)
+		return p
+	}
+	panic("core: unknown polling policy")
+}
+
+// waitAccounting brackets a wait with the Figure-13 waiting-thread
+// integrator, robustly against cancellation unwinds. The wait ends when
+// the request stops being outstanding — the message's arrival time — not
+// when the thread resumes, matching the paper's "threads waiting on
+// outstanding receive requests".
+func waitAccounting(ep *comm.Endpoint, h *comm.RecvHandle) func() {
+	ctrs := ep.Counters()
+	ctrs.WaitBegin(ep.Host().Now())
+	return func() {
+		at := ep.Host().Now()
+		if h.Done() && h.CompletedAt() < at {
+			at = h.CompletedAt()
+		}
+		ctrs.WaitEndAt(at)
+	}
+}
+
+// tpPolicy is Thread polls (Figure 5): test, and while incomplete, yield
+// and test again on every reschedule.
+type tpPolicy struct {
+	sched *ult.Sched
+	ep    *comm.Endpoint
+}
+
+func (p *tpPolicy) Kind() PolicyKind { return ThreadPolls }
+
+func (p *tpPolicy) external() bool { return false }
+
+func (p *tpPolicy) Wait(h *comm.RecvHandle, boostTo int) {
+	if p.ep.Test(h) {
+		return
+	}
+	t := p.sched.Current()
+	end := waitAccounting(p.ep, h)
+	defer end()
+	t.SetOnCancel(func() { p.ep.CancelRecv(h) })
+	for {
+		p.sched.Yield()
+		if p.ep.Test(h) {
+			break
+		}
+	}
+	t.SetOnCancel(nil)
+	// The thread is already running when it notices completion, so the
+	// boost is moot under Thread polls.
+}
+
+// psPolicy is Scheduler polls (PS): the pending request is stored in the
+// TCB and the scheduler tests it during a partial switch, restoring the
+// thread's context only when its message has arrived.
+type psPolicy struct {
+	sched *ult.Sched
+	ep    *comm.Endpoint
+}
+
+func (p *psPolicy) Kind() PolicyKind { return SchedulerPollsPS }
+
+func (p *psPolicy) external() bool { return false }
+
+func (p *psPolicy) Wait(h *comm.RecvHandle, boostTo int) {
+	if h.Done() {
+		// Already arrived when the receive was posted: no polling needed
+		// and no msgtest consumed (the completion is visible in the TCB).
+		p.ep.Wait(h)
+		return
+	}
+	t := p.sched.Current()
+	end := waitAccounting(p.ep, h)
+	defer end()
+	t.SetOnCancel(func() { p.ep.CancelRecv(h) })
+	t.Pending = func() bool {
+		if !p.ep.Test(h) {
+			return false
+		}
+		if boostTo != noBoost {
+			t.SetPriority(boostTo)
+		}
+		return true
+	}
+	p.sched.Yield()
+	t.SetOnCancel(nil)
+}
+
+// wqEntry is one outstanding request on the Scheduler-polls (WQ) list.
+type wqEntry struct {
+	h       *comm.RecvHandle
+	t       *ult.TCB
+	boostTo int
+}
+
+// wqPolicy is Scheduler polls (WQ): waiting threads block on a queue of
+// polling requests that the scheduler examines at every scheduling point —
+// testing each request in turn (NX style), or with one msgtestany call
+// (MPI style) when useTestAny is set.
+type wqPolicy struct {
+	sched      *ult.Sched
+	ep         *comm.Endpoint
+	entries    []wqEntry
+	scratch    []*comm.RecvHandle // reused handle slice for TestAny
+	useTestAny bool
+}
+
+func (p *wqPolicy) Kind() PolicyKind {
+	if p.useTestAny {
+		return SchedulerPollsWQAny
+	}
+	return SchedulerPollsWQ
+}
+
+func (p *wqPolicy) external() bool { return len(p.entries) > 0 }
+
+func (p *wqPolicy) Wait(h *comm.RecvHandle, boostTo int) {
+	if p.ep.Test(h) {
+		return
+	}
+	host := p.ep.Host()
+	host.Charge(host.Model().RegisterPoll)
+	t := p.sched.Current()
+	p.entries = append(p.entries, wqEntry{h: h, t: t, boostTo: boostTo})
+	end := waitAccounting(p.ep, h)
+	defer end()
+	t.SetOnCancel(func() {
+		p.removeThread(t)
+		p.ep.CancelRecv(h)
+	})
+	p.sched.Block()
+	t.SetOnCancel(nil)
+}
+
+// preSchedule is the scheduling-point walk installed on the scheduler.
+func (p *wqPolicy) preSchedule() {
+	if len(p.entries) == 0 {
+		return
+	}
+	if p.useTestAny {
+		p.scratch = p.scratch[:0]
+		for _, e := range p.entries {
+			p.scratch = append(p.scratch, e.h)
+		}
+		idx := p.ep.TestAny(p.scratch)
+		if idx >= 0 {
+			p.complete(idx)
+		}
+		return
+	}
+	// Test every outstanding request in turn, as the paper describes for
+	// systems without msgtestany: "all outstanding messages are checked at
+	// each context switch".
+	i := 0
+	for i < len(p.entries) {
+		if p.ep.Test(p.entries[i].h) {
+			p.complete(i)
+			continue // the next entry shifted into slot i
+		}
+		i++
+	}
+}
+
+// complete removes entry i and readies its thread, applying any boost.
+func (p *wqPolicy) complete(i int) {
+	e := p.entries[i]
+	p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	if e.boostTo != noBoost {
+		e.t.SetPriority(e.boostTo)
+	}
+	p.sched.Unblock(e.t)
+}
+
+// removeThread drops any entry belonging to t (cancellation path).
+func (p *wqPolicy) removeThread(t *ult.TCB) {
+	for i, e := range p.entries {
+		if e.t == t {
+			p.entries = append(p.entries[:i], p.entries[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/trace"
+	"chant/internal/ult"
+)
+
+// Config selects how a Chant machine behaves.
+type Config struct {
+	// Policy is the message-polling scheduling algorithm (Section 4.2).
+	Policy PolicyKind
+	// Delivery is where destination thread names travel (Section 3.1).
+	Delivery DeliveryMode
+	// DisableServer omits the RSR server thread. The paper's point-to-point
+	// experiments (Section 4) run on the bottom layer only, with no server
+	// thread polling alongside the workload; the experiment harness sets
+	// this to match.
+	DisableServer bool
+	// ServerPriority is the priority the server thread assumes when a
+	// request arrives (default 5; computation threads run at 0). A
+	// negative value disables the boost, leaving the server to compete
+	// FIFO with computation threads — measurably worse request latency
+	// (see the boost test), which is why the paper boosts.
+	ServerPriority int
+	// MaxRSR bounds the size of a remote service request message
+	// (default 64 KiB).
+	MaxRSR int
+	// MaxBodyMsg bounds message size in DeliverBody mode, where the
+	// dispatcher must receive into a maximal buffer (default 64 KiB).
+	MaxBodyMsg int
+	// IdleBlock parks idle schedulers on host interrupts instead of
+	// busy-polling; real-mode runtimes enable it.
+	IdleBlock bool
+	// MeshWidth, when positive, arranges simulated PEs in a 2D mesh of
+	// that width (the Paragon's topology): messages pay Model.NetPerHop
+	// for each hop beyond the first. Zero models a flat network. Only the
+	// simulated transport observes it.
+	MeshWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ServerPriority == 0 {
+		c.ServerPriority = 5
+	}
+	if c.MaxRSR == 0 {
+		c.MaxRSR = 64 << 10
+	}
+	if c.MaxBodyMsg == 0 {
+		c.MaxBodyMsg = 64 << 10
+	}
+	return c
+}
+
+// Process is one Chant process: a scheduler full of threads attached to a
+// communication endpoint, able to talk to threads of any other process.
+type Process struct {
+	rt     *Runtime
+	addr   comm.Addr
+	sched  *ult.Sched
+	ep     *comm.Endpoint
+	cfg    Config
+	policy policy
+
+	threads map[int32]*Thread
+	server  *Thread
+
+	handlers map[int32]Handler
+	nextReq  int32
+	shared   map[string]*sharedEntry
+	channels map[int32]*chanState
+	nextChan int32
+}
+
+// Thread is a chanter: a global thread handle combining the local TCB with
+// its global name. Methods on Thread are the Chant interface for the
+// calling thread.
+type Thread struct {
+	proc *Process
+	tcb  *ult.TCB
+	gid  GlobalID
+}
+
+// newProcess wires a process together. The runtime calls it once per
+// (pe, proc) before running mains.
+func newProcess(rt *Runtime, addr comm.Addr, host machine.Host, ctrs *trace.Counters, ep *comm.Endpoint, cfg Config) *Process {
+	sched := ult.NewSched(host, ctrs, ult.Options{
+		Name:      addr.String(),
+		IdleBlock: cfg.IdleBlock,
+	})
+	p := &Process{
+		rt:       rt,
+		addr:     addr,
+		sched:    sched,
+		ep:       ep,
+		cfg:      cfg,
+		threads:  make(map[int32]*Thread),
+		handlers: make(map[int32]Handler),
+	}
+	p.policy = newPolicy(cfg.Policy, sched, ep)
+	p.registerBuiltinHandlers()
+	p.registerSharedHandlers()
+	p.registerChannelHandlers()
+	return p
+}
+
+// Addr reports the process address.
+func (p *Process) Addr() comm.Addr { return p.addr }
+
+// Sched exposes the process scheduler (for tests and the public API).
+func (p *Process) Sched() *ult.Sched { return p.sched }
+
+// Endpoint exposes the process communication endpoint.
+func (p *Process) Endpoint() *comm.Endpoint { return p.ep }
+
+// Counters reports the process's event counters.
+func (p *Process) Counters() *trace.Counters { return p.sched.Counters() }
+
+// run executes main as thread 0, with the server thread (unless disabled)
+// and, in body-delivery mode, the dispatcher thread created first.
+func (p *Process) run(main func(t *Thread)) error {
+	return p.sched.Run(func() {
+		t := p.adopt(p.sched.Current())
+		if !p.cfg.DisableServer {
+			p.startServer()
+		}
+		if p.cfg.Delivery == DeliverBody {
+			p.startDispatcher()
+		}
+		main(t)
+	})
+}
+
+// adopt wraps a TCB as a global thread and registers it.
+func (p *Process) adopt(tcb *ult.TCB) *Thread {
+	t := &Thread{
+		proc: p,
+		tcb:  tcb,
+		gid:  GlobalID{PE: p.addr.PE, Proc: p.addr.Proc, Thread: tcb.ID()},
+	}
+	p.threads[tcb.ID()] = t
+	return t
+}
+
+// CreateLocal creates a thread in this process running fn and returns its
+// handle. The new thread is registered under its global name. Following
+// pthread semantics, the registry entry persists after exit until the
+// thread is joined, so joins (including remote joins) never race with
+// completion; detached threads are unregistered as soon as they finish.
+func (p *Process) CreateLocal(name string, fn func(t *Thread), opts ult.SpawnOpts) *Thread {
+	var t *Thread
+	tcb := p.sched.SpawnWith(name, func() {
+		defer func() {
+			if t.tcb.Detached() {
+				delete(p.threads, t.gid.Thread)
+			}
+		}()
+		fn(t)
+	}, opts)
+	t = p.adopt(tcb)
+	return t
+}
+
+// unregister removes a finished thread from the registry (after a
+// successful join, or a detach of an already-finished thread).
+func (p *Process) unregister(t *Thread) { delete(p.threads, t.gid.Thread) }
+
+// Lookup finds a live local thread by local id.
+func (p *Process) Lookup(local int32) (*Thread, bool) {
+	t, ok := p.threads[local]
+	return t, ok
+}
+
+// --- Thread identity operations (Appendix A) ---
+
+// ID reports the thread's global identifier (pthread_chanter_self).
+func (t *Thread) ID() GlobalID { return t.gid }
+
+// PE reports the processing element (pthread_chanter_pe).
+func (t *Thread) PE() int32 { return t.gid.PE }
+
+// Proc reports the process id (pthread_chanter_process).
+func (t *Thread) Proc() int32 { return t.gid.Proc }
+
+// TCB reports the local thread underneath the global name
+// (pthread_chanter_pthread): all purely-local operations — thread-local
+// data, priorities, synchronization — are performed on it.
+func (t *Thread) TCB() *ult.TCB { return t.tcb }
+
+// Process reports the owning Chant process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Yield gives up the processor (pthread_chanter_yield).
+func (t *Thread) Yield() { t.proc.sched.Yield() }
+
+// Exit terminates the calling thread with value (pthread_chanter_exit).
+func (t *Thread) Exit(value any) { t.proc.sched.Exit(value) }
+
+// Detach marks the thread so its storage is reclaimed on exit
+// (pthread_chanter_detach).
+func (t *Thread) Detach() { t.tcb.Detach() }
+
+// JoinLocal joins a thread in the same process (the local fast path of
+// pthread_chanter_join). A completed join reclaims the target's registry
+// entry.
+func (t *Thread) JoinLocal(target *Thread) (any, error) {
+	v, err := t.proc.sched.Join(target.tcb)
+	if err == nil || errors.Is(err, ult.ErrCanceled) {
+		t.proc.unregister(target)
+	}
+	return v, err
+}
+
+// CancelLocal cancels a thread in the same process (the local fast path of
+// pthread_chanter_cancel).
+func (t *Thread) CancelLocal(target *Thread) { t.proc.sched.Cancel(target.tcb) }
+
+// mustCurrent asserts that t is the thread running on its scheduler; all
+// communication calls are made by the calling thread itself.
+func (t *Thread) mustCurrent(op string) {
+	if t.proc.sched.Current() != t.tcb {
+		panic(fmt.Sprintf("core: %s called on thread %v from a different thread", op, t.gid))
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"chant/internal/comm"
+	"chant/internal/ult"
+)
+
+// The remote-service-request layer (paper Section 3.2): messages whose
+// destination thread is not expecting them are routed to a dedicated
+// server thread, which repeatedly posts a nonblocking receive for any RSR
+// message, waits under the normal polling policy (so no interrupts are
+// ever required — Figure 7), assumes a higher scheduling priority when a
+// request arrives, decodes the handler id from the request, and invokes
+// the registered handler.
+
+// Handler services one remote request. It runs on the server thread; a
+// handler that must block should call ctx.DeferReply, hand the work to a
+// spawned thread, and have that thread call ctx.Reply, so the server can
+// keep serving.
+type Handler func(ctx *RSRContext) ([]byte, error)
+
+// RSRContext carries one request through its handler.
+type RSRContext struct {
+	Proc *Process
+	// Src is the requesting thread's global identity.
+	Src GlobalID
+	// Req is the request payload. Valid only until the handler returns;
+	// deferred repliers must copy what they need.
+	Req []byte
+
+	wantReply bool
+	replyTag  int32
+	deferred  bool
+	replied   bool
+}
+
+// DeferReply tells the server not to reply when the handler returns;
+// the handler (or a thread it spawned) must call Reply itself.
+func (c *RSRContext) DeferReply() { c.deferred = true }
+
+// Reply sends the response for a deferred request. Calling it twice, or
+// for a request that wanted no reply, panics.
+func (c *RSRContext) Reply(data []byte, err error) {
+	if !c.wantReply {
+		if err == nil {
+			panic("core: Reply to a notification (no reply wanted)")
+		}
+		return // errors on notifications are dropped, as with NX
+	}
+	if c.replied {
+		panic("core: duplicate RSR reply")
+	}
+	c.replied = true
+	payload := encodeReply(data, err)
+	srcThread := serverLocalID
+	if cur := c.Proc.sched.Current(); cur != nil {
+		srcThread = cur.ID()
+	}
+	if sendErr := c.Proc.send(srcThread, c.Src, c.replyTag, payload); sendErr != nil {
+		panic("core: RSR reply send failed: " + sendErr.Error())
+	}
+}
+
+// RegisterHandler binds a user handler id (>= 0) to fn for this process.
+// Handlers must be registered before requests arrive (normally in main
+// before any Call targets this process).
+func (p *Process) RegisterHandler(id int32, fn Handler) {
+	if id < 0 {
+		panic("core: user RSR handler ids must be >= 0")
+	}
+	p.handlers[id] = fn
+}
+
+// Errors of the RSR layer.
+var (
+	// ErrNoHandler reports a request for an unregistered handler id.
+	ErrNoHandler = errors.New("core: no such RSR handler")
+	// ErrRSRTooLarge reports a request exceeding Config.MaxRSR.
+	ErrRSRTooLarge = errors.New("core: remote service request too large")
+	// ErrRemote wraps an error string returned by a remote handler.
+	ErrRemote = errors.New("core: remote error")
+)
+
+// rsrHeaderLen is the request envelope: handler id, flags, reply tag.
+const rsrHeaderLen = 9
+
+const rsrFlagWantReply = 1
+
+// Call issues a remote service request to process dst and blocks until the
+// reply arrives (the remote-procedure-call shape of Section 3.2). The
+// reply payload is written into replyBuf; Call returns its length. The
+// reply receive is posted before the request is sent, so the response is
+// never an unexpected message.
+func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, error) {
+	t.mustCurrent("Call")
+	p := t.proc
+	if !p.rt.validAddr(dst) {
+		return 0, fmt.Errorf("%w: %v", ErrBadTarget, dst)
+	}
+	if len(req)+rsrHeaderLen > p.cfg.MaxRSR {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRSRTooLarge, len(req))
+	}
+	p.nextReq++
+	replyTag := tagReplyBase + p.nextReq%tagReplySpan
+
+	// Pre-post the reply receive (no-extra-copy path).
+	spec, err := p.recvSpec(t.gid.Thread, GlobalID{PE: dst.PE, Proc: dst.Proc, Thread: AnyField}, replyTag)
+	if err != nil {
+		return 0, err
+	}
+	// The reply carries a 1-byte status prefix.
+	wire := make([]byte, len(replyBuf)+1+256)
+	h := p.ep.Irecv(spec, wire)
+
+	if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, req); err != nil {
+		p.ep.CancelRecv(h)
+		return 0, err
+	}
+	p.Counters().RSRSent.Add(1)
+	p.policy.Wait(h, noBoost)
+	data, remoteErr := decodeReply(wire[:h.Len()])
+	if remoteErr != nil {
+		return 0, remoteErr
+	}
+	if len(data) > len(replyBuf) {
+		return 0, comm.ErrTruncated
+	}
+	return copy(replyBuf, data), nil
+}
+
+// Notify issues a one-way remote service request: no reply is awaited.
+func (t *Thread) Notify(dst comm.Addr, handler int32, req []byte) error {
+	t.mustCurrent("Notify")
+	p := t.proc
+	if !p.rt.validAddr(dst) {
+		return fmt.Errorf("%w: %v", ErrBadTarget, dst)
+	}
+	if len(req)+rsrHeaderLen > p.cfg.MaxRSR {
+		return fmt.Errorf("%w: %d bytes", ErrRSRTooLarge, len(req))
+	}
+	if err := p.sendRSR(t.gid.Thread, dst, handler, 0, 0, req); err != nil {
+		return err
+	}
+	p.Counters().RSRSent.Add(1)
+	return nil
+}
+
+// sendRSR transmits one request envelope to dst's server thread.
+func (p *Process) sendRSR(srcThread int32, dst comm.Addr, handler int32, flags byte, replyTag int32, req []byte) error {
+	payload := make([]byte, rsrHeaderLen+len(req))
+	binary.LittleEndian.PutUint32(payload[0:], uint32(handler))
+	payload[4] = flags
+	binary.LittleEndian.PutUint32(payload[5:], uint32(replyTag))
+	copy(payload[rsrHeaderLen:], req)
+	return p.send(srcThread, GlobalID{PE: dst.PE, Proc: dst.Proc, Thread: serverLocalID}, tagRSRRequest, payload)
+}
+
+// startServer creates the server thread (Figure 7). It must be the first
+// thread created after main so it owns the well-known local id.
+func (p *Process) startServer() {
+	p.server = p.CreateLocal("chant-server", func(t *Thread) {
+		host := p.ep.Host()
+		m := host.Model()
+		buf := make([]byte, p.cfg.MaxRSR)
+		for {
+			// Drop back to normal priority while awaiting the next request.
+			t.tcb.SetPriority(0)
+			spec, err := p.recvSpec(serverLocalID, AnyThread, tagRSRRequest)
+			if err != nil {
+				panic("core: server recv spec: " + err.Error())
+			}
+			h := p.ep.Irecv(spec, buf)
+			// The boost: when the request is noticed by the scheduler, the
+			// server jumps to the head of the line. A negative configured
+			// priority disables it.
+			boost := p.cfg.ServerPriority
+			if boost < 0 {
+				boost = noBoost
+			}
+			p.policy.Wait(h, boost)
+			host.Charge(m.RSRDispatch)
+			p.Counters().RSRRequests.Add(1)
+			p.serveOne(h.Header(), buf[:h.Len()])
+		}
+	}, ult.SpawnOpts{Daemon: true})
+	if p.server.gid.Thread != serverLocalID {
+		panic(fmt.Sprintf("core: server thread got id %d, want %d (created too late)",
+			p.server.gid.Thread, serverLocalID))
+	}
+}
+
+// serveOne decodes and dispatches a single request.
+func (p *Process) serveOne(hdr comm.Header, payload []byte) {
+	if len(payload) < rsrHeaderLen {
+		return // malformed; drop
+	}
+	ctx := &RSRContext{
+		Proc:      p,
+		Src:       GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: hdr.SrcThread},
+		Req:       payload[rsrHeaderLen:],
+		wantReply: payload[4]&rsrFlagWantReply != 0,
+		replyTag:  int32(binary.LittleEndian.Uint32(payload[5:])),
+	}
+	handler := p.handlers[int32(binary.LittleEndian.Uint32(payload[0:]))]
+	if handler == nil {
+		if ctx.wantReply {
+			ctx.Reply(nil, ErrNoHandler)
+		}
+		return
+	}
+	data, err := handler(ctx)
+	if ctx.wantReply && !ctx.deferred && !ctx.replied {
+		ctx.Reply(data, err)
+	}
+}
+
+// encodeReply frames a reply as [status byte][data | error string].
+func encodeReply(data []byte, err error) []byte {
+	if err != nil {
+		msg := err.Error()
+		out := make([]byte, 1+len(msg))
+		out[0] = 1
+		copy(out[1:], msg)
+		return out
+	}
+	out := make([]byte, 1+len(data))
+	copy(out[1:], data)
+	return out
+}
+
+// decodeReply unframes a reply, converting a remote error string back into
+// an error wrapping ErrRemote.
+func decodeReply(wire []byte) ([]byte, error) {
+	if len(wire) < 1 {
+		return nil, fmt.Errorf("%w: empty reply", ErrRemote)
+	}
+	if wire[0] != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, wire[1:])
+	}
+	return wire[1:], nil
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/sim"
+	"chant/internal/trace"
+
+	"chant/internal/comm/memnet"
+	"chant/internal/comm/simnet"
+)
+
+// Topology describes the machine: PEs processing elements with ProcsPerPE
+// processes each (the paper's experiments use 2 PEs with one process each).
+type Topology struct {
+	PEs        int
+	ProcsPerPE int
+}
+
+// Addrs enumerates every process address in the topology, in (pe, proc)
+// order.
+func (t Topology) Addrs() []comm.Addr {
+	out := make([]comm.Addr, 0, t.PEs*t.ProcsPerPE)
+	for pe := 0; pe < t.PEs; pe++ {
+		for pr := 0; pr < t.ProcsPerPE; pr++ {
+			out = append(out, comm.Addr{PE: int32(pe), Proc: int32(pr)})
+		}
+	}
+	return out
+}
+
+// MainFunc is a process main body.
+type MainFunc func(t *Thread)
+
+// Result reports what a finished run observed.
+type Result struct {
+	// VirtualEnd is the final simulation clock (zero in real mode).
+	VirtualEnd sim.Time
+	// PerProc holds each process's counter snapshot at the end of the run.
+	PerProc map[comm.Addr]trace.Snapshot
+	// Total sums the per-process snapshots.
+	Total trace.Snapshot
+}
+
+// Runtime builds and runs one Chant machine. Create it with NewSimRuntime
+// (deterministic virtual time over the simulated interconnect) or
+// NewRealRuntime (wall-clock over the in-memory transport), Register any
+// thread functions remote creates will name, then call Run.
+type Runtime struct {
+	topo  Topology
+	cfg   Config
+	model *machine.Model
+	real  bool
+
+	funcs map[string]ThreadFunc
+
+	mu    sync.Mutex
+	procs map[comm.Addr]*Process
+}
+
+// NewSimRuntime creates a runtime whose processes execute in virtual time
+// on a simulated multicomputer with the given cost model.
+func NewSimRuntime(topo Topology, cfg Config, model *machine.Model) *Runtime {
+	return newRuntime(topo, cfg, model, false)
+}
+
+// NewRealRuntime creates a runtime whose processes execute on goroutines
+// against the wall clock, joined by the in-memory transport. The
+// configuration is forced to IdleBlock so idle schedulers do not spin.
+func NewRealRuntime(topo Topology, cfg Config, model *machine.Model) *Runtime {
+	cfg.IdleBlock = true
+	return newRuntime(topo, cfg, model, true)
+}
+
+// NewDistRuntime creates a runtime for one process of a machine whose
+// other processes live in other OS processes (connected by a transport
+// such as tcpnet). Register thread functions as usual — every process of
+// the machine must register the same names — then call RunOne with this
+// process's endpoint.
+func NewDistRuntime(topo Topology, cfg Config, model *machine.Model) *Runtime {
+	cfg.IdleBlock = true
+	return newRuntime(topo, cfg, model, true)
+}
+
+// RunOne runs the single local process of a distributed machine: addr is
+// this process's identity, ep its transport attachment (its Host is used
+// for execution). The runtime's termination handshake spans OS processes,
+// so every process's server thread stays available until the coordinator
+// (pe0.p0) has seen every main finish.
+func (rt *Runtime) RunOne(addr comm.Addr, ep *comm.Endpoint, main MainFunc) (trace.Snapshot, error) {
+	if !rt.validAddr(addr) {
+		return trace.Snapshot{}, fmt.Errorf("%w: %v", ErrBadTarget, addr)
+	}
+	proc := newProcess(rt, addr, ep.Host(), ep.Counters(), ep, rt.cfg)
+	rt.mu.Lock()
+	rt.procs[addr] = proc
+	rt.mu.Unlock()
+	err := proc.run(rt.wrapMain(addr, main))
+	return ep.Counters().Snap(ep.Host().Now()), err
+}
+
+func newRuntime(topo Topology, cfg Config, model *machine.Model, real bool) *Runtime {
+	if topo.PEs <= 0 || topo.ProcsPerPE <= 0 {
+		panic("core: topology must have at least one PE and one process")
+	}
+	return &Runtime{
+		topo:  topo,
+		cfg:   cfg.withDefaults(),
+		model: model,
+		real:  real,
+		funcs: make(map[string]ThreadFunc),
+		procs: make(map[comm.Addr]*Process),
+	}
+}
+
+// Register binds name to fn for Create calls. All registrations must
+// precede Run (names must agree across all processes, as with any RPC
+// registry).
+func (rt *Runtime) Register(name string, fn ThreadFunc) {
+	if _, dup := rt.funcs[name]; dup {
+		panic(fmt.Sprintf("core: duplicate thread function %q", name))
+	}
+	rt.funcs[name] = fn
+}
+
+func (rt *Runtime) lookupFunc(name string) ThreadFunc { return rt.funcs[name] }
+
+// Topology reports the machine shape.
+func (rt *Runtime) Topology() Topology { return rt.topo }
+
+// Config reports the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Process reports the process running at addr (valid during and after Run).
+func (rt *Runtime) Process(addr comm.Addr) *Process {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.procs[addr]
+}
+
+func (rt *Runtime) validAddr(a comm.Addr) bool {
+	return a.PE >= 0 && int(a.PE) < rt.topo.PEs &&
+		a.Proc >= 0 && int(a.Proc) < rt.topo.ProcsPerPE
+}
+
+// coordinator is the process that collects done-notifications and releases
+// the machine at shutdown.
+func (rt *Runtime) coordinator() comm.Addr { return comm.Addr{PE: 0, Proc: 0} }
+
+// Run executes the given mains (indexed by process address; processes
+// without a main still serve requests until released) and returns the
+// aggregated result. Run may be called once per Runtime.
+func (rt *Runtime) Run(mains map[comm.Addr]MainFunc) (*Result, error) {
+	for a := range mains {
+		if !rt.validAddr(a) {
+			return nil, fmt.Errorf("%w: main for %v", ErrBadTarget, a)
+		}
+	}
+	if rt.real {
+		return rt.runReal(mains)
+	}
+	return rt.runSim(mains)
+}
+
+// wrapMain appends the termination handshake to a process main: every
+// non-coordinator sends "done" to the coordinator's main thread after its
+// own main returns and then blocks for "release"; the coordinator collects
+// all dones and broadcasts releases. This keeps every process's server
+// thread available until the whole machine has finished its work.
+func (rt *Runtime) wrapMain(addr comm.Addr, userMain MainFunc) MainFunc {
+	return func(t *Thread) {
+		if userMain != nil {
+			userMain(t)
+		}
+		n := rt.topo.PEs * rt.topo.ProcsPerPE
+		if n == 1 {
+			return
+		}
+		p := t.proc
+		coord := rt.coordinator()
+		if addr == coord {
+			var buf [1]byte
+			for i := 0; i < n-1; i++ {
+				p.recvInternal(t, AnyThread, tagDone, buf[:])
+			}
+			for _, a := range rt.topo.Addrs() {
+				if a == coord {
+					continue
+				}
+				if err := p.send(t.gid.Thread, GlobalID{PE: a.PE, Proc: a.Proc, Thread: 0}, tagRelease, nil); err != nil {
+					panic("core: release send: " + err.Error())
+				}
+			}
+			return
+		}
+		if err := p.send(t.gid.Thread, GlobalID{PE: coord.PE, Proc: coord.Proc, Thread: 0}, tagDone, nil); err != nil {
+			panic("core: done send: " + err.Error())
+		}
+		var buf [1]byte
+		p.recvInternal(t, GlobalID{PE: coord.PE, Proc: coord.Proc, Thread: 0}, tagRelease, buf[:])
+	}
+}
+
+// runSim executes the machine on the discrete-event simulator. Processes
+// first register their endpoints (so no send can target a missing
+// endpoint), rendezvous at virtual time zero, then run their mains.
+func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
+	kernel := sim.NewKernel()
+	net := simnet.New(kernel, rt.model)
+	net.MeshWidth = rt.cfg.MeshWidth
+	addrs := rt.topo.Addrs()
+
+	var perr []error
+	var ready []*sim.Proc
+	for _, addr := range addrs {
+		addr := addr
+		sp := kernel.Spawn(addr.String(), func(p *sim.Proc) {
+			host := machine.NewSimHost(p, rt.model)
+			ctrs := &trace.Counters{}
+			ep := net.NewEndpoint(addr, host, ctrs)
+			proc := newProcess(rt, addr, host, ctrs, ep, rt.cfg)
+			rt.mu.Lock()
+			rt.procs[addr] = proc
+			rt.mu.Unlock()
+			p.WaitSignal() // rendezvous: all endpoints registered
+			if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
+				perr = append(perr, fmt.Errorf("%v: %w", addr, err))
+			}
+		})
+		ready = append(ready, sp)
+	}
+	kernel.At(0, func() {
+		for _, sp := range ready {
+			sp.Signal()
+		}
+	})
+	if err := kernel.Run(0); err != nil {
+		return nil, err
+	}
+	res := rt.collect(kernel.Now())
+	return res, errors.Join(perr...)
+}
+
+// runReal executes the machine on goroutines over the in-memory transport.
+func (rt *Runtime) runReal(mains map[comm.Addr]MainFunc) (*Result, error) {
+	net := memnet.New()
+	addrs := rt.topo.Addrs()
+	// Construct every process before any goroutine starts, so endpoints
+	// all exist before the first send.
+	for _, addr := range addrs {
+		host := machine.NewRealHost(rt.model)
+		ctrs := &trace.Counters{}
+		ep := net.NewEndpoint(addr, host, ctrs)
+		rt.procs[addr] = newProcess(rt, addr, host, ctrs, ep, rt.cfg)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(addrs))
+	for i, addr := range addrs {
+		i, addr := i, addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			proc := rt.procs[addr]
+			if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
+				errs[i] = fmt.Errorf("%v: %w", addr, err)
+			}
+		}()
+	}
+	wg.Wait()
+	res := rt.collect(0)
+	return res, errors.Join(errs...)
+}
+
+// collect snapshots every process's counters.
+func (rt *Runtime) collect(end sim.Time) *Result {
+	res := &Result{
+		VirtualEnd: end,
+		PerProc:    make(map[comm.Addr]trace.Snapshot),
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	keys := make([]comm.Addr, 0, len(rt.procs))
+	for a := range rt.procs {
+		keys = append(keys, a)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].PE != keys[j].PE {
+			return keys[i].PE < keys[j].PE
+		}
+		return keys[i].Proc < keys[j].Proc
+	})
+	for _, a := range keys {
+		snap := rt.procs[a].Counters().Snap(end)
+		res.PerProc[a] = snap
+		res.Total.Add(snap)
+	}
+	return res
+}

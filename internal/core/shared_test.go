@@ -1,0 +1,323 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+)
+
+func TestSharedHomeFastPath(t *testing.T) {
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1},
+		Config{Policy: SchedulerPollsPS}, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			v, err := th.proc.NewShared("x", comm.Addr{PE: 0, Proc: 0}, []byte("init"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 16)
+			n, err := v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "init" {
+				t.Errorf("read = (%q, %v)", buf[:n], err)
+			}
+			if err := v.Write(th, []byte("updated")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			n, err = v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "updated" {
+				t.Errorf("read after write = (%q, %v)", buf[:n], err)
+			}
+			if v.Version() != 2 {
+				t.Errorf("version = %d, want 2", v.Version())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedRemoteReadCaches(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsWQ}
+	home := comm.Addr{PE: 1, Proc: 0}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			v, err := th.proc.NewShared("data", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 32)
+			n, err := v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "authoritative" {
+				t.Errorf("first read = (%q, %v)", buf[:n], err)
+			}
+			if !v.CachedLocally() {
+				t.Error("value not cached after read")
+			}
+			before := th.proc.Counters().RSRSent.Load()
+			for i := 0; i < 5; i++ {
+				if _, err := v.Read(th, buf); err != nil {
+					t.Error(err)
+				}
+			}
+			if got := th.proc.Counters().RSRSent.Load(); got != before {
+				t.Errorf("cached reads issued %d RSRs", got-before)
+			}
+		},
+		func(th *Thread) {
+			if _, err := th.proc.NewShared("data", home, []byte("authoritative")); err != nil {
+				t.Fatal(err)
+			}
+			// Home must outlive the reader's fetches; the termination
+			// handshake guarantees it.
+		},
+	)
+}
+
+func TestSharedWriteInvalidatesCaches(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS}
+	home := comm.Addr{PE: 0, Proc: 0}
+	runSim2(t, cfg,
+		func(th *Thread) { // home + writer
+			v, err := th.proc.NewShared("cfg", home, []byte("v1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Wait for the reader to signal that it cached v1.
+			buf := make([]byte, 8)
+			th.Recv(AnyThread, 9, buf)
+			if err := v.Write(th, []byte("v2")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			// Tell the reader to re-read.
+			th.Send(GlobalID{PE: 1, Proc: 0, Thread: 0}, 9, []byte("go"))
+		},
+		func(th *Thread) { // remote reader
+			v, err := th.proc.NewShared("cfg", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			n, err := v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "v1" {
+				t.Errorf("initial read = (%q, %v)", buf[:n], err)
+			}
+			th.Send(GlobalID{PE: 0, Proc: 0, Thread: 0}, 9, []byte("cached"))
+			th.Recv(AnyThread, 9, buf)
+			// The write has completed, so the cache must have been
+			// invalidated and this read must fetch v2.
+			if v.CachedLocally() {
+				t.Error("cache still valid after remote write completed")
+			}
+			n, err = v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "v2" {
+				t.Errorf("read after invalidation = (%q, %v)", buf[:n], err)
+			}
+		},
+	)
+}
+
+func TestSharedRemoteWrite(t *testing.T) {
+	cfg := Config{Policy: ThreadPolls}
+	home := comm.Addr{PE: 1, Proc: 0}
+	runSim2(t, cfg,
+		func(th *Thread) { // remote writer
+			v, err := th.proc.NewShared("w", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Write(th, []byte("from-afar")); err != nil {
+				t.Errorf("remote write: %v", err)
+			}
+			buf := make([]byte, 16)
+			n, err := v.Read(th, buf)
+			if err != nil || string(buf[:n]) != "from-afar" {
+				t.Errorf("read back = (%q, %v)", buf[:n], err)
+			}
+		},
+		func(th *Thread) {
+			if _, err := th.proc.NewShared("w", home, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+		},
+	)
+}
+
+func TestSharedConcurrentWritersSerialized(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS}
+	home := comm.Addr{PE: 0, Proc: 0}
+	const writesPerSide = 8
+	finalVersion := int64(0)
+	runSim2(t, cfg,
+		func(th *Thread) {
+			v, err := th.proc.NewShared("ctr", home, []byte{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < writesPerSide; i++ {
+				if err := v.Write(th, []byte{byte(i)}); err != nil {
+					t.Errorf("home write %d: %v", i, err)
+				}
+			}
+			// Synchronize: wait until the peer reports done, then read the
+			// version at home.
+			buf := make([]byte, 4)
+			th.Recv(AnyThread, 9, buf)
+			finalVersion = v.Version()
+		},
+		func(th *Thread) {
+			v, err := th.proc.NewShared("ctr", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < writesPerSide; i++ {
+				if err := v.Write(th, []byte{byte(100 + i)}); err != nil {
+					t.Errorf("remote write %d: %v", i, err)
+				}
+			}
+			th.Send(GlobalID{PE: 0, Proc: 0, Thread: 0}, 9, []byte("done"))
+		},
+	)
+	// Initial install is version 1; every write bumps exactly once.
+	if want := int64(1 + 2*writesPerSide); finalVersion != want {
+		t.Fatalf("final version = %d, want %d (lost or duplicated writes)", finalVersion, want)
+	}
+}
+
+func TestSharedManyReadersOneWriter(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS}
+	home := comm.Addr{PE: 0, Proc: 0}
+	const rounds = 5
+	runSim2(t, cfg,
+		func(th *Thread) { // home: writes rounds versions, paced by acks
+			v, err := th.proc.NewShared("seq", home, encodeInt64(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 4)
+			for r := int64(1); r <= rounds; r++ {
+				if err := v.Write(th, encodeInt64(r)); err != nil {
+					t.Error(err)
+				}
+				th.Send(GlobalID{PE: 1, Proc: 0, Thread: 0}, 9, []byte("w"))
+				th.Recv(AnyThread, 9, buf)
+			}
+		},
+		func(th *Thread) { // reader: after each write ack, must see >= that round
+			v, err := th.proc.NewShared("seq", home, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			ack := make([]byte, 4)
+			for r := int64(1); r <= rounds; r++ {
+				th.Recv(AnyThread, 9, ack)
+				n, err := v.Read(th, buf)
+				if err != nil || n != 8 {
+					t.Errorf("round %d: read (%d, %v)", r, n, err)
+					continue
+				}
+				got := int64(binary.LittleEndian.Uint64(buf))
+				if got < r {
+					t.Errorf("round %d: stale value %d read after write completed", r, got)
+				}
+				th.Send(GlobalID{PE: 0, Proc: 0, Thread: 0}, 9, []byte("ok"))
+			}
+		},
+	)
+}
+
+func TestSharedErrors(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			if _, err := th.proc.NewShared("bad", comm.Addr{PE: 9, Proc: 9}, nil); !errors.Is(err, ErrBadTarget) {
+				t.Errorf("bad home: %v", err)
+			}
+			if _, err := th.proc.NewShared("dup", comm.Addr{PE: 0, Proc: 0}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := th.proc.NewShared("dup", comm.Addr{PE: 0, Proc: 0}, nil); err == nil {
+				t.Error("duplicate creation accepted")
+			}
+			// Access to a variable whose home never created it.
+			v, err := th.proc.NewShared("ghost", comm.Addr{PE: 1, Proc: 0}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.Read(th, make([]byte, 8)); !errors.Is(err, ErrRemote) {
+				t.Errorf("ghost read: %v", err)
+			}
+			if err := v.Write(th, []byte("x")); !errors.Is(err, ErrRemote) {
+				t.Errorf("ghost write: %v", err)
+			}
+		},
+		nil,
+	)
+}
+
+func TestSharedReadTruncation(t *testing.T) {
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1},
+		Config{Policy: SchedulerPollsPS}, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			v, _ := th.proc.NewShared("big", comm.Addr{PE: 0, Proc: 0}, []byte("0123456789"))
+			buf := make([]byte, 4)
+			n, err := v.Read(th, buf)
+			if !errors.Is(err, comm.ErrTruncated) || n != 4 {
+				t.Errorf("truncated read = (%d, %v)", n, err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedManyVariables(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsWQ}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			// Several variables homed on each side; all readable everywhere.
+			var mine, theirs []*SharedVar
+			for i := 0; i < 4; i++ {
+				v, err := th.proc.NewShared(fmt.Sprintf("pe0-%d", i), comm.Addr{PE: 0, Proc: 0},
+					[]byte{byte(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mine = append(mine, v)
+			}
+			// Let pe1 install its variables before we fetch them.
+			buf := make([]byte, 4)
+			th.Recv(AnyThread, 9, buf)
+			for i := 0; i < 4; i++ {
+				v, err := th.proc.NewShared(fmt.Sprintf("pe1-%d", i), comm.Addr{PE: 1, Proc: 0}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				theirs = append(theirs, v)
+			}
+			for i, v := range theirs {
+				n, err := v.Read(th, buf)
+				if err != nil || n != 1 || buf[0] != byte(10+i) {
+					t.Errorf("pe1-%d read = (%v, %v, %v)", i, n, buf[0], err)
+				}
+			}
+			_ = mine
+		},
+		func(th *Thread) {
+			for i := 0; i < 4; i++ {
+				if _, err := th.proc.NewShared(fmt.Sprintf("pe1-%d", i), comm.Addr{PE: 1, Proc: 0},
+					[]byte{byte(10 + i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			th.Send(GlobalID{PE: 0, Proc: 0, Thread: 0}, 9, []byte("up"))
+		},
+	)
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+	"chant/internal/sim"
+)
+
+// TestMessageStormConservation drives a randomized (but seeded) traffic
+// pattern across every polling policy and asserts the global conservation
+// property: every message sent is received exactly once, with the right
+// payload total, and the runtime terminates cleanly. This is the
+// integration-level complement of the mailbox conservation property test.
+func TestMessageStormConservation(t *testing.T) {
+	const (
+		pes        = 3
+		sendersPer = 4
+		msgsEach   = 20
+	)
+	for _, pol := range allPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			rt := NewSimRuntime(Topology{PEs: pes, ProcsPerPE: 1},
+				Config{Policy: pol, DisableServer: true}, machine.Paragon1994())
+
+			// Each PE hosts one sink (local id 1) and sendersPer senders.
+			// Every sender sprays msgsEach messages at seeded-random sinks;
+			// each message carries a unique value. Sinks sum what they get.
+			totalMsgs := pes * sendersPer * msgsEach
+			sinkSums := make([]uint64, pes)
+			sinkCounts := make([]int, pes)
+			expectedPerSink := make([]uint64, pes)
+			expectedCount := make([]int, pes)
+
+			// Precompute the traffic pattern so sinks know how much to expect.
+			rng := sim.NewRNG(12345)
+			type planned struct {
+				srcPE, senderIdx int
+				dstPE            int
+				value            uint32
+			}
+			var plan []planned
+			v := uint32(1)
+			for pe := 0; pe < pes; pe++ {
+				for s := 0; s < sendersPer; s++ {
+					for m := 0; m < msgsEach; m++ {
+						dst := rng.Intn(pes)
+						plan = append(plan, planned{pe, s, dst, v})
+						expectedPerSink[dst] += uint64(v)
+						expectedCount[dst]++
+						v++
+					}
+				}
+			}
+
+			mains := map[comm.Addr]MainFunc{}
+			for pe := 0; pe < pes; pe++ {
+				pe := pe
+				mains[comm.Addr{PE: int32(pe), Proc: 0}] = func(th *Thread) {
+					sink := th.proc.CreateLocal("sink", func(me *Thread) {
+						buf := make([]byte, 8)
+						for i := 0; i < expectedCount[pe]; i++ {
+							n, _, err := me.Recv(AnyThread, 3, buf)
+							if err != nil || n != 4 {
+								t.Errorf("pe%d sink: n=%d err=%v", pe, n, err)
+								return
+							}
+							sinkSums[pe] += uint64(uint32(buf[0]) | uint32(buf[1])<<8 |
+								uint32(buf[2])<<16 | uint32(buf[3])<<24)
+							sinkCounts[pe]++
+						}
+					}, defaultSpawn())
+					var senders []*Thread
+					for s := 0; s < sendersPer; s++ {
+						s := s
+						senders = append(senders, th.proc.CreateLocal(fmt.Sprintf("src%d", s), func(me *Thread) {
+							host := me.proc.ep.Host()
+							for _, pl := range plan {
+								if pl.srcPE != pe || pl.senderIdx != s {
+									continue
+								}
+								host.Compute(int64(pl.value%7) * 500)
+								msg := []byte{byte(pl.value), byte(pl.value >> 8),
+									byte(pl.value >> 16), byte(pl.value >> 24)}
+								// Sinks are local id 1 everywhere.
+								if err := me.Send(GlobalID{PE: int32(pl.dstPE), Proc: 0, Thread: 1}, 3, msg); err != nil {
+									t.Errorf("send: %v", err)
+									return
+								}
+							}
+						}, defaultSpawn()))
+					}
+					for _, w := range append(senders, sink) {
+						if _, err := th.JoinLocal(w); err != nil {
+							t.Error(err)
+						}
+					}
+				}
+			}
+			res, err := rt.Run(mains)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMsgs := 0
+			for pe := 0; pe < pes; pe++ {
+				gotMsgs += sinkCounts[pe]
+				if sinkSums[pe] != expectedPerSink[pe] {
+					t.Errorf("pe%d sink sum = %d, want %d", pe, sinkSums[pe], expectedPerSink[pe])
+				}
+			}
+			if gotMsgs != totalMsgs {
+				t.Errorf("received %d of %d messages", gotMsgs, totalMsgs)
+			}
+			if res.Total.Recvs < uint64(totalMsgs) {
+				t.Errorf("counter says %d receives for %d messages", res.Total.Recvs, totalMsgs)
+			}
+		})
+	}
+}
+
+// TestSchedulerFuzz drives each process's thread population through a
+// seeded-random sequence of spawns, yields, sends, receives, cancels, and
+// joins, asserting only global invariants: the machine terminates, nothing
+// deadlocks, no thread leaks in the registry, and the runtime's counters
+// are self-consistent.
+func TestSchedulerFuzz(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99, 1234} {
+		for _, pol := range []PolicyKind{ThreadPolls, SchedulerPollsPS, SchedulerPollsWQ} {
+			seed, pol := seed, pol
+			t.Run(fmt.Sprintf("%v/seed=%d", pol, seed), func(t *testing.T) {
+				rt := NewSimRuntime(Topology{PEs: 2, ProcsPerPE: 1},
+					Config{Policy: pol, DisableServer: true}, machine.Paragon1994())
+				mk := func(pe int32) MainFunc {
+					return func(th *Thread) {
+						rng := sim.NewRNG(seed + uint64(pe))
+						p := th.proc
+						host := p.ep.Host()
+						var kids []*Thread
+						// A partner pair on each PE exchanges messages so
+						// receives always have matching sends: chatter(k)
+						// on pe exchanges with chatter(k) on 1-pe.
+						for k := 0; k < 3; k++ {
+							k := k
+							kids = append(kids, p.CreateLocal(fmt.Sprintf("chat%d", k), func(me *Thread) {
+								peer := GlobalID{PE: 1 - pe, Proc: 0, Thread: me.ID().Thread}
+								buf := make([]byte, 16)
+								for i := 0; i < 10; i++ {
+									host.Compute(int64(rng.Intn(2000)))
+									if err := me.Send(peer, 1, []byte("m")); err != nil {
+										t.Error(err)
+										return
+									}
+									if _, _, err := me.Recv(peer, 1, buf); err != nil {
+										t.Error(err)
+										return
+									}
+									if rng.Intn(3) == 0 {
+										me.Yield()
+									}
+								}
+							}, defaultSpawn()))
+						}
+						// Churn: spawn-and-join or spawn-and-cancel workers.
+						for i := 0; i < 15; i++ {
+							switch rng.Intn(3) {
+							case 0:
+								w := p.CreateLocal("churn", func(me *Thread) {
+									host.Compute(int64(rng.Intn(500)))
+								}, defaultSpawn())
+								th.JoinLocal(w)
+							case 1:
+								w := p.CreateLocal("churn-cancel", func(me *Thread) {
+									for {
+										me.Yield()
+									}
+								}, defaultSpawn())
+								th.Yield()
+								th.CancelLocal(w)
+								th.JoinLocal(w)
+							case 2:
+								th.Yield()
+								host.Compute(int64(rng.Intn(1000)))
+							}
+						}
+						for _, k := range kids {
+							if _, err := th.JoinLocal(k); err != nil {
+								t.Error(err)
+							}
+						}
+						// Registry hygiene: every joined thread is gone; only
+						// main remains.
+						if got := len(p.threads); got != 1 {
+							t.Errorf("pe%d: %d registry entries remain, want 1", pe, got)
+						}
+					}
+				}
+				res, err := rt.Run(map[comm.Addr]MainFunc{
+					{PE: 0, Proc: 0}: mk(0),
+					{PE: 1, Proc: 0}: mk(1),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Total.Sends == 0 || res.Total.Recvs == 0 {
+					t.Error("fuzz run moved no messages")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"chant/internal/sim"
+)
+
+// Tests for the globally-blocking send (the paper's stronger "degree of
+// blocking"): SendSync must not return before the receiver has observed
+// the matching receive.
+
+func TestSendSyncBlocksUntilReceived(t *testing.T) {
+	for _, pol := range allPolicies {
+		for _, mode := range allDeliveries {
+			pol, mode := pol, mode
+			t.Run(fmt.Sprintf("%v/%v", pol, mode), func(t *testing.T) {
+				cfg := Config{Policy: pol, Delivery: mode, DisableServer: true}
+				var sendDone, recvDone sim.Time
+				runSim2(t, cfg,
+					func(th *Thread) {
+						host := th.proc.ep.Host()
+						if err := th.SendSync(gid(1, 0, 0), 5, []byte("handshake")); err != nil {
+							t.Errorf("sendsync: %v", err)
+							return
+						}
+						sendDone = host.Now()
+					},
+					func(th *Thread) {
+						host := th.proc.ep.Host()
+						// Delay before receiving: a locally-blocking send
+						// would have returned long ago; SendSync must still
+						// be waiting.
+						host.Charge(20 * sim.Millisecond)
+						buf := make([]byte, 16)
+						n, _, err := th.Recv(gid(0, 0, 0), 5, buf)
+						if err != nil || string(buf[:n]) != "handshake" {
+							t.Errorf("recv: %q err=%v", buf[:n], err)
+						}
+						recvDone = host.Now()
+					},
+				)
+				if sendDone <= sim.Time(20*sim.Millisecond) {
+					t.Errorf("SendSync returned at %v, before the receiver's 20ms delay elapsed", sendDone)
+				}
+				if sendDone < recvDone {
+					// The ack travels one wire latency after the receive is
+					// observed, so the sender finishes after the receiver.
+					t.Errorf("SendSync finished at %v, before the receive at %v", sendDone, recvDone)
+				}
+			})
+		}
+	}
+}
+
+func TestSendSyncEarlyArrivalAcksAtPost(t *testing.T) {
+	// Message arrives before the receive is posted; the ack must fire when
+	// the receive is posted (Irecv immediate path).
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			if err := th.SendSync(gid(1, 0, 0), 5, []byte("early")); err != nil {
+				t.Errorf("sendsync: %v", err)
+			}
+		},
+		func(th *Thread) {
+			host := th.proc.ep.Host()
+			host.Charge(10 * sim.Millisecond) // let the message land first
+			buf := make([]byte, 8)
+			h, err := th.Irecv(gid(0, 0, 0), 5, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.Done() {
+				t.Error("message not buffered before post")
+			}
+		},
+	)
+}
+
+func TestSendSyncAckExactlyOnce(t *testing.T) {
+	// Repeated Msgtest observations of one completed receive must not send
+	// duplicate acks (a second ack would match a later SendSync's pre-posted
+	// ack receive and break its blocking semantics).
+	cfg := Config{Policy: ThreadPolls, DisableServer: true}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			for i := 0; i < 2; i++ {
+				if err := th.SendSync(gid(1, 0, 0), 5, []byte{byte(i)}); err != nil {
+					t.Errorf("sendsync %d: %v", i, err)
+				}
+			}
+			// Both rounds completing proves ack pairing stayed one-to-one.
+		},
+		func(th *Thread) {
+			for i := 0; i < 2; i++ {
+				buf := make([]byte, 4)
+				h, err := th.Irecv(gid(0, 0, 0), 5, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				th.Msgwait(h)
+				// Re-test the completed handle several times.
+				for k := 0; k < 3; k++ {
+					if !th.Msgtest(h) {
+						t.Error("completed handle tested false")
+					}
+				}
+			}
+		},
+	)
+}
+
+func TestSendSyncValidation(t *testing.T) {
+	cfg := Config{Policy: SchedulerPollsPS, DisableServer: true}
+	runSim2(t, cfg,
+		func(th *Thread) {
+			if err := th.SendSync(gid(9, 0, 0), 1, nil); err == nil {
+				t.Error("bad target accepted")
+			}
+			if err := th.SendSync(gid(1, 0, 0), TagReserved, nil); err == nil {
+				t.Error("reserved tag accepted")
+			}
+		},
+		nil,
+	)
+}
+
+func TestSendSyncManyPairs(t *testing.T) {
+	// Several thread pairs doing synchronized exchanges concurrently: acks
+	// must pair correctly per (sender, receiver) couple.
+	cfg := Config{Policy: SchedulerPollsWQ, DisableServer: true}
+	const workers = 4
+	mk := func(pe int32) MainFunc {
+		return func(th *Thread) {
+			var ws []*Thread
+			for w := 0; w < workers; w++ {
+				ws = append(ws, th.proc.CreateLocal(fmt.Sprintf("w%d", w), func(me *Thread) {
+					peer := gid(1-pe, 0, me.ID().Thread)
+					buf := make([]byte, 8)
+					for i := 0; i < 5; i++ {
+						if pe == 0 {
+							if err := me.SendSync(peer, 2, []byte("s")); err != nil {
+								t.Errorf("sendsync: %v", err)
+								return
+							}
+							me.Recv(peer, 3, buf)
+						} else {
+							me.Recv(peer, 2, buf)
+							if err := me.SendSync(peer, 3, []byte("r")); err != nil {
+								t.Errorf("sendsync back: %v", err)
+								return
+							}
+						}
+					}
+				}, defaultSpawn()))
+			}
+			for _, w := range ws {
+				th.JoinLocal(w)
+			}
+		}
+	}
+	runSim2(t, cfg, mk(0), mk(1))
+}

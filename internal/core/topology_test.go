@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/machine"
+)
+
+// Tests for machine shapes beyond the paper's 2x1: several processes per
+// PE, processes without mains, and larger meshes.
+
+func TestMultipleProcessesPerPE(t *testing.T) {
+	// 2 PEs x 2 processes: intra-PE and inter-PE process pairs both talk.
+	rt := NewSimRuntime(Topology{PEs: 2, ProcsPerPE: 2},
+		Config{Policy: SchedulerPollsPS, DisableServer: true}, machine.Paragon1994())
+	received := map[string]string{}
+	mains := map[comm.Addr]MainFunc{}
+	for pe := int32(0); pe < 2; pe++ {
+		for pr := int32(0); pr < 2; pr++ {
+			pe, pr := pe, pr
+			mains[comm.Addr{PE: pe, Proc: pr}] = func(th *Thread) {
+				// Each process sends to the "next" process in (pe, proc)
+				// order and receives from the previous.
+				nextPE, nextPr := pe, pr+1
+				if nextPr == 2 {
+					nextPE, nextPr = (pe+1)%2, 0
+				}
+				msg := fmt.Sprintf("from %d.%d", pe, pr)
+				if err := th.Send(GlobalID{PE: nextPE, Proc: nextPr, Thread: 0}, 1, []byte(msg)); err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 32)
+				n, from, err := th.Recv(AnyThread, 1, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				received[fmt.Sprintf("%d.%d", pe, pr)] = fmt.Sprintf("%s (src %v)", buf[:n], from)
+			}
+		}
+	}
+	if _, err := rt.Run(mains); err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 4 {
+		t.Fatalf("only %d processes received", len(received))
+	}
+	if got := received["0.1"]; got != "from 0.0 (src pe0.p0.t0)" {
+		t.Errorf("0.1 received %q", got)
+	}
+	if got := received["0.0"]; got != "from 1.1 (src pe1.p1.t0)" {
+		t.Errorf("0.0 received %q", got)
+	}
+}
+
+func TestProcessWithoutMainServesRSRs(t *testing.T) {
+	// pe1 has no main at all: it must come up, serve remote creates and
+	// calls, and shut down when the coordinator releases it.
+	rt := NewSimRuntime(Topology{PEs: 2, ProcsPerPE: 1},
+		Config{Policy: SchedulerPollsWQ}, machine.Paragon1994())
+	rt.Register("echo-len", func(th *Thread, arg []byte) {
+		th.Exit(int64(len(arg)))
+	})
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			if err := th.Ping(comm.Addr{PE: 1, Proc: 0}); err != nil {
+				t.Errorf("ping of main-less process: %v", err)
+			}
+			id, err := th.Create(1, 0, "echo-len", []byte("12345"), CreateOpts{})
+			if err != nil {
+				t.Errorf("create on main-less process: %v", err)
+				return
+			}
+			v, err := th.Join(id)
+			if err != nil || v != int64(5) {
+				t.Errorf("join = (%v, %v)", v, err)
+			}
+		},
+		// {PE: 1}: intentionally absent.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargerMesh(t *testing.T) {
+	// A 4-PE all-to-all: every process sends one message to every other
+	// and receives PEs-1 messages. Exercises the coordinator handshake at
+	// larger scale.
+	const pes = 4
+	rt := NewSimRuntime(Topology{PEs: pes, ProcsPerPE: 1},
+		Config{Policy: ThreadPolls, DisableServer: true}, machine.Paragon1994())
+	got := make([]int, pes)
+	mains := map[comm.Addr]MainFunc{}
+	for pe := int32(0); pe < pes; pe++ {
+		pe := pe
+		mains[comm.Addr{PE: pe, Proc: 0}] = func(th *Thread) {
+			for other := int32(0); other < pes; other++ {
+				if other == pe {
+					continue
+				}
+				if err := th.Send(GlobalID{PE: other, Proc: 0, Thread: 0}, 1, []byte{byte(pe)}); err != nil {
+					t.Error(err)
+				}
+			}
+			buf := make([]byte, 4)
+			for i := 0; i < pes-1; i++ {
+				if _, _, err := th.Recv(AnyThread, 1, buf); err != nil {
+					t.Error(err)
+				}
+				got[pe]++
+			}
+		}
+	}
+	if _, err := rt.Run(mains); err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range got {
+		if n != pes-1 {
+			t.Errorf("pe%d received %d of %d", pe, n, pes-1)
+		}
+	}
+}
+
+func TestSingleProcessMachine(t *testing.T) {
+	// Degenerate topology: one process, loopback messaging, no handshake.
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1},
+		Config{Policy: SchedulerPollsPS, DisableServer: true}, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			partner := th.proc.CreateLocal("partner", func(me *Thread) {
+				buf := make([]byte, 8)
+				_, from, err := me.Recv(AnyThread, 1, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				me.Send(from, 2, []byte("back"))
+			}, defaultSpawn())
+			if err := th.Send(partner.ID(), 1, []byte("hi")); err != nil {
+				t.Error(err)
+			}
+			buf := make([]byte, 8)
+			if _, _, err := th.Recv(partner.ID(), 2, buf); err != nil {
+				t.Error(err)
+			}
+			th.JoinLocal(partner)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-PE topology accepted")
+		}
+	}()
+	NewSimRuntime(Topology{PEs: 0, ProcsPerPE: 1}, Config{}, machine.Paragon1994())
+}
+
+func TestMainForInvalidAddrRejected(t *testing.T) {
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1}, Config{}, machine.Paragon1994())
+	_, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 7, Proc: 0}: func(th *Thread) {},
+	})
+	if err == nil {
+		t.Fatal("main for nonexistent process accepted")
+	}
+}
+
+func TestTopologyAddrs(t *testing.T) {
+	topo := Topology{PEs: 2, ProcsPerPE: 3}
+	addrs := topo.Addrs()
+	if len(addrs) != 6 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	if addrs[0] != (comm.Addr{PE: 0, Proc: 0}) || addrs[5] != (comm.Addr{PE: 1, Proc: 2}) {
+		t.Fatalf("addr order wrong: %v", addrs)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"chant/internal/core"
+	"chant/internal/ult"
+)
+
+// defaultSpawnOpts is the plain worker-thread spawn configuration.
+func defaultSpawnOpts() ult.SpawnOpts { return ult.SpawnOpts{} }
+
+// --- Ablation A: msgtestany (the paper's Section 4.2 hypothesis) ---
+
+// RunAblationTestAny re-runs the beta=100 polling sweep comparing the
+// Scheduler-polls (WQ) algorithm as measured in the paper (one msgtest per
+// outstanding request, NX style) against the algorithm "as originally
+// intended": a single msgtestany call per scheduling point, as MPI's
+// MPI_TESTANY allows. The paper writes: "For systems that could implement
+// this algorithm as originally intended ... we expect the relative
+// performance of this algorithm to change. We hope to test this hypothesis
+// on a future version of Chant using the MPI communication system."
+// This runs that test.
+func RunAblationTestAny() PollingSweep {
+	return RunPollingSweep(100,
+		[]core.PolicyKind{core.SchedulerPollsWQ, core.SchedulerPollsWQAny, core.SchedulerPollsPS},
+		StandardPollingBase)
+}
+
+// --- Ablation B: the single-thread yield fast path (Section 4.1 note) ---
+
+// AblationFastPathRow compares Thread-polls per-message time with exactly
+// one thread per PE (yield returns without a context switch) against the
+// same exchange with a spinning second thread (every failed poll pays a
+// full switch). The paper: "the overhead ... is low (about 15%), but ...
+// can be halved by avoiding a context switch when only a single thread
+// exists on a processing element."
+type AblationFastPathRow struct {
+	Size         int
+	ProcessUS    float64
+	SingleUS     float64 // one thread per PE: fast-path yields
+	SinglePct    float64
+	ContendedUS  float64 // with a spinner: real switches on every poll
+	ContendedPct float64
+}
+
+// RunAblationFastPath measures the fast-path ablation. Two spinners per PE
+// make every poll pay a pair of context switches. Because the simulation
+// is deterministic, individual sizes show phase effects (the poll grid
+// aligns differently with each arrival time); compare mean overheads.
+func RunAblationFastPath() []AblationFastPathRow {
+	single := RunTable2(Table2Config{})
+	contended := RunTable2(Table2Config{ExtraThreads: 2})
+	rows := make([]AblationFastPathRow, len(single))
+	for i := range single {
+		rows[i] = AblationFastPathRow{
+			Size:         single[i].Size,
+			ProcessUS:    single[i].ProcessUS,
+			SingleUS:     single[i].TPUS,
+			SinglePct:    single[i].TPOverPct,
+			ContendedUS:  contended[i].TPUS,
+			ContendedPct: contended[i].TPOverPct,
+		}
+	}
+	return rows
+}
+
+// --- Ablation C: where the thread id travels (Section 3.1 delivery) ---
+
+// AblationDeliveryRow compares per-message time across the three delivery
+// designs the paper discusses: the MPI-style context field, NX/p4-style
+// tag overloading, and the body-embedding design the paper rejects because
+// it forces an intermediate thread and copies on both sides.
+type AblationDeliveryRow struct {
+	Size      int
+	CtxUS     float64
+	TagPackUS float64
+	BodyUS    float64
+	// BodyPenaltyPct is body-mode overhead relative to ctx mode.
+	BodyPenaltyPct float64
+}
+
+// RunAblationDelivery measures the delivery ablation with the
+// Scheduler-polls (PS) policy.
+func RunAblationDelivery() []AblationDeliveryRow {
+	cfg := Table2Config{}.withDefaults()
+	rows := make([]AblationDeliveryRow, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		ctx := threadExchange(cfg, size, core.SchedulerPollsPS, core.DeliverCtx)
+		tag := threadExchange(cfg, size, core.SchedulerPollsPS, core.DeliverTagPack)
+		body := threadExchange(cfg, size, core.SchedulerPollsPS, core.DeliverBody)
+		rows = append(rows, AblationDeliveryRow{
+			Size:           size,
+			CtxUS:          ctx,
+			TagPackUS:      tag,
+			BodyUS:         body,
+			BodyPenaltyPct: (body - ctx) / ctx * 100,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) against the Chant runtime on the simulated
+// Paragon, and runs the ablations DESIGN.md calls out. Each experiment
+// returns structured rows and can render itself as an aligned text table,
+// an ASCII chart (for the figures), or a Markdown section for
+// EXPERIMENTS.md, always next to the paper's published values.
+package experiments
+
+// This file embeds the paper's published numbers, used for side-by-side
+// comparison in every report.
+
+// PaperTable1Row is one thread package from the paper's Table 1
+// (measurements on a Sun SparcStation 10).
+type PaperTable1Row struct {
+	Package  string
+	CreateUS float64
+	SwitchUS float64
+}
+
+// PaperTable1 is the paper's Table 1.
+var PaperTable1 = []PaperTable1Row{
+	{"cthreads", 423, 81},
+	{"REX", 230, 60},
+	{"pthreads (Mueller)", 1300, 29},
+	{"Sun LWP", 400, 25},
+	{"Quickthreads", 440, 21},
+}
+
+// Table2Sizes are the message sizes of Table 2 / Figure 8, in bytes.
+var Table2Sizes = []int{1024, 2048, 4096, 8192, 16384}
+
+// PaperTable2Row is one row of the paper's Table 2: average time per
+// message (microseconds) for the raw process-based exchange and the two
+// Chant thread configurations, with overheads relative to the process case.
+type PaperTable2Row struct {
+	Size      int
+	ProcessUS float64
+	TPUS      float64
+	TPOverPct float64
+	SPUS      float64
+	SPOverPct float64
+}
+
+// PaperTable2 is the paper's Table 2.
+var PaperTable2 = []PaperTable2Row{
+	{1024, 667.1, 710.8, 6.4, 773.7, 15.9},
+	{2048, 917.0, 973.2, 6.1, 1126.5, 22.8},
+	{4096, 1639.3, 1701.2, 3.8, 1828.8, 11.5},
+	{8192, 2873.5, 2998.8, 4.3, 3130.8, 8.9},
+	{16384, 5531.8, 5624.8, 1.7, 5689.0, 2.9},
+}
+
+// PollingAlphas are the alpha values of Tables 3-5 and Figures 10-13.
+var PollingAlphas = []int64{100, 1000, 10000, 100000}
+
+// PaperPollingCell is one (policy, alpha) cell of Tables 3-5: total time
+// (ms), complete context switches, and msgtest calls attempted.
+type PaperPollingCell struct {
+	TimeMS  float64
+	CtxSw   uint64
+	MsgTest uint64
+}
+
+// PaperPollingTable maps policy name -> per-alpha cells for one beta.
+type PaperPollingTable map[string][]PaperPollingCell
+
+// PaperTable3 is the paper's Table 3 (beta = 100).
+var PaperTable3 = PaperPollingTable{
+	"thread-polls": {
+		{2730, 6655, 2662}, {2860, 6655, 2693}, {4000, 7029, 3057}, {7260, 7977, 3975},
+	},
+	"scheduler-polls-ps": {
+		{2413, 5580, 2011}, {2515, 5630, 2010}, {3660, 5579, 2535}, {6815, 5649, 3723},
+	},
+	"scheduler-polls-wq": {
+		{5950, 5488, 11817}, {6090, 5489, 11942}, {6123, 5509, 11875}, {9990, 5534, 13238},
+	},
+}
+
+// PaperTable4 is the paper's Table 4 (beta = 1000).
+var PaperTable4 = PaperPollingTable{
+	"thread-polls": {
+		{6765, 6945, 2909}, {6960, 6888, 2837}, {8000, 6950, 2887}, {10980, 7246, 3239},
+	},
+	"scheduler-polls-ps": {
+		{6480, 5514, 2415}, {6660, 5523, 2564}, {7670, 5530, 2311}, {10560, 5537, 2532},
+	},
+	"scheduler-polls-wq": {
+		{10065, 5485, 12323}, {10262, 5508, 13496}, {11350, 5512, 12676}, {14100, 5532, 12405},
+	},
+}
+
+// PaperTable5 is the paper's Table 5 (beta = 0).
+var PaperTable5 = PaperPollingTable{
+	"thread-polls": {
+		{3290, 5792, 3578}, {3460, 5864, 4646}, {4570, 6100, 4887}, {7805, 7206, 5977},
+	},
+	"scheduler-polls-ps": {
+		{2715, 3628, 3514}, {2725, 3622, 3550}, {3980, 3608, 4335}, {7343, 3630, 6631},
+	},
+	"scheduler-polls-wq": {
+		{4940, 3130, 9845}, {5120, 3174, 10000}, {6080, 3110, 10310}, {9263, 3144, 13024},
+	},
+}
+
+// PaperFig13 holds the average number of waiting threads read (to roughly
+// one decimal) from the paper's Figure 13 for beta = 100. These values are
+// approximate; the figure has no table.
+var PaperFig13 = map[string][]float64{
+	"thread-polls":       {2.6, 2.6, 3.0, 4.3},
+	"scheduler-polls-ps": {2.2, 2.3, 2.7, 4.0},
+	"scheduler-polls-wq": {2.4, 2.5, 2.9, 4.4},
+}
+
+// PaperBetaFor maps each polling table to its beta value.
+var PaperBetaFor = map[string]int64{"table3": 100, "table4": 1000, "table5": 0}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"chant/internal/core"
+)
+
+// Rendering helpers: aligned text tables for every experiment, ASCII bar
+// charts standing in for the paper's figures, and Markdown variants for
+// EXPERIMENTS.md.
+
+// renderTable lays out rows under headers. In markdown mode it emits a
+// GitHub pipe table; otherwise fixed-width columns.
+func renderTable(headers []string, rows [][]string, markdown bool) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		if markdown {
+			b.WriteString("|")
+			for i, c := range cells {
+				fmt.Fprintf(&b, " %-*s |", widths[i], c)
+			}
+			b.WriteString("\n")
+			return
+		}
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	if markdown {
+		b.WriteString("|")
+		for _, w := range widths {
+			b.WriteString(strings.Repeat("-", w+2) + "|")
+		}
+		b.WriteString("\n")
+	} else {
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total) + "\n")
+	}
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders horizontal log-scaled bars, one group per x label — a
+// terminal stand-in for the paper's log-log figures.
+func Chart(title string, xlabels []string, series []Series, unit string) string {
+	const width = 46
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > 0 {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		lo, hi = 1, 10
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		f := (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+		return 1 + int(f*float64(width-1)+0.5)
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (log scale)\n", title)
+	for xi, xl := range xlabels {
+		fmt.Fprintf(&b, "%s:\n", xl)
+		for _, s := range series {
+			v := s.Values[xi]
+			fmt.Fprintf(&b, "  %-*s %-*s %.1f%s\n", nameW, s.Name,
+				width+1, strings.Repeat("#", scale(v)), v, unit)
+		}
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func u(v uint64) string   { return fmt.Sprintf("%d", v) }
+
+// FormatTable1 renders the thread-package microbenchmarks next to the
+// paper's Table 1.
+func FormatTable1(r Table1Result, markdown bool) string {
+	headers := []string{"Thread package", "Create (us)", "Switch (us)"}
+	rows := [][]string{}
+	for _, p := range PaperTable1 {
+		rows = append(rows, []string{p.Package + " (paper, Sparc10)", f1(p.CreateUS), f1(p.SwitchUS)})
+	}
+	rows = append(rows, []string{"chant/ult (this host)", f2(r.CreateUS), f2(r.SwitchUS)})
+	return renderTable(headers, rows, markdown)
+}
+
+// FormatTable2 renders measured Table 2 rows beside the paper's values.
+func FormatTable2(rows []Table2Row, markdown bool) string {
+	headers := []string{"Size", "Process us", "TP us", "TP ovr%", "SP us", "SP ovr%",
+		"paper Proc", "paper TP%", "paper SP%"}
+	out := [][]string{}
+	for i, r := range rows {
+		var pProc, pTP, pSP string
+		if i < len(PaperTable2) && PaperTable2[i].Size == r.Size {
+			p := PaperTable2[i]
+			pProc, pTP, pSP = f1(p.ProcessUS), f1(p.TPOverPct), f1(p.SPOverPct)
+		}
+		out = append(out, []string{
+			fmt.Sprint(r.Size), f1(r.ProcessUS), f1(r.TPUS), f1(r.TPOverPct),
+			f1(r.SPUS), f1(r.SPOverPct), pProc, pTP, pSP,
+		})
+	}
+	return renderTable(headers, out, markdown)
+}
+
+// FormatFig8 renders the Figure-8 chart from Table 2 rows.
+func FormatFig8(rows []Table2Row) string {
+	xl := make([]string, len(rows))
+	proc := Series{Name: "process"}
+	tp := Series{Name: "thread (thread polls)"}
+	sp := Series{Name: "thread (scheduler polls)"}
+	for i, r := range rows {
+		xl[i] = fmt.Sprintf("%d bytes", r.Size)
+		proc.Values = append(proc.Values, r.ProcessUS)
+		tp.Values = append(tp.Values, r.TPUS)
+		sp.Values = append(sp.Values, r.SPUS)
+	}
+	return Chart("Figure 8: time per message (us)", xl, []Series{proc, tp, sp}, "us")
+}
+
+// policyLabel maps policies to the paper's row labels.
+func policyLabel(k core.PolicyKind) string {
+	switch k {
+	case core.ThreadPolls:
+		return "Thread polls"
+	case core.SchedulerPollsPS:
+		return "Scheduler polls (PS)"
+	case core.SchedulerPollsWQ:
+		return "Scheduler polls (WQ)"
+	case core.SchedulerPollsWQAny:
+		return "Scheduler polls (WQ/testany)"
+	}
+	return k.String()
+}
+
+// FormatPollingSweep renders one of Tables 3-5 beside the paper's values.
+func FormatPollingSweep(s PollingSweep, paper PaperPollingTable, markdown bool) string {
+	headers := []string{"alpha", "policy", "Time ms", "CtxSw", "msgtest", "avg wait",
+		"paper ms", "paper CtxSw", "paper msgtest"}
+	rows := [][]string{}
+	for ai, alpha := range s.Alphas {
+		for _, pol := range s.Policies {
+			r := s.Rows[pol][ai]
+			var pT, pC, pM string
+			if cells, ok := paper[pol.String()]; ok && ai < len(cells) {
+				pT, pC, pM = f1(cells[ai].TimeMS), u(cells[ai].CtxSw), u(cells[ai].MsgTest)
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(alpha), policyLabel(pol), f1(r.TimeMS), u(r.CtxSw), u(r.MsgTest),
+				f2(r.AvgWaiting), pT, pC, pM,
+			})
+		}
+	}
+	return renderTable(headers, rows, markdown)
+}
+
+// FormatPollingChart renders one metric of a sweep as a figure-style chart
+// (metric: "time", "ctxsw", "msgtest", or "waiting" — Figures 10-13).
+func FormatPollingChart(s PollingSweep, metric, title, unit string) string {
+	xl := make([]string, len(s.Alphas))
+	for i, a := range s.Alphas {
+		xl[i] = fmt.Sprintf("alpha=%d", a)
+	}
+	var series []Series
+	for _, pol := range s.Policies {
+		sr := Series{Name: policyLabel(pol)}
+		for _, r := range s.Rows[pol] {
+			var v float64
+			switch metric {
+			case "time":
+				v = r.TimeMS
+			case "ctxsw":
+				v = float64(r.CtxSw)
+			case "msgtest":
+				v = float64(r.MsgTest)
+			case "waiting":
+				v = r.AvgWaiting
+			default:
+				panic("experiments: unknown chart metric " + metric)
+			}
+			sr.Values = append(sr.Values, v)
+		}
+		series = append(series, sr)
+	}
+	return Chart(title, xl, series, unit)
+}
+
+// FormatAblationFastPath renders ablation B.
+func FormatAblationFastPath(rows []AblationFastPathRow, markdown bool) string {
+	headers := []string{"Size", "Process us", "1-thread TP us", "ovr%", "contended TP us", "ovr%"}
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.Size), f1(r.ProcessUS), f1(r.SingleUS), f1(r.SinglePct),
+			f1(r.ContendedUS), f1(r.ContendedPct),
+		})
+	}
+	return renderTable(headers, out, markdown)
+}
+
+// FormatAblationDelivery renders ablation C.
+func FormatAblationDelivery(rows []AblationDeliveryRow, markdown bool) string {
+	headers := []string{"Size", "ctx us", "tagpack us", "body us", "body penalty %"}
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.Size), f1(r.CtxUS), f1(r.TagPackUS), f1(r.BodyUS), f1(r.BodyPenaltyPct),
+		})
+	}
+	return renderTable(headers, out, markdown)
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FullReport runs every experiment and renders the complete
+// paper-vs-measured report. With markdown set it produces the document
+// stored as EXPERIMENTS.md; otherwise a terminal rendering with ASCII
+// figures.
+func FullReport(markdown bool) string {
+	var b strings.Builder
+	h := func(level int, title string) {
+		if markdown {
+			fmt.Fprintf(&b, "\n%s %s\n\n", strings.Repeat("#", level), title)
+		} else {
+			fmt.Fprintf(&b, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+		}
+	}
+	p := func(text string) {
+		b.WriteString(text)
+		b.WriteString("\n")
+	}
+	// chart output is preformatted text; fence it in markdown.
+	chart := func(s string) {
+		if markdown {
+			b.WriteString("```\n" + s + "```\n")
+		} else {
+			b.WriteString(s)
+		}
+	}
+	// tables render natively in both modes (pipe tables in markdown).
+	table := func(s string) { b.WriteString(s) }
+
+	if markdown {
+		p("# Chant-Go: paper-vs-measured")
+		p("")
+		p("Reproduction of the evaluation in *On the Design of Chant: A Talking")
+		p("Threads Package* (Haines, Cronk, Mehrotra; SC 1994). Simulated runs use")
+		p("the `paragon-1994` cost model, calibrated from the paper's own Table 2")
+		p("(wire curve) and Tables 3–5 (msgtest / switch / compute-unit costs).")
+		p("Event counts are exact properties of the scheduler and messaging logic;")
+		p("reported times are virtual. Every simulated section is deterministic and")
+		p("regenerates identically via `chantbench -report -md`; only Table 1")
+		p("measures the machine running the report, so it varies with the host.")
+	}
+
+	h(2, "Table 1 — thread package operations")
+	p(wrap("The paper's Table 1 lists create/switch costs of five contemporary "+
+		"thread packages on a SparcStation 10. Our analog measures the ult "+
+		"package's real costs on the machine running this report. Goroutine-backed "+
+		"cooperative threads land in the same order of magnitude as the 1990s "+
+		"user-level packages (microseconds), with creation cheaper than the "+
+		"paper's packages because stacks are lazily grown by the Go runtime.", markdown))
+	table(FormatTable1(RunTable1(8000), markdown))
+
+	t2 := RunTable2(Table2Config{})
+	h(2, "Table 2 — thread-based point-to-point overhead")
+	p(wrap("Two PEs exchange messages: the raw communication layer (Process) vs. "+
+		"Chant threads that poll for themselves (TP) vs. scheduler polling that "+
+		"forces a context switch per message (SP). Paper conclusions reproduced: "+
+		"thread overhead is small, TP < SP at every size, and overhead shrinks as "+
+		"message size grows. The Process column matches the paper within the "+
+		"calibration tolerance (<10%, exact at the fit's anchor sizes). Measured "+
+		"TP overhead is somewhat higher than the paper's at 1 KiB (13% vs 6.4%) "+
+		"because the simulated poll grid quantizes the arrival-to-notice delay.", markdown))
+	table(FormatTable2(t2, markdown))
+
+	h(2, "Figure 8 — execution times for native and thread-based communication")
+	chart(FormatFig8(t2))
+
+	sweeps := map[int64]PollingSweep{}
+	for _, beta := range []int64{100, 1000, 0} {
+		sweeps[beta] = RunPollingSweep(beta, nil, StandardPollingBase)
+	}
+
+	pollingNote := wrap("Workload: 2 PEs, 12 threads each, 100 iterations of "+
+		"{compute(alpha); send; compute(beta); recv} (paper Figure 9), 4 KiB "+
+		"messages, thread w paired with thread w+1 (mod 12) on the other PE — the "+
+		"paper does not publish its message size or pairing; these were chosen so "+
+		"the ready-queue/latency interplay matches the published dynamics. Paper "+
+		"conclusions reproduced: Scheduler-polls (PS) is fastest everywhere; "+
+		"Thread-polls is a close second (paper: ~10% worse; measured: 2–43% "+
+		"depending on alpha); Scheduler-polls (WQ) is much worse, and its excess "+
+		"is exactly its msgtest volume; WQ performs the fewest complete context "+
+		"switches and Thread-polls the most; all three converge as alpha grows. "+
+		"Deviation: at alpha=100000 the deterministic workload pipelines (most "+
+		"receives complete at post time), so switch counts drop instead of "+
+		"staying flat; time ratios still converge as in the paper.", markdown)
+
+	h(2, "Table 3 — polling algorithms, beta = 100")
+	p(pollingNote)
+	table(FormatPollingSweep(sweeps[100], PaperTable3, markdown))
+
+	h(2, "Figure 10 — execution times (beta = 100)")
+	chart(FormatPollingChart(sweeps[100], "time", "Figure 10: execution time", "ms"))
+	h(2, "Figure 11 — complete context switches (beta = 100)")
+	chart(FormatPollingChart(sweeps[100], "ctxsw", "Figure 11: context switches", ""))
+	h(2, "Figure 12 — msgtest calls (beta = 100)")
+	chart(FormatPollingChart(sweeps[100], "msgtest", "Figure 12: msgtest calls", ""))
+	h(2, "Figure 13 — average waiting threads (beta = 100)")
+	p(wrap("The paper reads 2–4.5 average waiting threads off this figure, rising "+
+		"with alpha. Measured averages sit in the same few-threads band at small "+
+		"alpha; the trend with alpha differs (see EXPERIMENTS.md commentary): in "+
+		"a deterministic simulation the outstanding-receive window tracks the "+
+		"wire latency rather than the drift between PEs, so waiting shrinks "+
+		"relative to iteration time until the pipelined regime flips it upward.", markdown))
+	chart(FormatPollingChart(sweeps[100], "waiting", "Figure 13: average waiting threads", ""))
+
+	h(2, "Table 4 — polling algorithms, beta = 1000")
+	table(FormatPollingSweep(sweeps[1000], PaperTable4, markdown))
+
+	h(2, "Table 5 — polling algorithms, beta = 0")
+	table(FormatPollingSweep(sweeps[0], PaperTable5, markdown))
+
+	h(2, "Ablation A — WQ with msgtestany (the paper's MPI hypothesis)")
+	p(wrap("Section 4.2: \"For systems that could implement this algorithm as "+
+		"originally intended, with a single msgtestany call rather than a test "+
+		"for each individual message, we expect the relative performance of this "+
+		"algorithm to change. We hope to test this hypothesis on a future version "+
+		"of Chant using the MPI communication system.\" Tested here: one "+
+		"msgtestany per scheduling point collapses WQ's testing cost and brings "+
+		"it to within a few percent of PS — the hypothesis holds.", markdown))
+	table(FormatPollingSweep(RunAblationTestAny(), PaperTable3, markdown))
+
+	h(2, "Ablation B — the single-thread yield fast path")
+	p(wrap("Section 4.1/5: the worst-case thread overhead \"can be halved by "+
+		"avoiding a context switch when only a single thread exists on a "+
+		"processing element.\" With spinning threads added, every poll pays real "+
+		"switches and mean overhead rises well above the single-thread fast "+
+		"path's. (Individual sizes show deterministic phase effects; compare "+
+		"means.)", markdown))
+	table(FormatAblationFastPath(RunAblationFastPath(), markdown))
+
+	h(2, "Ablation C — where the thread id travels (delivery designs)")
+	p(wrap("Section 3.1 argues the thread name must ride in the message header, "+
+		"not the body: body embedding forces an intermediate thread plus copies "+
+		"on both sides. Measured: header modes (ctx field, packed tag) cost the "+
+		"same, while body embedding adds a per-byte penalty that grows with "+
+		"message size — the quantitative case for the design the paper chose.", markdown))
+	table(FormatAblationDelivery(RunAblationDelivery(), markdown))
+
+	h(2, "Ablation E — polling cost vs thread population")
+	p(wrap("The Scheduler-polls (WQ) walk tests every outstanding request at "+
+		"every scheduling point, so its testing volume scales with the waiting "+
+		"population while PS inspects one TCB per partial switch and the "+
+		"testany variant pays a single call regardless of list length. "+
+		"Per-message cost: WQ stays well above PS at every population; the "+
+		"testany variant closes most of the gap.", markdown))
+	table(FormatScaling(RunScaling(nil), markdown))
+
+	h(2, "Contrast — the polling experiment on modern hardware")
+	p(wrap("The same workload under the Modern cost model (RDMA-class wire, "+
+		"nanosecond msgtest): the NX-era cost asymmetry that condemned WQ "+
+		"disappears, and all three policies land within a few percent of each "+
+		"other — the paper's policy ranking is a property of 1994 testing "+
+		"costs, while its architectural conclusions (header-carried names, "+
+		"interrupt-free server thread) are not.", markdown))
+	table(FormatPollingSweep(RunModernContrast(), nil, markdown))
+
+	return b.String()
+}
+
+// wrap reflows text to ~78 columns for the terminal; markdown mode leaves
+// a single paragraph line for the renderer to wrap.
+func wrap(text string, markdown bool) string {
+	if markdown {
+		return text
+	}
+	words := strings.Fields(text)
+	var b strings.Builder
+	col := 0
+	for _, w := range words {
+		if col+len(w)+1 > 78 {
+			b.WriteString("\n")
+			col = 0
+		} else if col > 0 {
+			b.WriteString(" ")
+			col++
+		}
+		b.WriteString(w)
+		col += len(w)
+	}
+	return b.String()
+}

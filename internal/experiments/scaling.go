@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chant/internal/core"
+)
+
+// Ablation E: how the polling policies scale with the thread population.
+// The Scheduler-polls (WQ) walk tests *every* outstanding request at every
+// scheduling point, so its per-message cost grows with the number of
+// waiting threads, while PS inspects exactly one TCB per partial switch
+// and the testany variant pays one call regardless of list length. This
+// sweep quantifies the structural reason WQ loses in Tables 3-5.
+
+// ScalingRow is one (policy, workers) measurement, normalized per message.
+type ScalingRow struct {
+	Policy     core.PolicyKind
+	Workers    int
+	TimeMS     float64
+	MsgTest    uint64
+	Messages   uint64
+	TestPerMsg float64
+	USPerMsg   float64
+}
+
+// ScalingWorkerCounts is the sweep's thread-population axis.
+var ScalingWorkerCounts = []int{8, 12, 16, 24, 32}
+
+// RunScaling sweeps thread count for the given policies at alpha=1000,
+// beta=100.
+func RunScaling(policies []core.PolicyKind) []ScalingRow {
+	if policies == nil {
+		policies = []core.PolicyKind{
+			core.SchedulerPollsPS, core.SchedulerPollsWQ, core.SchedulerPollsWQAny,
+		}
+	}
+	var rows []ScalingRow
+	for _, pol := range policies {
+		for _, workers := range ScalingWorkerCounts {
+			cfg := StandardPollingBase
+			cfg.Policy = pol
+			cfg.Alpha = 1000
+			cfg.Beta = 100
+			cfg.Workers = workers
+			r := RunPolling(cfg)
+			messages := uint64(2 * workers * cfg.Iters)
+			rows = append(rows, ScalingRow{
+				Policy:     pol,
+				Workers:    workers,
+				TimeMS:     r.TimeMS,
+				MsgTest:    r.MsgTest,
+				Messages:   messages,
+				TestPerMsg: float64(r.MsgTest) / float64(messages),
+				USPerMsg:   r.TimeMS * 1000 / float64(messages),
+			})
+		}
+	}
+	return rows
+}
+
+// FormatScaling renders the sweep.
+func FormatScaling(rows []ScalingRow, markdown bool) string {
+	headers := []string{"policy", "threads/PE", "time ms", "msgtest", "msgtest/msg", "us/msg"}
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			policyLabel(r.Policy), fmt.Sprint(r.Workers), f1(r.TimeMS),
+			u(r.MsgTest), f2(r.TestPerMsg), f1(r.USPerMsg),
+		})
+	}
+	return renderTable(headers, out, markdown)
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"chant/internal/comm"
+	"chant/internal/comm/simnet"
+	"chant/internal/core"
+	"chant/internal/machine"
+	"chant/internal/sim"
+	"chant/internal/trace"
+	"chant/internal/ult"
+)
+
+// Table2Config parameterizes the point-to-point overhead experiment
+// (paper Section 4.1): a tight message exchange between two processing
+// elements, measured per message, for the raw communication layer and for
+// Chant threads under two polling configurations.
+type Table2Config struct {
+	// Rounds is the number of message exchanges measured per size (the
+	// paper used 100,000; the simulated averages converge long before
+	// that).
+	Rounds int
+	// Warmup exchanges run before timing starts.
+	Warmup int
+	// Sizes are the message sizes in bytes (default Table2Sizes).
+	Sizes []int
+	// Model is the machine cost model (default Paragon1994).
+	Model *machine.Model
+	// ExtraThreads adds spinning compute threads per PE to the
+	// thread-based configurations (0 reproduces Table 2; >0 defeats the
+	// single-thread yield fast path, for the fast-path ablation).
+	ExtraThreads int
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if c.Rounds == 0 {
+		c.Rounds = 500
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 8
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = Table2Sizes
+	}
+	if c.Model == nil {
+		c.Model = machine.Paragon1994()
+	}
+	return c
+}
+
+// Table2Row is one measured row: average time per message in microseconds
+// for each configuration, plus thread overheads relative to the process
+// baseline.
+type Table2Row struct {
+	Size      int
+	ProcessUS float64
+	TPUS      float64
+	TPOverPct float64
+	SPUS      float64
+	SPOverPct float64
+}
+
+// RunTable2 reproduces Table 2 / Figure 8.
+func RunTable2(cfg Table2Config) []Table2Row {
+	cfg = cfg.withDefaults()
+	rows := make([]Table2Row, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		procUS := processExchange(cfg, size)
+		tpUS := threadExchange(cfg, size, core.ThreadPolls, core.DeliverCtx)
+		spUS := threadExchange(cfg, size, core.SchedulerPollsWQ, core.DeliverCtx)
+		rows = append(rows, Table2Row{
+			Size:      size,
+			ProcessUS: procUS,
+			TPUS:      tpUS,
+			TPOverPct: (tpUS - procUS) / procUS * 100,
+			SPUS:      spUS,
+			SPOverPct: (spUS - procUS) / procUS * 100,
+		})
+	}
+	return rows
+}
+
+// processExchange measures the raw communication layer: two processes,
+// NX-style blocking send/recv, no threads (the paper's "Process" column).
+// It returns the average one-way message time in microseconds.
+func processExchange(cfg Table2Config, size int) float64 {
+	kernel := sim.NewKernel()
+	net := simnet.New(kernel, cfg.Model)
+	a := comm.Addr{PE: 0, Proc: 0}
+	b := comm.Addr{PE: 1, Proc: 0}
+	var elapsed sim.Duration
+	var ready []*sim.Proc
+	spawn := func(addr comm.Addr, body func(ep *comm.Endpoint)) {
+		ready = append(ready, kernel.Spawn(addr.String(), func(p *sim.Proc) {
+			host := machine.NewSimHost(p, cfg.Model)
+			ep := net.NewEndpoint(addr, host, &trace.Counters{})
+			p.WaitSignal() // both endpoints registered
+			body(ep)
+		}))
+	}
+	spawn(a, func(ep *comm.Endpoint) {
+		buf := make([]byte, size)
+		out := make([]byte, size)
+		for i := 0; i < cfg.Warmup; i++ {
+			ep.Send(b, 0, 1, 0, out)
+			ep.Recv(comm.MatchAll, buf)
+		}
+		t0 := ep.Host().Now()
+		for i := 0; i < cfg.Rounds; i++ {
+			ep.Send(b, 0, 1, 0, out)
+			ep.Recv(comm.MatchAll, buf)
+		}
+		elapsed = ep.Host().Now().Sub(t0)
+	})
+	spawn(b, func(ep *comm.Endpoint) {
+		buf := make([]byte, size)
+		out := make([]byte, size)
+		for i := 0; i < cfg.Warmup+cfg.Rounds; i++ {
+			ep.Recv(comm.MatchAll, buf)
+			ep.Send(a, 0, 1, 0, out)
+		}
+	})
+	kernel.At(0, func() {
+		for _, p := range ready {
+			p.Signal()
+		}
+	})
+	if err := kernel.Run(0); err != nil {
+		panic("experiments: table2 process run: " + err.Error())
+	}
+	// Each round is two messages (there and back).
+	return elapsed.Micros() / float64(2*cfg.Rounds)
+}
+
+// threadExchange measures the same exchange between two Chant threads (one
+// per PE plus optional spinner threads), under the given polling policy.
+// The paper's Thread (TP) column is ThreadPolls; Thread (SP) is the
+// Figure-6 scheduler-polling configuration, which forces a context switch
+// per message received.
+func threadExchange(cfg Table2Config, size int, policy core.PolicyKind, mode core.DeliveryMode) float64 {
+	rt := core.NewSimRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: policy, Delivery: mode, DisableServer: true},
+		cfg.Model)
+	var elapsed sim.Duration
+	peMain := func(pe int32) core.MainFunc {
+		return func(t *core.Thread) {
+			for i := 0; i < cfg.ExtraThreads; i++ {
+				t.Process().CreateLocal("spin", func(me *core.Thread) {
+					host := me.Process().Endpoint().Host()
+					for {
+						host.Compute(100)
+						me.Yield()
+					}
+				}, ult.SpawnOpts{Daemon: true})
+			}
+			peer := core.GlobalID{PE: 1 - pe, Proc: 0, Thread: 0}
+			buf := make([]byte, size)
+			out := make([]byte, size)
+			if pe == 0 {
+				for i := 0; i < cfg.Warmup; i++ {
+					t.Send(peer, 1, out)
+					t.Recv(peer, 1, buf)
+				}
+				t0 := t.Process().Endpoint().Host().Now()
+				for i := 0; i < cfg.Rounds; i++ {
+					t.Send(peer, 1, out)
+					t.Recv(peer, 1, buf)
+				}
+				elapsed = t.Process().Endpoint().Host().Now().Sub(t0)
+			} else {
+				for i := 0; i < cfg.Warmup+cfg.Rounds; i++ {
+					t.Recv(peer, 1, buf)
+					t.Send(peer, 1, out)
+				}
+			}
+		}
+	}
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: peMain(0),
+		{PE: 1, Proc: 0}: peMain(1),
+	})
+	if err != nil {
+		panic("experiments: table2 thread run: " + err.Error())
+	}
+	return elapsed.Micros() / float64(2*cfg.Rounds)
+}

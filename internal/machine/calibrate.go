@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"chant/internal/sim"
+)
+
+// Calibration utilities: the Paragon1994 model's wire curve was fitted
+// from the paper's Table 2 with exactly this least-squares routine, kept
+// here so the fit is reproducible and so users can calibrate models
+// against their own measurements.
+
+// Sample is one (message size, one-way time) measurement.
+type Sample struct {
+	SizeBytes int
+	Time      sim.Duration
+}
+
+// ErrFit reports a degenerate calibration input.
+var ErrFit = errors.New("machine: cannot fit latency model")
+
+// FitWire least-squares fits time = base + perByte*size to the samples and
+// returns the coefficients. It requires at least two samples with distinct
+// sizes and rejects fits with a non-positive base or slope (which would
+// let simulated messages arrive in the past).
+func FitWire(samples []Sample) (base sim.Duration, perByteNs float64, err error) {
+	if len(samples) < 2 {
+		return 0, 0, fmt.Errorf("%w: need >= 2 samples, got %d", ErrFit, len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		x := float64(s.SizeBytes)
+		y := float64(s.Time)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(samples))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("%w: all samples have the same size", ErrFit)
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	if slope <= 0 || intercept <= 0 {
+		return 0, 0, fmt.Errorf("%w: non-positive coefficients (base %.1fns, %.3fns/B)",
+			ErrFit, intercept, slope)
+	}
+	return sim.Duration(intercept + 0.5), slope, nil
+}
+
+// Calibrated returns a copy of m with its wire curve replaced by a fit of
+// the samples, with the end-host overheads (send + receive) subtracted
+// from the fitted base.
+func (m *Model) Calibrated(name string, samples []Sample) (*Model, error) {
+	base, perByte, err := FitWire(samples)
+	if err != nil {
+		return nil, err
+	}
+	out := *m
+	out.Name = name
+	wire := base - sim.Duration(m.SendOverhead) - sim.Duration(m.RecvOverhead)
+	if wire <= 0 {
+		return nil, fmt.Errorf("%w: fitted base %v below end-host overheads", ErrFit, base)
+	}
+	out.NetBase = wire
+	out.NetPerByteNs = perByte
+	return &out, nil
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"chant/internal/sim"
+)
+
+// Host is the execution substrate of one simulated processing element (or,
+// in real mode, one OS-level scheduling domain). The thread scheduler and
+// communication layers consume time exclusively through a Host, which lets
+// identical runtime code execute under the discrete-event simulator or
+// against the wall clock.
+//
+// Charge consumes CPU time on the hosting processor. Compute consumes
+// application work in model compute units. Idle parks the processor until
+// Interrupt is called (message arrival, wakeup). Interrupt is the only
+// method that may be invoked from outside the processor's own execution.
+type Host interface {
+	// Now reports the processor-local current time.
+	Now() sim.Time
+	// Charge consumes d of CPU time (runtime overhead: switches, tests, ...).
+	Charge(d sim.Duration)
+	// Compute consumes units of application work.
+	Compute(units int64)
+	// Idle parks until Interrupt is called. Interrupts are coalesced: an
+	// Interrupt delivered while runnable satisfies the next Idle.
+	Idle()
+	// Interrupt wakes the processor from Idle (or satisfies the next Idle).
+	Interrupt()
+	// Model reports the cost model this host charges against.
+	Model() *Model
+}
+
+// SimHost runs a processing element inside the discrete-event simulator:
+// Charge advances the PE's virtual clock, Idle parks the sim process, and
+// Interrupt signals it. All methods except Interrupt must be invoked from
+// the (single) goroutine currently animating the PE's sim process.
+type SimHost struct {
+	proc  *sim.Proc
+	model *Model
+}
+
+// NewSimHost wraps a simulation process as a Host charging against model.
+func NewSimHost(proc *sim.Proc, model *Model) *SimHost {
+	return &SimHost{proc: proc, model: model}
+}
+
+// Proc exposes the underlying simulation process (used by the simulated
+// network to schedule deliveries against the right kernel).
+func (h *SimHost) Proc() *sim.Proc { return h.proc }
+
+func (h *SimHost) Now() sim.Time         { return h.proc.Now() }
+func (h *SimHost) Charge(d sim.Duration) { h.proc.Advance(d) }
+func (h *SimHost) Compute(units int64) {
+	h.proc.Advance(sim.Duration(units) * h.model.ComputeUnit)
+}
+func (h *SimHost) Idle()         { h.proc.WaitSignal() }
+func (h *SimHost) Interrupt()    { h.proc.Signal() }
+func (h *SimHost) Model() *Model { return h.model }
+
+// RealHost runs against the wall clock: Charge is free (real operations
+// carry their real cost), Compute spins for the requested work, and
+// Idle/Interrupt use a condition variable so idle processors do not burn CPU.
+type RealHost struct {
+	model *Model
+	start time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	signal bool
+}
+
+// NewRealHost returns a Host that reports wall-clock time relative to its
+// creation.
+func NewRealHost(model *Model) *RealHost {
+	h := &RealHost{model: model, start: time.Now()}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *RealHost) Now() sim.Time {
+	return sim.Time(time.Since(h.start).Nanoseconds())
+}
+
+// Charge consumes no modeled time in real mode (real operations take real
+// time), but yields the OS scheduler so cooperative spin loops — a
+// scheduler partial-switch polling cycle, a thread-polls yield loop — stay
+// polite on machines with few cores.
+func (h *RealHost) Charge(d sim.Duration) {
+	if d > 0 {
+		runtime.Gosched()
+	}
+}
+
+// Compute spins for approximately units iterations of trivial work so real
+// and simulated workloads have comparable structure.
+func (h *RealHost) Compute(units int64) {
+	var acc uint64 = 0x9E3779B9
+	for i := int64(0); i < units; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+	}
+	computeSink = acc
+}
+
+// computeSink defeats dead-code elimination of the Compute spin loop.
+var computeSink uint64
+
+func (h *RealHost) Idle() {
+	h.mu.Lock()
+	for !h.signal {
+		h.cond.Wait()
+	}
+	h.signal = false
+	h.mu.Unlock()
+}
+
+func (h *RealHost) Interrupt() {
+	h.mu.Lock()
+	h.signal = true
+	h.cond.Signal()
+	h.mu.Unlock()
+}
+
+func (h *RealHost) Model() *Model { return h.model }

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapPopsInTimeOrder(t *testing.T) {
+	var h eventHeap
+	times := []Time{50, 10, 30, 10, 90, 0, 30, 70}
+	for i, at := range times {
+		h.push(event{at: at, seq: uint64(i)})
+	}
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		got := h.pop()
+		if got.at != w {
+			t.Fatalf("pop %d: got time %d, want %d", i, got.at, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after draining: len=%d", h.Len())
+	}
+}
+
+func TestHeapTiesBreakFIFO(t *testing.T) {
+	var h eventHeap
+	const n = 20
+	for i := 0; i < n; i++ {
+		h.push(event{at: 5, seq: uint64(i)})
+	}
+	for i := 0; i < n; i++ {
+		got := h.pop()
+		if got.seq != uint64(i) {
+			t.Fatalf("tie at same time broke FIFO: pop %d has seq %d", i, got.seq)
+		}
+	}
+}
+
+// Property: any interleaving of pushes then full drain yields a sequence
+// sorted by (time, seq).
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var h eventHeap
+		for i, v := range raw {
+			h.push(event{at: Time(v), seq: uint64(i)})
+		}
+		prev := event{at: -1 << 30}
+		for h.Len() > 0 {
+			e := h.pop()
+			if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved pushes and pops never violate the min-heap contract:
+// every pop returns a time <= any element remaining in the heap.
+func TestHeapInterleavedProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var h eventHeap
+		seq := uint64(0)
+		for _, op := range ops {
+			if op%3 != 0 || h.Len() == 0 {
+				seq++
+				h.push(event{at: Time(op) * 7, seq: seq})
+				continue
+			}
+			got := h.pop()
+			for _, rest := range h.ev {
+				if rest.at < got.at {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

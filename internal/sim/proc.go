@@ -1,0 +1,136 @@
+package sim
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procReady   procState = iota // has a pending resume event
+	procRunning                  // currently executing
+	procParked                   // waiting for a Signal
+	procDone                     // body function returned
+)
+
+func (s procState) String() string {
+	switch s {
+	case procReady:
+		return "ready"
+	case procRunning:
+		return "running"
+	case procParked:
+		return "parked"
+	case procDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Proc is a simulation process: a body function that runs in virtual time,
+// interleaved with other processes by the kernel. A process advances the
+// clock explicitly with Advance and can park awaiting a Signal. Under the
+// covers each process is a goroutine, but handoff through the kernel
+// guarantees only one runs at a time, in deterministic order.
+type Proc struct {
+	k       *Kernel
+	name    string
+	state   procState
+	started bool
+	sig     bool // coalesced wakeup hint delivered while not parked
+	resume  chan struct{}
+	yield   chan struct{}
+	fn      func(*Proc)
+}
+
+// Spawn creates a process named name running fn, scheduled to start at the
+// current virtual time (after already-queued events at that time).
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at virtual time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		fn:     fn,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.scheduleProc(p, t)
+	return p
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time. Valid only while the process is
+// running (which is the only time its body can call it).
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// run resumes the process and blocks until it yields back to the kernel.
+// Called only from the kernel loop.
+func (p *Proc) run() {
+	p.state = procRunning
+	if !p.started {
+		p.started = true
+		go func() {
+			p.fn(p)
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-p.yield
+}
+
+// Advance moves this process's clock forward by d, yielding to the kernel so
+// other processes with earlier virtual times run first. Advancing by a
+// non-positive duration is a no-op: the process keeps running without
+// yielding.
+func (p *Proc) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.k.scheduleProc(p, p.k.now.Add(d))
+	p.state = procReady
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// WaitSignal parks the process until another process or event callback calls
+// Signal. Signals are coalesced: a Signal delivered while the process is
+// runnable satisfies the next WaitSignal immediately. No virtual time passes
+// while parked beyond what elapses before the Signal arrives.
+func (p *Proc) WaitSignal() {
+	if p.sig {
+		p.sig = false
+		return
+	}
+	p.state = procParked
+	p.yield <- struct{}{}
+	<-p.resume
+	p.sig = false
+}
+
+// Signal wakes the process if it is parked in WaitSignal, or records a
+// coalesced hint satisfying its next WaitSignal otherwise. Signalling a
+// finished process is a no-op. Signal must be called from simulation context
+// (an event callback or another running process).
+func (p *Proc) Signal() {
+	switch p.state {
+	case procParked:
+		p.state = procReady
+		p.k.scheduleProc(p, p.k.now)
+	case procDone:
+		// Nothing to wake.
+	default:
+		p.sig = true
+	}
+}

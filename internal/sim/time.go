@@ -1,0 +1,60 @@
+// Package sim provides a deterministic, sequential discrete-event simulation
+// kernel used to model a distributed-memory multicomputer (the paper's Intel
+// Paragon). The kernel maintains a virtual clock and an event heap, and runs
+// coroutine-style processes one at a time in global virtual-time order, so a
+// run is exactly reproducible given the same inputs.
+//
+// The kernel is intentionally minimal: events, processes with explicit time
+// advancement, park/signal for idle waiting, and a seedable random number
+// generator. Higher layers (the machine model, the simulated network, the
+// user-level thread scheduler) are built on these primitives.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Nanosecond resolution lets cost models express sub-microsecond
+// per-byte costs without rounding error.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis reports d as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Scale returns d scaled by the dimensionless factor f, rounded to the
+// nearest nanosecond.
+func (d Duration) Scale(f float64) Duration {
+	return Duration(float64(d)*f + 0.5)
+}
+
+// String formats a virtual time in microseconds, the unit used throughout
+// the paper's tables.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// String formats a duration in microseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }

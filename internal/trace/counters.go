@@ -1,0 +1,201 @@
+// Package trace provides the instrumentation used to reproduce the paper's
+// reported metrics: complete context switches, msgtest call counts, and the
+// time-averaged number of threads waiting on outstanding receive requests
+// (Figures 11-13). Counters are cheap enough to leave enabled; the
+// experiment harness reads them after each run.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chant/internal/sim"
+)
+
+// Counters accumulates event counts for one process. All counter fields are
+// safe for concurrent update (real-mode transports may deliver from another
+// process's goroutine); the waiting-thread integrator is guarded by its own
+// mutex.
+type Counters struct {
+	// Scheduler events.
+	FullSwitches    atomic.Uint64 // complete context switches (restore of a different thread)
+	PartialSwitches atomic.Uint64 // TCB inspections without a restore (Scheduler polls (PS))
+	Yields          atomic.Uint64 // yield calls, total
+	YieldsNoSwitch  atomic.Uint64 // yields that returned immediately (no other ready thread)
+	IdleEntries     atomic.Uint64 // times the scheduler found nothing runnable
+	ThreadsCreated  atomic.Uint64
+
+	// Communication events.
+	Sends          atomic.Uint64
+	Recvs          atomic.Uint64 // completed receives
+	RecvImmediate  atomic.Uint64 // receives that matched an already-arrived message at post time
+	EarlyArrivals  atomic.Uint64 // messages buffered in the unexpected queue (extra copy)
+	BytesSent      atomic.Uint64
+	MsgTestCalls   atomic.Uint64 // msgtest attempts (paper Tables 3-5, "msgtest" column)
+	MsgTestFails   atomic.Uint64 // msgtest attempts that found the operation incomplete (Figure 12)
+	TestAnyCalls   atomic.Uint64
+	TestAnyScanned atomic.Uint64 // outstanding requests examined across all testany calls
+
+	// Remote service requests.
+	RSRRequests atomic.Uint64 // requests served by this process's server thread
+	RSRSent     atomic.Uint64 // requests issued from this process
+
+	wait waitingIntegrator
+}
+
+// waitingIntegrator computes the time average of the number of threads
+// waiting on outstanding receive requests, as plotted in Figure 13.
+type waitingIntegrator struct {
+	mu       sync.Mutex
+	current  int
+	max      int
+	lastAt   sim.Time
+	integral float64 // thread-nanoseconds
+	started  bool
+	startAt  sim.Time
+}
+
+// WaitBegin records that one more thread started waiting on an outstanding
+// receive at virtual time now.
+func (c *Counters) WaitBegin(now sim.Time) { c.wait.update(now, +1) }
+
+// WaitEnd records that a waiting thread's receive completed at time now.
+func (c *Counters) WaitEnd(now sim.Time) { c.wait.update(now, -1) }
+
+// WaitEndAt records that a receive stopped being outstanding at time at,
+// which may lie in the past (the thread observes the arrival only when it
+// is next polled or scheduled). The integral is corrected retroactively so
+// the metric measures "threads waiting on outstanding receive requests"
+// (paper Figure 13) — a request that has already been satisfied no longer
+// counts, even if its thread has not yet resumed.
+func (c *Counters) WaitEndAt(at sim.Time) {
+	w := &c.wait
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		panic("trace: WaitEndAt without WaitBegin")
+	}
+	if at >= w.lastAt {
+		w.integral += float64(w.current) * float64(at.Sub(w.lastAt))
+		w.lastAt = at
+	} else {
+		// Retroactive completion: remove this thread's contribution over
+		// [at, lastAt].
+		w.integral -= float64(w.lastAt.Sub(at))
+	}
+	w.current--
+	if w.current < 0 {
+		panic("trace: waiting-thread count went negative")
+	}
+}
+
+func (w *waitingIntegrator) update(now sim.Time, delta int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		w.started = true
+		w.startAt = now
+		w.lastAt = now
+	}
+	w.integral += float64(w.current) * float64(now.Sub(w.lastAt))
+	w.lastAt = now
+	w.current += delta
+	if w.current < 0 {
+		panic("trace: waiting-thread count went negative")
+	}
+	if w.current > w.max {
+		w.max = w.current
+	}
+}
+
+// AvgWaiting reports the time-averaged number of waiting threads over
+// [first wait event, end]. It returns 0 if no thread ever waited.
+func (c *Counters) AvgWaiting(end sim.Time) float64 {
+	w := &c.wait
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started || end <= w.startAt {
+		return 0
+	}
+	integral := w.integral + float64(w.current)*float64(end.Sub(w.lastAt))
+	return integral / float64(end.Sub(w.startAt))
+}
+
+// MaxWaiting reports the peak number of simultaneously waiting threads.
+func (c *Counters) MaxWaiting() int {
+	c.wait.mu.Lock()
+	defer c.wait.mu.Unlock()
+	return c.wait.max
+}
+
+// CurWaiting reports the instantaneous number of waiting threads.
+func (c *Counters) CurWaiting() int {
+	c.wait.mu.Lock()
+	defer c.wait.mu.Unlock()
+	return c.wait.current
+}
+
+// Snapshot is a plain-value copy of all counters, convenient for reports
+// and for summation across processes.
+type Snapshot struct {
+	FullSwitches, PartialSwitches, Yields, YieldsNoSwitch, IdleEntries uint64
+	ThreadsCreated                                                     uint64
+	Sends, Recvs, RecvImmediate, EarlyArrivals, BytesSent              uint64
+	MsgTestCalls, MsgTestFails, TestAnyCalls, TestAnyScanned           uint64
+	RSRRequests, RSRSent                                               uint64
+	AvgWaiting                                                         float64
+	MaxWaiting                                                         int
+}
+
+// Snap captures the current counter values, computing the waiting-thread
+// average over the window ending at end.
+func (c *Counters) Snap(end sim.Time) Snapshot {
+	return Snapshot{
+		FullSwitches:    c.FullSwitches.Load(),
+		PartialSwitches: c.PartialSwitches.Load(),
+		Yields:          c.Yields.Load(),
+		YieldsNoSwitch:  c.YieldsNoSwitch.Load(),
+		IdleEntries:     c.IdleEntries.Load(),
+		ThreadsCreated:  c.ThreadsCreated.Load(),
+		Sends:           c.Sends.Load(),
+		Recvs:           c.Recvs.Load(),
+		RecvImmediate:   c.RecvImmediate.Load(),
+		EarlyArrivals:   c.EarlyArrivals.Load(),
+		BytesSent:       c.BytesSent.Load(),
+		MsgTestCalls:    c.MsgTestCalls.Load(),
+		MsgTestFails:    c.MsgTestFails.Load(),
+		TestAnyCalls:    c.TestAnyCalls.Load(),
+		TestAnyScanned:  c.TestAnyScanned.Load(),
+		RSRRequests:     c.RSRRequests.Load(),
+		RSRSent:         c.RSRSent.Load(),
+		AvgWaiting:      c.AvgWaiting(end),
+		MaxWaiting:      c.MaxWaiting(),
+	}
+}
+
+// Add accumulates other into s field-by-field. Waiting-thread statistics
+// are summed (the paper reports the total average across both processors'
+// thread populations).
+func (s *Snapshot) Add(other Snapshot) {
+	s.FullSwitches += other.FullSwitches
+	s.PartialSwitches += other.PartialSwitches
+	s.Yields += other.Yields
+	s.YieldsNoSwitch += other.YieldsNoSwitch
+	s.IdleEntries += other.IdleEntries
+	s.ThreadsCreated += other.ThreadsCreated
+	s.Sends += other.Sends
+	s.Recvs += other.Recvs
+	s.RecvImmediate += other.RecvImmediate
+	s.EarlyArrivals += other.EarlyArrivals
+	s.BytesSent += other.BytesSent
+	s.MsgTestCalls += other.MsgTestCalls
+	s.MsgTestFails += other.MsgTestFails
+	s.TestAnyCalls += other.TestAnyCalls
+	s.TestAnyScanned += other.TestAnyScanned
+	s.RSRRequests += other.RSRRequests
+	s.RSRSent += other.RSRSent
+	s.AvgWaiting += other.AvgWaiting
+	if other.MaxWaiting > s.MaxWaiting {
+		s.MaxWaiting = other.MaxWaiting
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"chant/internal/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+
+func TestWaitingIntegratorConstant(t *testing.T) {
+	var c Counters
+	c.WaitBegin(us(0))
+	c.WaitBegin(us(0))
+	// Two threads waiting for the whole window.
+	if got := c.AvgWaiting(us(100)); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("AvgWaiting = %v, want 2", got)
+	}
+	if c.MaxWaiting() != 2 {
+		t.Fatalf("MaxWaiting = %d, want 2", c.MaxWaiting())
+	}
+}
+
+func TestWaitingIntegratorStep(t *testing.T) {
+	var c Counters
+	c.WaitBegin(us(0))  // 1 waiting over [0,50)
+	c.WaitBegin(us(50)) // 2 waiting over [50,100)
+	got := c.AvgWaiting(us(100))
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("AvgWaiting = %v, want 1.5", got)
+	}
+}
+
+func TestWaitingIntegratorEnd(t *testing.T) {
+	var c Counters
+	c.WaitBegin(us(0))
+	c.WaitEnd(us(25)) // 1 waiting over [0,25), 0 over [25,100)
+	got := c.AvgWaiting(us(100))
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("AvgWaiting = %v, want 0.25", got)
+	}
+	if c.CurWaiting() != 0 {
+		t.Fatalf("CurWaiting = %d, want 0", c.CurWaiting())
+	}
+}
+
+func TestWaitingNeverStartedIsZero(t *testing.T) {
+	var c Counters
+	if got := c.AvgWaiting(us(1000)); got != 0 {
+		t.Fatalf("AvgWaiting with no waits = %v, want 0", got)
+	}
+}
+
+func TestNegativeWaitingPanics(t *testing.T) {
+	var c Counters
+	defer func() {
+		if recover() == nil {
+			t.Error("WaitEnd below zero did not panic")
+		}
+	}()
+	c.WaitEnd(us(1))
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	var a, b Counters
+	a.MsgTestCalls.Add(10)
+	a.FullSwitches.Add(3)
+	b.MsgTestCalls.Add(5)
+	b.MsgTestFails.Add(2)
+	sa := a.Snap(us(100))
+	sb := b.Snap(us(100))
+	sa.Add(sb)
+	if sa.MsgTestCalls != 15 || sa.FullSwitches != 3 || sa.MsgTestFails != 2 {
+		t.Fatalf("summed snapshot wrong: %+v", sa)
+	}
+}
+
+func TestSnapshotAddMaxWaiting(t *testing.T) {
+	var a, b Counters
+	a.WaitBegin(us(0))
+	b.WaitBegin(us(0))
+	b.WaitBegin(us(1))
+	sa := a.Snap(us(10))
+	sa.Add(b.Snap(us(10)))
+	if sa.MaxWaiting != 2 {
+		t.Fatalf("MaxWaiting after Add = %d, want 2", sa.MaxWaiting)
+	}
+}
+
+func TestCountersConcurrentUpdates(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Sends.Add(1)
+				c.MsgTestCalls.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Sends.Load(); got != 8000 {
+		t.Fatalf("Sends = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chant/internal/sim"
+)
+
+// Timeline reconstructs per-thread occupancy from a Log's events and
+// renders it as an ASCII Gantt chart: one row per thread, one column per
+// time bucket.
+//
+//	'#' the thread was running during (part of) the bucket
+//	'.' the thread existed but was not running
+//	' ' the thread had not been spawned or had exited
+//
+// It is an approximation: a bucket spanning several switches shows every
+// thread that ran in it. Intended for debugging scheduler behaviour
+// (attach a Log via ult.Options.EventLog, then print Timeline).
+func Timeline(events []Event, width int) string {
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	start, end := events[0].At, events[0].At
+	for _, e := range events {
+		if e.At < start {
+			start = e.At
+		}
+		if e.At > end {
+			end = e.At
+		}
+	}
+	if end == start {
+		end = start + 1
+	}
+	span := float64(end - start)
+	bucket := func(at sim.Time) int {
+		b := int(float64(at-start) / span * float64(width))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	type life struct {
+		born, died sim.Time
+		haveBorn   bool
+		haveDied   bool
+		running    []bool
+	}
+	threads := map[int32]*life{}
+	get := func(id int32) *life {
+		l := threads[id]
+		if l == nil {
+			l = &life{running: make([]bool, width)}
+			threads[id] = l
+		}
+		return l
+	}
+
+	// Reconstruct running segments: a thread runs from its switch-in until
+	// the next scheduling event (any thread's switch-in, its own block or
+	// exit, or an idle entry).
+	cur := int32(-1)
+	var curFrom sim.Time
+	closeSegment := func(until sim.Time) {
+		if cur < 0 {
+			return
+		}
+		l := get(cur)
+		for b := bucket(curFrom); b <= bucket(until); b++ {
+			l.running[b] = true
+		}
+		cur = -1
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case EvSpawn:
+			l := get(e.Thread)
+			l.born, l.haveBorn = e.At, true
+		case EvSwitchIn:
+			closeSegment(e.At)
+			cur = e.Thread
+			curFrom = e.At
+		case EvBlock, EvExit:
+			if e.Thread == cur {
+				closeSegment(e.At)
+			}
+			if e.Kind == EvExit {
+				l := get(e.Thread)
+				l.died, l.haveDied = e.At, true
+			}
+		case EvIdle:
+			closeSegment(e.At)
+		}
+	}
+	closeSegment(end)
+
+	ids := make([]int32, 0, len(threads))
+	for id := range threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%d buckets of %v)\n",
+		start, end, width, sim.Duration(span/float64(width)))
+	for _, id := range ids {
+		l := threads[id]
+		fmt.Fprintf(&b, "t%-4d |", id)
+		for col := 0; col < width; col++ {
+			at := start.Add(sim.Duration(span * float64(col) / float64(width)))
+			switch {
+			case l.running[col]:
+				b.WriteByte('#')
+			case l.haveBorn && at < l.born:
+				b.WriteByte(' ')
+			case l.haveDied && at > l.died:
+				b.WriteByte(' ')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

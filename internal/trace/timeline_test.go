@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(nil, 40); !strings.Contains(out, "no events") {
+		t.Fatalf("empty timeline: %q", out)
+	}
+}
+
+func TestTimelineBasicAlternation(t *testing.T) {
+	events := []Event{
+		{At: us(0), Kind: EvSpawn, Thread: 0},
+		{At: us(0), Kind: EvSpawn, Thread: 1},
+		{At: us(0), Kind: EvSwitchIn, Thread: 0},
+		{At: us(50), Kind: EvSwitchIn, Thread: 1},
+		{At: us(100), Kind: EvSwitchIn, Thread: 0},
+		{At: us(150), Kind: EvExit, Thread: 0},
+		{At: us(150), Kind: EvSwitchIn, Thread: 1},
+		{At: us(200), Kind: EvExit, Thread: 1},
+	}
+	out := Timeline(events, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 threads
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "t0") || !strings.HasPrefix(lines[2], "t1") {
+		t.Fatalf("rows mislabeled:\n%s", out)
+	}
+	// Thread 0 ran in the first quarter; thread 1 in the second.
+	row0 := lines[1][strings.Index(lines[1], "|")+1:]
+	row1 := lines[2][strings.Index(lines[2], "|")+1:]
+	if row0[0] != '#' {
+		t.Errorf("t0 not running at start:\n%s", out)
+	}
+	if row1[12] != '#' { // ~30% through: thread 1's first slot
+		t.Errorf("t1 not running in its slot:\n%s", out)
+	}
+	if row0[1] == '#' && row1[1] == '#' {
+		t.Errorf("both threads running in one early bucket:\n%s", out)
+	}
+}
+
+func TestTimelineShowsLifecycle(t *testing.T) {
+	events := []Event{
+		{At: us(0), Kind: EvSpawn, Thread: 0},
+		{At: us(0), Kind: EvSwitchIn, Thread: 0},
+		{At: us(400), Kind: EvSpawn, Thread: 7}, // born late
+		{At: us(500), Kind: EvSwitchIn, Thread: 7},
+		{At: us(600), Kind: EvExit, Thread: 7},
+		{At: us(1000), Kind: EvExit, Thread: 0},
+	}
+	out := Timeline(events, 50)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row7 := lines[2][strings.Index(lines[2], "|")+1:]
+	if row7[0] != ' ' {
+		t.Errorf("t7 shown before its spawn:\n%s", out)
+	}
+	if row7[len(row7)-2] != ' ' {
+		t.Errorf("t7 shown after its exit:\n%s", out)
+	}
+	if !strings.Contains(row7, "#") {
+		t.Errorf("t7 never shown running:\n%s", out)
+	}
+}
+
+func TestTimelineFromRealSchedulerLog(t *testing.T) {
+	// End-to-end: events recorded by an actual scheduler render cleanly.
+	log := NewLog(4096)
+	// Simulate the wiring by hand (the ult integration test covers the
+	// real scheduler); here a synthetic interleaving.
+	for i := int32(0); i < 3; i++ {
+		log.Add(us(int64(i)), EvSpawn, i)
+	}
+	at := int64(10)
+	for round := 0; round < 5; round++ {
+		for i := int32(0); i < 3; i++ {
+			log.Add(us(at), EvSwitchIn, i)
+			at += 20
+		}
+	}
+	for i := int32(0); i < 3; i++ {
+		log.Add(us(at), EvExit, i)
+	}
+	out := Timeline(log.Snapshot(), 60)
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("unexpected shape:\n%s", out)
+	}
+	for _, row := range strings.Split(out, "\n")[1:4] {
+		if !strings.Contains(row, "#") {
+			t.Errorf("thread with no running time:\n%s", out)
+		}
+	}
+}
+
+func TestTimelineDefaultWidth(t *testing.T) {
+	events := []Event{
+		{At: us(0), Kind: EvSwitchIn, Thread: 0},
+		{At: us(10), Kind: EvExit, Thread: 0},
+	}
+	out := Timeline(events, 0)
+	line := strings.Split(out, "\n")[1]
+	inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	if len(inner) != 72 {
+		t.Fatalf("default width = %d, want 72", len(inner))
+	}
+}

@@ -1,0 +1,49 @@
+package ult
+
+// Key identifies one slot of thread-local data, mirroring pthread keys.
+// Keys are compared by pointer identity: create them with NewKey and share
+// the pointer among the threads that use the slot.
+type Key struct {
+	name string
+	// destructor runs when a thread that set this key finishes. Nil means
+	// no cleanup.
+	destructor func(value any)
+}
+
+// NewKey creates a thread-local data key. destructor, if non-nil, runs for
+// each thread's value when that thread finishes.
+func NewKey(name string, destructor func(value any)) *Key {
+	return &Key{name: name, destructor: destructor}
+}
+
+// Name reports the key's debug name.
+func (k *Key) Name() string { return k.name }
+
+// SetLocal associates value with key for thread t
+// (pthread_setspecific). A nil value deletes the association.
+func (t *TCB) SetLocal(key *Key, value any) {
+	if value == nil {
+		delete(t.locals, key)
+		return
+	}
+	if t.locals == nil {
+		t.locals = make(map[*Key]any)
+	}
+	t.locals[key] = value
+}
+
+// Local reports the value associated with key for thread t, or nil
+// (pthread_getspecific).
+func (t *TCB) Local(key *Key) any {
+	return t.locals[key]
+}
+
+// runDestructors invokes key destructors for a finished thread.
+func (t *TCB) runDestructors() {
+	for k, v := range t.locals {
+		if k.destructor != nil {
+			k.destructor(v)
+		}
+	}
+	t.locals = nil
+}

@@ -1,0 +1,463 @@
+package ult
+
+import (
+	"fmt"
+	"strings"
+
+	"chant/internal/machine"
+	"chant/internal/trace"
+)
+
+// Options configures a scheduler.
+type Options struct {
+	// Name labels the scheduler in diagnostics (e.g. "pe0.p0").
+	Name string
+	// EventLog, when non-nil, records scheduler events (switches, blocks,
+	// spawns, exits) for debugging; see trace.Log.
+	EventLog *trace.Log
+	// IdleBlock selects what the scheduler does when nothing is runnable
+	// but external wakeups (message arrivals) remain possible: park the
+	// host awaiting an interrupt (true; kind to real CPUs) or busy-poll
+	// (false; the paper's interrupt-free Paragon behaviour, used by the
+	// simulated experiments so poll counts match).
+	IdleBlock bool
+}
+
+// SpawnOpts configures one thread at creation.
+type SpawnOpts struct {
+	// Priority orders ready threads; higher runs first, default 0.
+	Priority int
+	// Daemon threads do not keep the scheduler alive: when every regular
+	// thread has finished, daemons are canceled and reaped. The Chant
+	// server thread is a daemon.
+	Daemon bool
+}
+
+// Sched is a cooperative user-level thread scheduler bound to one Host
+// (one simulated processing element, or one goroutine-domain in real mode).
+// All methods must be called from the scheduler's own context: inside Run,
+// from one of its threads, or from the same process before Run.
+type Sched struct {
+	host machine.Host
+	ctrs *trace.Counters
+	opts Options
+
+	ready   []*TCB
+	cur     *TCB
+	toSched chan struct{}
+
+	nextID      int32
+	liveRegular int
+	liveTotal   int
+	blocked     int
+	threads     []*TCB
+	finished    int // Done entries in threads awaiting pruning
+
+	// preSchedule runs at every scheduling point in the run loop
+	// (Scheduler-polls (WQ) walks its request list here).
+	preSchedule func()
+	// hasExternalWaiters reports whether some blocked thread can still be
+	// woken by an external event (an outstanding receive), distinguishing
+	// "keep polling" from deadlock when the ready queue is empty.
+	hasExternalWaiters func() bool
+
+	pan *PanicError
+}
+
+// NewSched creates a scheduler charging host and counting into ctrs.
+func NewSched(host machine.Host, ctrs *trace.Counters, opts Options) *Sched {
+	return &Sched{
+		host:    host,
+		ctrs:    ctrs,
+		opts:    opts,
+		toSched: make(chan struct{}),
+	}
+}
+
+// Host reports the scheduler's execution host.
+func (s *Sched) Host() machine.Host { return s.host }
+
+// Counters reports the scheduler's event counters.
+func (s *Sched) Counters() *trace.Counters { return s.ctrs }
+
+// Current reports the running thread, or nil from scheduler context.
+func (s *Sched) Current() *TCB { return s.cur }
+
+// SetPreSchedule installs fn to run at every scheduling point, before the
+// next thread is chosen. The Scheduler-polls (WQ) algorithm uses this to
+// test its outstanding-request list (paper Figure 6).
+func (s *Sched) SetPreSchedule(fn func()) { s.preSchedule = fn }
+
+// SetExternalWaiters installs a predicate reporting whether any blocked
+// thread could still be woken by an external event. Without it, an empty
+// ready queue with blocked threads is treated as a deadlock.
+func (s *Sched) SetExternalWaiters(fn func() bool) { s.hasExternalWaiters = fn }
+
+// Spawn creates a ready thread running fn with default options.
+func (s *Sched) Spawn(name string, fn func()) *TCB {
+	return s.SpawnWith(name, fn, SpawnOpts{})
+}
+
+// SpawnWith creates a ready thread running fn with the given options,
+// charging the thread-creation cost.
+func (s *Sched) SpawnWith(name string, fn func(), o SpawnOpts) *TCB {
+	t := &TCB{
+		id:     s.nextID,
+		name:   name,
+		sched:  s,
+		state:  Ready,
+		prio:   o.Priority,
+		daemon: o.Daemon,
+		fn:     fn,
+		resume: make(chan struct{}),
+	}
+	s.nextID++
+	s.threads = append(s.threads, t)
+	s.liveTotal++
+	if !o.Daemon {
+		s.liveRegular++
+	}
+	s.ctrs.ThreadsCreated.Add(1)
+	s.host.Charge(s.host.Model().ThreadCreate)
+	s.ready = append(s.ready, t)
+	s.opts.EventLog.Add(s.host.Now(), trace.EvSpawn, t.id)
+	return t
+}
+
+// Run spawns main as thread 0 and schedules until every regular
+// (non-daemon) thread has finished, then cancels and reaps any remaining
+// daemons. It returns ErrDeadlock (wrapped, with a state dump) if blocked
+// threads remain with no possible wakeup source, and re-raises any panic
+// that escaped a thread body as a *PanicError.
+func (s *Sched) Run(main func()) error {
+	s.Spawn("main", main)
+	m := s.host.Model()
+	for s.liveRegular > 0 {
+		if s.preSchedule != nil {
+			s.preSchedule()
+		}
+		t := s.pickReady()
+		if t == nil {
+			if s.blocked == 0 {
+				// Regular threads remain but none are ready or blocked:
+				// impossible unless bookkeeping broke.
+				panic("ult: scheduler invariant violated: live threads but none ready or blocked")
+			}
+			if s.hasExternalWaiters == nil || !s.hasExternalWaiters() {
+				err := s.deadlockError()
+				s.reapRemaining()
+				return err
+			}
+			s.ctrs.IdleEntries.Add(1)
+			s.opts.EventLog.Add(s.host.Now(), trace.EvIdle, -1)
+			if s.opts.IdleBlock {
+				s.host.Idle()
+			} else {
+				s.host.Charge(m.IdleRecheckGap)
+			}
+			continue
+		}
+		if t.Pending != nil && !t.canceled {
+			// Partial context switch: inspect the TCB's outstanding
+			// request without restoring the thread (paper Section 4.2,
+			// Scheduler polls (PS)).
+			s.ctrs.PartialSwitches.Add(1)
+			s.host.Charge(m.PartialSwitch)
+			s.opts.EventLog.Add(s.host.Now(), trace.EvPartialSwitch, t.id)
+			if !t.Pending() {
+				s.ready = append(s.ready, t)
+				continue
+			}
+		}
+		t.Pending = nil
+		s.switchIn(t)
+		if s.pan != nil {
+			panic(s.pan)
+		}
+	}
+	s.reapRemaining()
+	return nil
+}
+
+// pickReady removes and returns the first ready thread of the highest
+// priority, or nil if the ready queue is empty. The linear scan keeps
+// within-priority FIFO order and honors priority changes made while queued.
+func (s *Sched) pickReady() *TCB {
+	if len(s.ready) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(s.ready); i++ {
+		if s.ready[i].prio > s.ready[best].prio {
+			best = i
+		}
+	}
+	t := s.ready[best]
+	copy(s.ready[best:], s.ready[best+1:])
+	s.ready[len(s.ready)-1] = nil
+	s.ready = s.ready[:len(s.ready)-1]
+	return t
+}
+
+// switchIn performs a complete context switch to t: the event the paper's
+// CtxSw column counts.
+func (s *Sched) switchIn(t *TCB) {
+	s.ctrs.FullSwitches.Add(1)
+	s.host.Charge(s.host.Model().FullSwitch)
+	s.opts.EventLog.Add(s.host.Now(), trace.EvSwitchIn, t.id)
+	t.state = Running
+	s.cur = t
+	if !t.started {
+		t.started = true
+		go s.trampoline(t)
+	} else {
+		t.resume <- struct{}{}
+	}
+	<-s.toSched
+	s.cur = nil
+}
+
+// trampoline is the goroutine body wrapping a thread function: it converts
+// exit and cancel unwinds into completion, captures stray panics, and
+// always returns control to the scheduler.
+func (s *Sched) trampoline(t *TCB) {
+	defer func() {
+		switch v := recover().(type) {
+		case nil:
+		case exitSignal:
+			t.result = v.value
+		case cancelSignal:
+		default:
+			s.pan = &PanicError{Thread: t.name, Value: v}
+		}
+		s.finish(t)
+		s.toSched <- struct{}{}
+	}()
+	if t.canceled {
+		panic(cancelSignal{})
+	}
+	t.fn()
+}
+
+// finish marks t done, runs its thread-local destructors, updates live
+// counts, and wakes its joiners.
+func (s *Sched) finish(t *TCB) {
+	t.state = Done
+	t.Pending = nil
+	t.runDestructors()
+	s.opts.EventLog.Add(s.host.Now(), trace.EvExit, t.id)
+	s.liveTotal--
+	if !t.daemon {
+		s.liveRegular--
+	}
+	for _, j := range t.joiners {
+		s.Unblock(j)
+	}
+	t.joiners = nil
+	s.finished++
+	if s.finished >= 256 {
+		s.pruneThreads()
+	}
+}
+
+// pruneThreads drops Done entries from the bookkeeping slice so schedulers
+// that spawn many short-lived threads do not grow without bound.
+func (s *Sched) pruneThreads() {
+	kept := s.threads[:0]
+	for _, t := range s.threads {
+		if t.state != Done {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(s.threads); i++ {
+		s.threads[i] = nil
+	}
+	s.threads = kept
+	s.finished = 0
+}
+
+// park returns control to the scheduler and blocks until this thread is
+// switched in again. Callers must check t.canceled afterwards.
+func (s *Sched) park(t *TCB) {
+	s.toSched <- struct{}{}
+	<-t.resume
+}
+
+// Yield gives up the processor to the next ready thread
+// (pthread_chanter_yield). If no other thread is ready and the caller has
+// no pending request, it returns immediately without a context switch —
+// the single-thread fast path the paper credits with halving Table 2's
+// worst-case overhead.
+func (s *Sched) Yield() {
+	t := s.mustCurrent("Yield")
+	s.ctrs.Yields.Add(1)
+	if t.canceled {
+		panic(cancelSignal{})
+	}
+	if len(s.ready) == 0 && t.Pending == nil && s.preSchedule != nil {
+		// A no-switch yield is still a scheduling point: the polling hook
+		// must run or a lone spinning thread would starve every blocked
+		// receiver. The hook may ready a thread, in which case the fast
+		// path below no longer applies.
+		s.preSchedule()
+	}
+	if len(s.ready) == 0 && t.Pending == nil {
+		s.ctrs.YieldsNoSwitch.Add(1)
+		s.host.Charge(s.host.Model().YieldNoSwitch)
+		s.opts.EventLog.Add(s.host.Now(), trace.EvYieldFast, t.id)
+		return
+	}
+	t.state = Ready
+	s.ready = append(s.ready, t)
+	s.park(t)
+	if t.canceled {
+		panic(cancelSignal{})
+	}
+}
+
+// Block removes the current thread from the run queue until some other
+// agent calls Unblock on it. It is the primitive beneath mutexes, condition
+// variables, join, and the scheduler-polling receive algorithms.
+func (s *Sched) Block() {
+	t := s.mustCurrent("Block")
+	if t.canceled {
+		panic(cancelSignal{})
+	}
+	t.state = Blocked
+	s.blocked++
+	s.opts.EventLog.Add(s.host.Now(), trace.EvBlock, t.id)
+	s.park(t)
+	if t.canceled {
+		panic(cancelSignal{})
+	}
+}
+
+// Unblock returns a blocked thread to the ready queue. It must be called
+// from this scheduler's context (a running thread, a scheduling hook, or a
+// cancel path).
+func (s *Sched) Unblock(t *TCB) {
+	if t.state != Blocked {
+		panic(fmt.Sprintf("ult: Unblock of %q in state %s", t.name, t.state))
+	}
+	t.state = Ready
+	s.blocked--
+	s.ready = append(s.ready, t)
+	s.opts.EventLog.Add(s.host.Now(), trace.EvUnblock, t.id)
+}
+
+// Exit terminates the calling thread, making value available to joiners
+// (pthread_chanter_exit).
+func (s *Sched) Exit(value any) {
+	s.mustCurrent("Exit")
+	panic(exitSignal{value: value})
+}
+
+// Cancel requests that t exit as if it had called Exit
+// (pthread_chanter_cancel). A blocked target is released to reach its next
+// cancellation point; cleanup registered via OnCancel runs immediately.
+// Canceling the calling thread exits at once; canceling a finished thread
+// is a no-op.
+func (s *Sched) Cancel(t *TCB) {
+	if t.state == Done || t.canceled {
+		return
+	}
+	t.canceled = true
+	s.opts.EventLog.Add(s.host.Now(), trace.EvCancel, t.id)
+	if t.onCancel != nil {
+		fn := t.onCancel
+		t.onCancel = nil
+		fn()
+	}
+	if t == s.cur {
+		panic(cancelSignal{})
+	}
+	if t.state == Blocked {
+		s.Unblock(t)
+	}
+}
+
+// Join blocks the caller until t finishes and returns t's exit value
+// (pthread_chanter_join). Joining a detached thread or self is an error;
+// joining a canceled thread reports ErrCanceled.
+func (s *Sched) Join(t *TCB) (any, error) {
+	cur := s.mustCurrent("Join")
+	if t == cur {
+		return nil, ErrSelfJoin
+	}
+	if t.detached {
+		return nil, ErrDetached
+	}
+	for t.state != Done {
+		t.joiners = append(t.joiners, cur)
+		cur.onCancel = func() { removeTCB(&t.joiners, cur) }
+		s.Block()
+		cur.onCancel = nil
+	}
+	if t.canceled {
+		return nil, ErrCanceled
+	}
+	return t.result, nil
+}
+
+// reapRemaining cancels and unwinds every thread still alive, so daemon
+// goroutines (like the Chant server thread) and deadlocked threads do not
+// outlive their scheduler. Each unwind may finish threads and prune the
+// bookkeeping slice, so the scan restarts after every reap.
+func (s *Sched) reapRemaining() {
+	for {
+		var t *TCB
+		for _, x := range s.threads {
+			if x.state != Done {
+				t = x
+				break
+			}
+		}
+		if t == nil {
+			return
+		}
+		t.canceled = true
+		if t.onCancel != nil {
+			fn := t.onCancel
+			t.onCancel = nil
+			fn()
+		}
+		if !t.started {
+			s.finish(t)
+			continue
+		}
+		t.state = Running
+		s.cur = t
+		t.resume <- struct{}{}
+		<-s.toSched
+		s.cur = nil
+	}
+}
+
+// deadlockError builds a diagnostic listing every live thread's state.
+func (s *Sched) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler %q:", s.opts.Name)
+	for _, t := range s.threads {
+		if t.state != Done {
+			fmt.Fprintf(&b, " [%d %s: %s]", t.id, t.name, t.state)
+		}
+	}
+	return fmt.Errorf("%w (%s)", ErrDeadlock, b.String())
+}
+
+func (s *Sched) mustCurrent(op string) *TCB {
+	if s.cur == nil {
+		panic("ult: " + op + " called outside any thread")
+	}
+	return s.cur
+}
+
+// removeTCB deletes the first occurrence of t from *list.
+func removeTCB(list *[]*TCB, t *TCB) {
+	for i, x := range *list {
+		if x == t {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}

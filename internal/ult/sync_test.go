@@ -1,0 +1,286 @@
+package ult
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	inCrit := 0
+	maxCrit := 0
+	err := s.Run(func() {
+		for i := 0; i < 4; i++ {
+			s.Spawn("w", func() {
+				for j := 0; j < 5; j++ {
+					m.Lock()
+					inCrit++
+					if inCrit > maxCrit {
+						maxCrit = inCrit
+					}
+					s.Yield() // try to provoke interleaving inside the section
+					inCrit--
+					m.Unlock()
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxCrit != 1 {
+		t.Fatalf("critical section held by %d threads at once", maxCrit)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	var order []int
+	err := s.Run(func() {
+		m.Lock()
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Spawn("w", func() {
+				m.Lock()
+				order = append(order, i)
+				m.Unlock()
+			})
+		}
+		s.Yield() // all three queue behind us in spawn order
+		m.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("lock handoff not FIFO: %v", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	err := s.Run(func() {
+		if !m.TryLock() {
+			t.Error("TryLock on free mutex failed")
+		}
+		w := s.Spawn("w", func() {
+			if m.TryLock() {
+				t.Error("TryLock on held mutex succeeded")
+			}
+		})
+		s.Join(w)
+		m.Unlock()
+		if m.Locked() {
+			t.Error("mutex still locked after Unlock")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexMisusePanics(t *testing.T) {
+	s := newTestSched()
+	err := s.Run(func() {
+		m := NewMutex(s)
+		m.Lock()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("recursive lock did not panic")
+				}
+			}()
+			m.Lock()
+		}()
+		m.Unlock()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unlock by non-owner did not panic")
+				}
+			}()
+			m.Unlock()
+		}()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexCancelWaiter(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	err := s.Run(func() {
+		m.Lock()
+		victim := s.Spawn("victim", func() {
+			m.Lock()
+			t.Error("canceled waiter acquired the lock body")
+			m.Unlock()
+		})
+		other := s.Spawn("other", func() {
+			m.Lock()
+			m.Unlock()
+		})
+		s.Yield() // both queue up
+		s.Cancel(victim)
+		m.Unlock()
+		if _, err := s.Join(victim); !errors.Is(err, ErrCanceled) {
+			t.Errorf("victim join: %v", err)
+		}
+		if _, err := s.Join(other); err != nil {
+			t.Errorf("other join: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	c := NewCond(m)
+	queue := []int{}
+	err := s.Run(func() {
+		consumer := s.Spawn("consumer", func() {
+			m.Lock()
+			for len(queue) == 0 {
+				c.Wait()
+			}
+			got := queue[0]
+			queue = queue[1:]
+			m.Unlock()
+			if got != 99 {
+				t.Errorf("consumed %d, want 99", got)
+			}
+		})
+		s.Yield() // consumer waits
+		m.Lock()
+		queue = append(queue, 99)
+		c.Signal()
+		m.Unlock()
+		s.Join(consumer)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := newTestSched()
+	m := NewMutex(s)
+	c := NewCond(m)
+	released := 0
+	go_ := false
+	err := s.Run(func() {
+		var waiters []*TCB
+		for i := 0; i < 3; i++ {
+			waiters = append(waiters, s.Spawn("w", func() {
+				m.Lock()
+				for !go_ {
+					c.Wait()
+				}
+				released++
+				m.Unlock()
+			}))
+		}
+		s.Yield()
+		m.Lock()
+		go_ = true
+		c.Broadcast()
+		m.Unlock()
+		for _, w := range waiters {
+			s.Join(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 3 {
+		t.Fatalf("broadcast released %d of 3", released)
+	}
+}
+
+func TestCondWaitWithoutMutexPanics(t *testing.T) {
+	s := newTestSched()
+	err := s.Run(func() {
+		m := NewMutex(s)
+		c := NewCond(m)
+		defer func() {
+			if recover() == nil {
+				t.Error("Cond.Wait without mutex did not panic")
+			}
+		}()
+		c.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignalNoWaitersIsNoop(t *testing.T) {
+	s := newTestSched()
+	err := s.Run(func() {
+		m := NewMutex(s)
+		c := NewCond(m)
+		c.Signal()
+		c.Broadcast()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadLocalData(t *testing.T) {
+	s := newTestSched()
+	key := NewKey("slot", nil)
+	err := s.Run(func() {
+		a := s.Spawn("a", func() {
+			me := s.Current()
+			me.SetLocal(key, "A")
+			s.Yield()
+			if me.Local(key) != "A" {
+				t.Error("thread-local value lost across yield")
+			}
+		})
+		b := s.Spawn("b", func() {
+			me := s.Current()
+			if me.Local(key) != nil {
+				t.Error("thread-local value leaked between threads")
+			}
+			me.SetLocal(key, "B")
+			me.SetLocal(key, nil) // delete
+			if me.Local(key) != nil {
+				t.Error("delete did not remove the value")
+			}
+		})
+		s.Join(a)
+		s.Join(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadLocalDestructor(t *testing.T) {
+	s := newTestSched()
+	var destroyed []any
+	key := NewKey("res", func(v any) { destroyed = append(destroyed, v) })
+	err := s.Run(func() {
+		w := s.Spawn("w", func() {
+			s.Current().SetLocal(key, "resource")
+		})
+		s.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(destroyed) != 1 || destroyed[0] != "resource" {
+		t.Fatalf("destructor calls = %v", destroyed)
+	}
+}

@@ -1,0 +1,543 @@
+// Package pdes is a conservative parallel discrete-event simulation
+// library built on Chant's talking threads — the first use the paper
+// cites for lightweight threads ("they are used in simulation systems ...
+// to represent asynchronous events that can be mapped onto single or
+// multiple processors"). Logical processes (LPs) are Chant threads placed
+// on any processing element; every edge of the LP graph is a
+// flow-controlled Chant channel; and causality is enforced with the
+// classic Chandy-Misra-Bryant null-message protocol: an LP only consumes
+// an event once every input edge's clock has passed it, and each LP
+// promises, via its lookahead, never to send into its outputs' past.
+//
+// Build a Simulation by declaring LPs and edges, then Run it on a Chant
+// runtime. Handlers receive events and emit new ones onto named output
+// edges with a delay of at least the LP's lookahead.
+package pdes
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"chant"
+)
+
+// Time is virtual simulation time (independent of the Chant machine's own
+// clock; a pdes tick is whatever the model says it is).
+type Time uint64
+
+// endOfTime marks final null messages during shutdown.
+const endOfTime = ^Time(0)
+
+// Event is one timestamped occurrence delivered to an LP.
+type Event struct {
+	At   Time
+	Data []byte
+}
+
+// Handler reacts to one event; it may emit new events through the Ctx.
+type Handler func(ctx *Ctx, ev Event) error
+
+// SourceFunc drives a source LP (an LP with no inputs): it is called once
+// and emits the LP's entire event stream (respecting lookahead spacing).
+type SourceFunc func(ctx *Ctx) error
+
+// LPSpec declares one logical process.
+type LPSpec struct {
+	// Name identifies the LP and its edges.
+	Name string
+	// PE places the LP's thread.
+	PE int32
+	// Lookahead is the LP's minimum emit delay: every event it sends must
+	// carry a timestamp >= its current safe time + Lookahead. Must be > 0
+	// for LPs on cycles.
+	Lookahead Time
+	// Handler processes events (LPs with inputs).
+	Handler Handler
+	// Source drives the LP (LPs without inputs). Exactly one of Handler
+	// or Source must be set, matching whether the LP has input edges.
+	Source SourceFunc
+}
+
+// EdgeSpec declares a directed edge between two LPs.
+type EdgeSpec struct {
+	From, To string
+	// Capacity is the underlying channel's flow-control window
+	// (default 8).
+	Capacity int32
+}
+
+// Simulation is a declared LP graph ready to run.
+type Simulation struct {
+	lps   map[string]*LPSpec
+	order []string
+	edges []EdgeSpec
+	// End is the simulation horizon: the simulated interval is [0, End),
+	// so events timestamped at or after End are dropped.
+	End Time
+	// TagBase is the first user tag the simulation's channels may use;
+	// each edge consumes 4 tags (default 0x4000).
+	TagBase int32
+}
+
+// New creates an empty simulation that runs until end.
+func New(end Time) *Simulation {
+	return &Simulation{lps: make(map[string]*LPSpec), End: end, TagBase: 0x4000}
+}
+
+// AddLP declares a logical process.
+func (s *Simulation) AddLP(spec LPSpec) error {
+	if spec.Name == "" {
+		return errors.New("pdes: LP needs a name")
+	}
+	if _, dup := s.lps[spec.Name]; dup {
+		return fmt.Errorf("pdes: duplicate LP %q", spec.Name)
+	}
+	cp := spec
+	s.lps[spec.Name] = &cp
+	s.order = append(s.order, spec.Name)
+	return nil
+}
+
+// Connect declares a directed edge.
+func (s *Simulation) Connect(from, to string, capacity int32) error {
+	if _, ok := s.lps[from]; !ok {
+		return fmt.Errorf("pdes: unknown LP %q", from)
+	}
+	if _, ok := s.lps[to]; !ok {
+		return fmt.Errorf("pdes: unknown LP %q", to)
+	}
+	if capacity <= 0 {
+		capacity = 8
+	}
+	s.edges = append(s.edges, EdgeSpec{From: from, To: to, Capacity: capacity})
+	return nil
+}
+
+// wire format: [1B kind][8B event-time][8B bound][payload]; kind 0 = null
+// (no payload, at == bound), kind 1 = event. The bound is the sender's
+// promise — its safe time plus lookahead at the moment of sending — and is
+// what advances the receiving edge's clock. Event timestamps themselves
+// are NOT lower bounds for future traffic: with queueing, an LP can emit
+// an event far in the future (a backlogged completion) and later send a
+// smaller promise, and a later event may land between the two.
+func encodeMsg(kind byte, at, bound Time, data []byte) []byte {
+	out := make([]byte, 17+len(data))
+	out[0] = kind
+	binary.LittleEndian.PutUint64(out[1:], uint64(at))
+	binary.LittleEndian.PutUint64(out[9:], uint64(bound))
+	copy(out[17:], data)
+	return out
+}
+
+func decodeMsg(b []byte) (kind byte, at, bound Time, data []byte, err error) {
+	if len(b) < 17 {
+		return 0, 0, 0, nil, errors.New("pdes: malformed message")
+	}
+	return b[0], Time(binary.LittleEndian.Uint64(b[1:])),
+		Time(binary.LittleEndian.Uint64(b[9:])), b[17:], nil
+}
+
+// Ctx is a handler's view of its LP.
+type Ctx struct {
+	// Name is the LP's name.
+	Name string
+	// Thread is the Chant thread animating the LP.
+	Thread *chant.Thread
+
+	sim      *Simulation
+	spec     *LPSpec
+	now      Time // the LP's current safe time
+	outs     map[string]*chant.SendPort
+	outNames []string
+	ended    bool
+	emitted  uint64
+	lastNull Time // highest null promise already sent
+	sentNull bool
+}
+
+// Now reports the LP's current safe virtual time.
+func (c *Ctx) Now() Time { return c.now }
+
+// Outputs lists the LP's outgoing edge destinations.
+func (c *Ctx) Outputs() []string { return append([]string(nil), c.outNames...) }
+
+// Emit sends an event with timestamp at to the named downstream LP. The
+// timestamp must respect the LP's lookahead promise.
+func (c *Ctx) Emit(to string, at Time, data []byte) error {
+	port := c.outs[to]
+	if port == nil {
+		return fmt.Errorf("pdes: LP %q has no edge to %q", c.Name, to)
+	}
+	if at < c.now+c.spec.Lookahead {
+		return fmt.Errorf("pdes: LP %q emitting at %d violates lookahead (now %d + la %d)",
+			c.Name, at, c.now, c.spec.Lookahead)
+	}
+	if at >= c.sim.End {
+		// At or past the horizon: the simulated interval is [0, End), so
+		// downstream never needs it.
+		return nil
+	}
+	c.emitted++
+	return port.Send(encodeMsg(1, at, c.now+c.spec.Lookahead, data))
+}
+
+// AdvanceTo moves a source LP's clock forward (sources have no inputs to
+// derive time from). It also refreshes downstream null promises.
+func (c *Ctx) AdvanceTo(at Time) error {
+	if at < c.now {
+		return fmt.Errorf("pdes: AdvanceTo(%d) before now (%d)", at, c.now)
+	}
+	c.now = at
+	return c.sendNulls()
+}
+
+// sendNulls promises every output that nothing earlier than
+// now+lookahead will ever be sent. Nulls travel outside the channels'
+// flow-control windows: on cyclic LP graphs a credit-blocked null would
+// deadlock the cycle (each LP waiting for the other to consume). Their
+// volume is bounded here instead, by sending only when the promise
+// actually improves.
+func (c *Ctx) sendNulls() error {
+	promise := c.now + c.spec.Lookahead
+	if c.sentNull && promise <= c.lastNull {
+		return nil
+	}
+	c.lastNull, c.sentNull = promise, true
+	for _, name := range c.outNames {
+		if err := c.outs[name].SendUnflowed(encodeMsg(0, promise, promise, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish floods the outputs with end-of-time nulls so downstream LPs can
+// drain and stop. The finals travel outside the flow-control window, so
+// finishing never blocks on peers that already exited at the horizon.
+func (c *Ctx) finish() error {
+	if c.ended {
+		return nil
+	}
+	c.ended = true
+	for _, name := range c.outNames {
+		if err := c.outs[name].SendUnflowed(encodeMsg(0, endOfTime, endOfTime, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inEdge is one input edge's receive state.
+type inEdge struct {
+	from  string
+	port  *chant.RecvPort
+	clock Time
+	queue []Event // events received but not yet safe to process
+}
+
+// Stats reports per-LP results after a run.
+type Stats struct {
+	Processed uint64
+	Emitted   uint64
+	FinalTime Time
+}
+
+// Run executes the simulation on the given Chant runtime (which must have
+// at least as many PEs as the specs name). It returns per-LP statistics.
+func (s *Simulation) Run(rt *chant.Runtime) (map[string]Stats, error) {
+	if len(s.order) == 0 {
+		return nil, errors.New("pdes: no LPs declared")
+	}
+	// Validate handler/source against edge structure.
+	hasInput := map[string]bool{}
+	for _, e := range s.edges {
+		hasInput[e.To] = true
+	}
+	for name, lp := range s.lps {
+		if hasInput[name] && lp.Handler == nil {
+			return nil, fmt.Errorf("pdes: LP %q has inputs but no Handler", name)
+		}
+		if !hasInput[name] && lp.Source == nil {
+			return nil, fmt.Errorf("pdes: source LP %q needs a Source", name)
+		}
+		if hasInput[name] && lp.Lookahead == 0 {
+			// Zero lookahead is only safe on acyclic graphs; require it
+			// positive unconditionally for robustness.
+			return nil, fmt.Errorf("pdes: LP %q needs positive lookahead", name)
+		}
+	}
+
+	stats := make(map[string]Stats, len(s.lps))
+	results := make(map[string]*Stats, len(s.lps))
+	for name := range s.lps {
+		results[name] = &Stats{}
+	}
+	lpErrs := make([]error, len(s.order))
+
+	// The coordinator main (pe0) opens every edge's channel and broadcasts
+	// descriptors; LP threads are created remotely and bind their ports.
+	// Edge channels are brokered at pe0.
+	mains := map[chant.Addr]chant.MainFunc{}
+	topo := rt.Topology()
+	peErrs := make([]error, topo.PEs)
+
+	mains[chant.Addr{PE: 0, Proc: 0}] = func(t *chant.Thread) {
+		// Open one channel per edge.
+		descs := make([]chant.Channel, len(s.edges))
+		for i, e := range s.edges {
+			ch, err := chant.OpenChannel(t, e.Capacity, s.TagBase+int32(i)*4)
+			if err != nil {
+				peErrs[0] = err
+				return
+			}
+			descs[i] = ch
+			_ = e
+		}
+		// Spawn every LP locally-or-remotely as a plain local thread on
+		// its PE via the process-main trick: here all LP threads are
+		// created by per-PE mains instead; the coordinator IS pe0's main,
+		// so it creates pe0's LPs after shipping descriptors.
+		// Ship each PE's LP list with channel descriptors via messages.
+		for pe := int32(1); pe < int32(topo.PEs); pe++ {
+			if err := t.Send(chant.ChanterID{PE: pe, Proc: 0, Thread: 0}, 1, encodeDescs(descs)); err != nil {
+				peErrs[0] = err
+				return
+			}
+		}
+		runPELPs(t, s, descs, 0, results, lpErrs, peErrs)
+	}
+	for pe := int32(1); pe < int32(topo.PEs); pe++ {
+		pe := pe
+		mains[chant.Addr{PE: pe, Proc: 0}] = func(t *chant.Thread) {
+			buf := make([]byte, 20*len(s.edges)+8)
+			n, _, err := t.Recv(chant.AnyThread, 1, buf)
+			if err != nil {
+				peErrs[pe] = err
+				return
+			}
+			descs, err := decodeDescs(buf[:n])
+			if err != nil {
+				peErrs[pe] = err
+				return
+			}
+			runPELPs(t, s, descs, pe, results, lpErrs, peErrs)
+		}
+	}
+
+	if _, err := rt.Run(mains); err != nil {
+		return nil, err
+	}
+	for _, err := range peErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range lpErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for name, r := range results {
+		stats[name] = *r
+	}
+	return stats, nil
+}
+
+func encodeDescs(descs []chant.Channel) []byte {
+	out := make([]byte, 0, 20*len(descs))
+	for _, d := range descs {
+		out = append(out, d.Encode()...)
+	}
+	return out
+}
+
+func decodeDescs(b []byte) ([]chant.Channel, error) {
+	if len(b)%20 != 0 {
+		return nil, errors.New("pdes: malformed descriptor bundle")
+	}
+	out := make([]chant.Channel, 0, len(b)/20)
+	for off := 0; off < len(b); off += 20 {
+		d, err := chant.DecodeChannel(b[off : off+20])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// runPELPs creates and joins this PE's LP threads.
+func runPELPs(t *chant.Thread, s *Simulation, descs []chant.Channel, pe int32,
+	results map[string]*Stats, lpErrs, peErrs []error) {
+	var threads []*chant.Thread
+	for idx, name := range s.order {
+		lp := s.lps[name]
+		if lp.PE != pe {
+			continue
+		}
+		idx := idx
+		name := name
+		threads = append(threads, t.Process().CreateLocal("lp-"+name, func(me *chant.Thread) {
+			if err := runLP(me, s, s.lps[name], descs, results[name]); err != nil {
+				lpErrs[idx] = fmt.Errorf("LP %q: %w", name, err)
+			}
+		}, chant.SpawnOpts{}))
+	}
+	for _, th := range threads {
+		if _, err := t.JoinLocal(th); err != nil {
+			peErrs[pe] = err
+		}
+	}
+}
+
+// runLP executes one logical process: bind ports, then either drive
+// (source) or run the conservative event loop.
+func runLP(me *chant.Thread, s *Simulation, lp *LPSpec, descs []chant.Channel, st *Stats) error {
+	ctx := &Ctx{
+		Name:   lp.Name,
+		Thread: me,
+		sim:    s,
+		spec:   lp,
+		outs:   make(map[string]*chant.SendPort),
+	}
+	var ins []*inEdge
+	// Bind inputs first: receive-side registration never blocks, so every
+	// LP completes its input binds before anyone blocks in a send bind —
+	// which makes the (blocking) output binds deadlock-free on arbitrary
+	// graphs, cycles included.
+	for i, e := range s.edges {
+		if e.To == lp.Name {
+			rp, err := descs[i].BindRecv(me)
+			if err != nil {
+				return err
+			}
+			ins = append(ins, &inEdge{from: e.From, port: rp})
+		}
+	}
+	for i, e := range s.edges {
+		if e.From == lp.Name {
+			sp, err := descs[i].BindSend(me)
+			if err != nil {
+				return err
+			}
+			ctx.outs[e.To] = sp
+			ctx.outNames = append(ctx.outNames, e.To)
+		}
+	}
+
+	processed := uint64(0)
+	defer func() {
+		st.Processed = processed
+		st.FinalTime = ctx.now
+		st.Emitted = ctx.emitted
+	}()
+
+	if lp.Source != nil {
+		err := lp.Source(ctx)
+		if ferr := ctx.finish(); err == nil {
+			err = ferr
+		}
+		return err
+	}
+
+	// The event loop runs inside a closure so that every exit path —
+	// including protocol errors — still flushes end-of-time markers
+	// downstream; otherwise one failing LP would strand its successors.
+	loopErr := func() error {
+		// Prime the protocol: promise now+lookahead on every output before
+		// blocking, so cyclic graphs have null messages to bootstrap from.
+		if err := ctx.sendNulls(); err != nil {
+			return err
+		}
+
+		buf := make([]byte, 64<<10)
+		for {
+			// Conservative rule: the only edge that can lower the safe time is
+			// the one with the minimal clock; block receiving from it.
+			sort.SliceStable(ins, func(a, b int) bool { return ins[a].clock < ins[b].clock })
+			min := ins[0]
+			if min.clock == endOfTime || min.clock >= s.End {
+				// Every edge has either flushed (early-finishing upstream) or
+				// promised past the horizon: nothing processable remains. On
+				// cyclic graphs this is the only exit — LPs on a cycle never
+				// see end-of-time from their cycle edges.
+				break
+			}
+			n, err := min.port.Recv(buf)
+			if err != nil {
+				return err
+			}
+			kind, at, bound, data, err := decodeMsg(buf[:n])
+			if err != nil {
+				return err
+			}
+			if kind == 1 {
+				// A true causality violation: an event below the edge's
+				// established lower bound.
+				if at < min.clock {
+					return fmt.Errorf("pdes: event on %s->%s below the edge bound (%d < %d)",
+						min.from, lp.Name, at, min.clock)
+				}
+				min.queue = append(min.queue, Event{At: at, Data: append([]byte(nil), data...)})
+			}
+			// Stale bounds (a promise computed before an already-delivered
+			// event advanced past it) are simply ignored.
+			if bound > min.clock {
+				min.clock = bound
+			}
+			// Safe time = min over input clocks.
+			safe := ins[0].clock
+			for _, e := range ins {
+				if e.clock < safe {
+					safe = e.clock
+				}
+			}
+			// Process every queued event with timestamp <= safe, globally in
+			// time order.
+			for {
+				var best *inEdge
+				for _, e := range ins {
+					if len(e.queue) > 0 && e.queue[0].At <= safe &&
+						(best == nil || e.queue[0].At < best.queue[0].At) {
+						best = e
+					}
+				}
+				if best == nil {
+					break
+				}
+				ev := best.queue[0]
+				best.queue = best.queue[1:]
+				if ev.At >= s.End {
+					continue
+				}
+				if ev.At > ctx.now {
+					ctx.now = ev.At
+				}
+				if err := lp.Handler(ctx, ev); err != nil {
+					return err
+				}
+				processed++
+			}
+			// Advance our clock to the safe horizon and promise downstream.
+			capped := safe
+			if capped > s.End {
+				capped = s.End
+			}
+			if capped > ctx.now {
+				ctx.now = capped
+			}
+			if len(ctx.outNames) > 0 && safe < endOfTime && ctx.now < s.End {
+				if err := ctx.sendNulls(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}()
+	if ferr := ctx.finish(); loopErr == nil {
+		loopErr = ferr
+	}
+	return loopErr
+}

@@ -1,0 +1,489 @@
+package pdes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"chant"
+)
+
+func newRT(pes int) *chant.Runtime {
+	return chant.NewSimRuntime(
+		chant.Topology{PEs: pes, ProcsPerPE: 1},
+		chant.Config{Policy: chant.SchedulerPollsPS},
+		chant.Paragon1994(),
+	)
+}
+
+// TestPipelineSimulation: source -> server -> sink across three PEs. The
+// source emits one job every 10 ticks; the server adds a fixed 4-tick
+// service delay; the sink verifies count and timestamp monotonicity.
+func TestPipelineSimulation(t *testing.T) {
+	const (
+		end      = Time(1000)
+		interval = Time(10)
+	)
+	sim := New(end)
+	var sinkTimes []Time
+
+	must(t, sim.AddLP(LPSpec{
+		Name: "source", PE: 0, Lookahead: interval,
+		Source: func(ctx *Ctx) error {
+			for at := interval; at <= end; at += interval {
+				var job [8]byte
+				binary.LittleEndian.PutUint64(job[:], uint64(at))
+				if err := ctx.Emit("server", at, job[:]); err != nil {
+					return err
+				}
+				if err := ctx.AdvanceTo(at); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{
+		Name: "server", PE: 1, Lookahead: 4,
+		Handler: func(ctx *Ctx, ev Event) error {
+			return ctx.Emit("sink", ev.At+4, ev.Data)
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{
+		Name: "sink", PE: 2, Lookahead: 1,
+		Handler: func(ctx *Ctx, ev Event) error {
+			sinkTimes = append(sinkTimes, ev.At)
+			return nil
+		},
+	}))
+	must(t, sim.Connect("source", "server", 8))
+	must(t, sim.Connect("server", "sink", 8))
+
+	stats, err := sim.Run(newRT(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The horizon is half-open [0, End): only jobs with at < end leave the
+	// source, and only arrivals with at+4 < end reach the sink.
+	wantJobs := 0
+	wantDelivered := 0
+	for at := interval; at <= end; at += interval {
+		if at < end {
+			wantJobs++
+		}
+		if at < end && at+4 < end {
+			wantDelivered++
+		}
+	}
+	if len(sinkTimes) != wantDelivered {
+		t.Fatalf("sink got %d jobs, want %d", len(sinkTimes), wantDelivered)
+	}
+	for i := 1; i < len(sinkTimes); i++ {
+		if sinkTimes[i] <= sinkTimes[i-1] {
+			t.Fatalf("sink timestamps not increasing: %v", sinkTimes[i-1:i+1])
+		}
+	}
+	for i, at := range sinkTimes {
+		if want := interval*Time(i+1) + 4; at != want {
+			t.Fatalf("job %d arrived at %d, want %d", i, at, want)
+		}
+	}
+	if stats["server"].Processed != uint64(wantJobs) {
+		t.Errorf("server processed %d, want %d", stats["server"].Processed, wantJobs)
+	}
+	if stats["source"].Emitted != uint64(wantJobs) {
+		t.Errorf("source emitted %d, want %d", stats["source"].Emitted, wantJobs)
+	}
+}
+
+// TestRingSimulation: a token circulates S -> A -> B -> A -> B ... with a
+// fixed hop delay; cyclic graphs exercise the null-message protocol.
+func TestRingSimulation(t *testing.T) {
+	const (
+		end = Time(500)
+		hop = Time(7)
+	)
+	sim := New(end)
+	hops := 0
+
+	pass := func(to string) Handler {
+		return func(ctx *Ctx, ev Event) error {
+			hops++
+			return ctx.Emit(to, ev.At+hop, ev.Data)
+		}
+	}
+	must(t, sim.AddLP(LPSpec{
+		Name: "s", PE: 0, Lookahead: 1,
+		Source: func(ctx *Ctx) error {
+			return ctx.Emit("a", 1, []byte("token"))
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{Name: "a", PE: 0, Lookahead: hop, Handler: pass("b")}))
+	must(t, sim.AddLP(LPSpec{Name: "b", PE: 1, Lookahead: hop, Handler: pass("a")}))
+	must(t, sim.Connect("s", "a", 4))
+	must(t, sim.Connect("a", "b", 4))
+	must(t, sim.Connect("b", "a", 4))
+
+	stats, err := sim.Run(newRT(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token visits at 1, 8, 15, ... while < end; each visit is a hop.
+	wantHops := 0
+	for at := Time(1); at < end; at += hop {
+		wantHops++
+	}
+	if hops != wantHops {
+		t.Fatalf("token made %d hops, want %d", hops, wantHops)
+	}
+	if stats["a"].Processed+stats["b"].Processed != uint64(wantHops) {
+		t.Fatalf("per-LP processed %d+%d, want %d total",
+			stats["a"].Processed, stats["b"].Processed, wantHops)
+	}
+}
+
+// TestFanInOrdering: two sources with different rates feed one sink; the
+// sink must see the merged stream in global timestamp order — the whole
+// point of conservative synchronization.
+func TestFanInOrdering(t *testing.T) {
+	const end = Time(600)
+	sim := New(end)
+	var merged []Time
+
+	mkSource := func(name string, interval Time) {
+		must(t, sim.AddLP(LPSpec{
+			Name: name, PE: 0, Lookahead: interval,
+			Source: func(ctx *Ctx) error {
+				for at := interval; at <= end; at += interval {
+					if err := ctx.Emit("sink", at, []byte(name)); err != nil {
+						return err
+					}
+					if err := ctx.AdvanceTo(at); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}))
+	}
+	mkSource("fast", 7)
+	mkSource("slow", 31)
+	must(t, sim.AddLP(LPSpec{
+		Name: "sink", PE: 1, Lookahead: 1,
+		Handler: func(ctx *Ctx, ev Event) error {
+			merged = append(merged, ev.At)
+			return nil
+		},
+	}))
+	must(t, sim.Connect("fast", "sink", 8))
+	must(t, sim.Connect("slow", "sink", 8))
+
+	if _, err := sim.Run(newRT(2)); err != nil {
+		t.Fatal(err)
+	}
+	want := int((end-1)/7) + int((end-1)/31)
+	if len(merged) != want {
+		t.Fatalf("sink merged %d events, want %d", len(merged), want)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i] < merged[i-1] {
+			t.Fatalf("causality violated at %d: %d after %d", i, merged[i], merged[i-1])
+		}
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (map[string]Stats, []Time) {
+		sim := New(300)
+		var seen []Time
+		must(t, sim.AddLP(LPSpec{
+			Name: "src", PE: 0, Lookahead: 5,
+			Source: func(ctx *Ctx) error {
+				for at := Time(5); at <= 300; at += 5 {
+					if err := ctx.Emit("snk", at, nil); err != nil {
+						return err
+					}
+					if err := ctx.AdvanceTo(at); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}))
+		must(t, sim.AddLP(LPSpec{
+			Name: "snk", PE: 1, Lookahead: 1,
+			Handler: func(ctx *Ctx, ev Event) error {
+				seen = append(seen, ev.At)
+				return nil
+			},
+		}))
+		must(t, sim.Connect("src", "snk", 4))
+		stats, err := sim.Run(newRT(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, seen
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if len(t1) != len(t2) {
+		t.Fatalf("runs differ in length: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+	if s1["snk"].Processed != s2["snk"].Processed {
+		t.Fatal("stats nondeterministic")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	sim := New(100)
+	if err := sim.AddLP(LPSpec{}); err == nil {
+		t.Error("nameless LP accepted")
+	}
+	must(t, sim.AddLP(LPSpec{Name: "a", Lookahead: 1, Source: func(*Ctx) error { return nil }}))
+	if err := sim.AddLP(LPSpec{Name: "a"}); err == nil {
+		t.Error("duplicate LP accepted")
+	}
+	if err := sim.Connect("a", "ghost", 4); err == nil {
+		t.Error("edge to unknown LP accepted")
+	}
+	if err := sim.Connect("ghost", "a", 4); err == nil {
+		t.Error("edge from unknown LP accepted")
+	}
+
+	// Handler/source structure validation at Run time.
+	bad := New(100)
+	must(t, bad.AddLP(LPSpec{Name: "s", Lookahead: 1, Source: func(*Ctx) error { return nil }}))
+	must(t, bad.AddLP(LPSpec{Name: "h", Lookahead: 1})) // has input, no handler
+	must(t, bad.Connect("s", "h", 4))
+	if _, err := bad.Run(newRT(1)); err == nil || !strings.Contains(err.Error(), "Handler") {
+		t.Errorf("missing handler: %v", err)
+	}
+
+	zero := New(100)
+	must(t, zero.AddLP(LPSpec{Name: "s", Lookahead: 1, Source: func(*Ctx) error { return nil }}))
+	must(t, zero.AddLP(LPSpec{Name: "h", Lookahead: 0, Handler: func(*Ctx, Event) error { return nil }}))
+	must(t, zero.Connect("s", "h", 4))
+	if _, err := zero.Run(newRT(1)); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("zero lookahead: %v", err)
+	}
+
+	empty := New(100)
+	if _, err := empty.Run(newRT(1)); err == nil {
+		t.Error("empty simulation accepted")
+	}
+}
+
+func TestLookaheadViolationSurfaces(t *testing.T) {
+	sim := New(100)
+	must(t, sim.AddLP(LPSpec{
+		Name: "s", PE: 0, Lookahead: 10,
+		Source: func(ctx *Ctx) error {
+			if err := ctx.AdvanceTo(50); err != nil {
+				return err
+			}
+			return ctx.Emit("h", 55, nil) // 55 < 50+10: violation
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{Name: "h", PE: 0, Lookahead: 1,
+		Handler: func(*Ctx, Event) error { return nil }}))
+	must(t, sim.Connect("s", "h", 4))
+	_, err := sim.Run(newRT(1))
+	if err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("violation not surfaced: %v", err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackloggedServer reproduces the queueing regression: a server whose
+// service time exceeds its arrival spacing emits completions far beyond
+// its promise floor, so later nulls legally carry smaller values than
+// earlier event timestamps. The bound-carrying wire format must keep the
+// downstream edge consistent.
+func TestBackloggedServer(t *testing.T) {
+	const (
+		end     = Time(5000)
+		arrive  = Time(40)
+		service = Time(90) // > arrive: queue grows without bound
+	)
+	sim := New(end)
+	var arrivals []Time
+
+	must(t, sim.AddLP(LPSpec{
+		Name: "src", PE: 0, Lookahead: arrive,
+		Source: func(ctx *Ctx) error {
+			for at := arrive; at < end; at += arrive {
+				if err := ctx.Emit("q", at, nil); err != nil {
+					return err
+				}
+				if err := ctx.AdvanceTo(at); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}))
+	var freeAt Time
+	must(t, sim.AddLP(LPSpec{
+		Name: "q", PE: 1, Lookahead: service,
+		Handler: func(ctx *Ctx, ev Event) error {
+			start := ev.At
+			if freeAt > start {
+				start = freeAt
+			}
+			freeAt = start + service
+			return ctx.Emit("sink", freeAt, nil)
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{
+		Name: "sink", PE: 0, Lookahead: 1,
+		Handler: func(ctx *Ctx, ev Event) error {
+			arrivals = append(arrivals, ev.At)
+			return nil
+		},
+	}))
+	must(t, sim.Connect("src", "q", 8))
+	must(t, sim.Connect("q", "sink", 8))
+
+	if _, err := sim.Run(newRT(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("no completions reached the sink")
+	}
+	// Completions are spaced exactly one service time apart once the
+	// backlog forms, strictly increasing throughout.
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] <= arrivals[i-1] {
+			t.Fatalf("completion order broken at %d: %d after %d", i, arrivals[i], arrivals[i-1])
+		}
+	}
+	for i := 2; i < len(arrivals); i++ {
+		if got := arrivals[i] - arrivals[i-1]; got != service {
+			t.Fatalf("steady-state spacing at %d is %d, want %d", i, got, service)
+		}
+	}
+}
+
+// TestAcrossPolicies runs the pipeline model under every polling policy
+// and delivery mode combination that the underlying machine supports,
+// verifying the simulation layer is insensitive to runtime configuration.
+func TestAcrossPolicies(t *testing.T) {
+	for _, pol := range []chant.PolicyKind{
+		chant.ThreadPolls, chant.SchedulerPollsPS,
+		chant.SchedulerPollsWQ, chant.SchedulerPollsWQAny,
+	} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			sim := New(400)
+			count := 0
+			must(t, sim.AddLP(LPSpec{
+				Name: "src", PE: 0, Lookahead: 20,
+				Source: func(ctx *Ctx) error {
+					for at := Time(20); at < 400; at += 20 {
+						if err := ctx.Emit("snk", at, nil); err != nil {
+							return err
+						}
+						if err := ctx.AdvanceTo(at); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}))
+			must(t, sim.AddLP(LPSpec{
+				Name: "snk", PE: 1, Lookahead: 1,
+				Handler: func(ctx *Ctx, ev Event) error { count++; return nil },
+			}))
+			must(t, sim.Connect("src", "snk", 4))
+			rt := chant.NewSimRuntime(chant.Topology{PEs: 2, ProcsPerPE: 1},
+				chant.Config{Policy: pol}, chant.Paragon1994())
+			if _, err := sim.Run(rt); err != nil {
+				t.Fatal(err)
+			}
+			if count != 19 {
+				t.Fatalf("sink saw %d events, want 19", count)
+			}
+		})
+	}
+}
+
+func TestCtxAccessors(t *testing.T) {
+	sim := New(100)
+	var outputs []string
+	var sawThread bool
+	must(t, sim.AddLP(LPSpec{
+		Name: "s", PE: 0, Lookahead: 10,
+		Source: func(ctx *Ctx) error {
+			outputs = ctx.Outputs()
+			sawThread = ctx.Thread != nil && ctx.Name == "s"
+			if err := ctx.AdvanceTo(50); err != nil {
+				return err
+			}
+			if ctx.Now() != 50 {
+				return fmt.Errorf("Now = %d after AdvanceTo(50)", ctx.Now())
+			}
+			if err := ctx.AdvanceTo(40); err == nil {
+				return fmt.Errorf("AdvanceTo backwards accepted")
+			}
+			if err := ctx.Emit("ghost", 90, nil); err == nil {
+				return fmt.Errorf("emit to non-edge accepted")
+			}
+			return nil
+		},
+	}))
+	must(t, sim.AddLP(LPSpec{Name: "h", PE: 0, Lookahead: 1,
+		Handler: func(*Ctx, Event) error { return nil }}))
+	must(t, sim.Connect("s", "h", 4))
+	if _, err := sim.Run(newRT(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 || outputs[0] != "h" {
+		t.Errorf("Outputs = %v", outputs)
+	}
+	if !sawThread {
+		t.Error("Ctx identity fields not populated")
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	sim := New(100)
+	must(t, sim.AddLP(LPSpec{
+		Name: "s", PE: 0, Lookahead: 10,
+		Source: func(ctx *Ctx) error { return ctx.Emit("h", 10, nil) },
+	}))
+	must(t, sim.AddLP(LPSpec{
+		Name: "h", PE: 1, Lookahead: 1,
+		Handler: func(*Ctx, Event) error { return fmt.Errorf("model blew up") },
+	}))
+	must(t, sim.Connect("s", "h", 4))
+	_, err := sim.Run(newRT(2))
+	if err == nil || !strings.Contains(err.Error(), "model blew up") {
+		t.Fatalf("handler error lost: %v", err)
+	}
+}
+
+func TestWireCodecErrors(t *testing.T) {
+	if _, _, _, _, err := decodeMsg([]byte{1, 2}); err == nil {
+		t.Error("short message accepted")
+	}
+	kind, at, bound, data, err := decodeMsg(encodeMsg(1, 42, 40, []byte("payload")))
+	if err != nil || kind != 1 || at != 42 || bound != 40 || string(data) != "payload" {
+		t.Errorf("roundtrip = (%d,%d,%d,%q,%v)", kind, at, bound, data, err)
+	}
+	if _, err := decodeDescs([]byte{1, 2, 3}); err == nil {
+		t.Error("bad descriptor bundle accepted")
+	}
+}
