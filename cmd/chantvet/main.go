@@ -1,0 +1,177 @@
+// Command chantvet checks the Chant codebase against the runtime's unwritten
+// contracts: scheduler-context-only calls (schedctx), determinism of the
+// simulation-critical packages (detlint), and instrumentation/lock
+// discipline (ctrlock). See each analyzer's package documentation for what
+// it reports and DESIGN.md's "Correctness tooling" section for the
+// conventions (including the //chant:allow-nondet suppression comment).
+//
+// Two ways to run it:
+//
+//	go vet -vettool=$(which chantvet) ./...   # unit-at-a-time, via the go command
+//	chantvet ./...                            # standalone, loads packages itself
+//
+// Both report `file:line:col: analyzer: message` and exit nonzero when any
+// diagnostic is found.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"chant/internal/analysis"
+	"chant/internal/analysis/load"
+	"chant/internal/analysis/registry"
+	"chant/internal/analysis/unitcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes its vet tool before first use: `-V=full` must
+	// print an identification line used as a cache key, and `-flags` must
+	// dump the supported flags as JSON.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return 0
+		case "-flags", "--flags":
+			printFlags()
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("chantvet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: chantvet [packages]            (standalone)\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=chantvet [packages]\n\nAnalyzers:\n")
+		for _, a := range registry.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	isAnalyzer := make(map[string]bool)
+	for _, a := range registry.Analyzers() {
+		fs.Bool(a.Name, false, a.Doc)
+		isAnalyzer[a.Name] = true
+	}
+	jsonOut := fs.Bool("json", false, "accepted for vet compatibility (output is always plain text)")
+	_ = jsonOut
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	chosen := flagSet{}
+	fs.Visit(func(f *flag.Flag) {
+		if isAnalyzer[f.Name] {
+			chosen[f.Name] = f.Value.String() == "true"
+		}
+	})
+	analyzers := selectAnalyzers(chosen)
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		// go vet unit mode: one JSON config describing a single package.
+		n, err := unitcheck.Run(os.Stderr, rest[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chantvet: %v\n", err)
+			return 1
+		}
+		if n > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	// Standalone mode: load the named packages (default ./...) ourselves.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chantvet: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := registry.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chantvet: %s: %v\n", pkg.PkgPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+type flagSet map[string]bool
+
+// selectAnalyzers honors vet's convention: setting any analyzer flag true
+// runs just those analyzers; setting only false flags runs all but those;
+// naming none runs them all.
+func selectAnalyzers(chosen flagSet) []*analysis.Analyzer {
+	all := registry.Analyzers()
+	anyTrue := false
+	for _, v := range chosen {
+		anyTrue = anyTrue || v
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		v, named := chosen[a.Name]
+		if anyTrue && !v {
+			continue // whitelist mode: only the flags set true
+		}
+		if !anyTrue && named && !v {
+			continue // blacklist mode: all but the flags set false
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// printVersion emits the `-V=full` identification line. The content hash of
+// the executable keys the go command's vet result cache, so rebuilding
+// chantvet invalidates stale results.
+func printVersion() {
+	name := "chantvet"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+// printFlags dumps the flag set in the JSON shape the go command parses.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range registry.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	flags = append(flags, jsonFlag{Name: "json", Bool: true, Usage: "accepted for vet compatibility"})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,143 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write chantvet's
+// checkers against (the container image carries no module proxy, so the real
+// x/tools package is not available). An Analyzer inspects one type-checked
+// package at a time through a Pass and reports Diagnostics; drivers — the
+// standalone runner in cmd/chantvet, the go vet -vettool protocol shim, and
+// the analysistest harness — supply the Pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one chantvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the one-paragraph description printed by chantvet help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. Drivers install it; analyzers call
+	// Reportf instead.
+	Report func(Diagnostic)
+
+	suppress map[string]map[int]bool // filename -> line -> allow-nondet present
+}
+
+// A Diagnostic is one finding, attached to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a diagnostic at pos unless an allow-nondet suppression
+// comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// allowRe matches a well-formed suppression comment: the marker must carry a
+// non-empty reason, so silenced diagnostics stay explained.
+var allowRe = regexp.MustCompile(`^//chant:allow-nondet\s+\S`)
+
+// Suppressed reports whether pos is covered by a //chant:allow-nondet
+// comment with a reason, either trailing on the same line or alone on the
+// line immediately above.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.suppress == nil {
+		p.suppress = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			tf := p.Fset.File(f.Pos())
+			if tf == nil {
+				continue
+			}
+			lines := make(map[int]bool)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if allowRe.MatchString(c.Text) {
+						lines[p.Fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			p.suppress[tf.Name()] = lines
+		}
+	}
+	position := p.Fset.Position(pos)
+	lines := p.suppress[position.Filename]
+	return lines[position.Line] || lines[position.Line-1]
+}
+
+// IsTest reports whether file is a _test.go file. Chantvet's contracts bind
+// the simulation code itself; test harnesses legitimately drive schedulers
+// from plain goroutines and race real-time timeouts against them, so every
+// analyzer skips test files.
+func (p *Pass) IsTest(file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Package).Filename, "_test.go")
+}
+
+// PathMatches reports whether a package path is, or ends with, the given
+// repo-relative path (e.g. "internal/ult" matches both "chant/internal/ult"
+// and a test fixture module's "internal/ult").
+func PathMatches(pkgPath, want string) bool {
+	return pkgPath == want || strings.HasSuffix(pkgPath, "/"+want)
+}
+
+// PathContains reports whether the repo-relative path want appears as a
+// segment run anywhere in pkgPath ("internal/comm" matches
+// "chant/internal/comm/tcpnet").
+func PathContains(pkgPath, want string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/"+want+"/")
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through non-selector expressions, function-typed values, and
+// built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RecvNamed reports the receiver's named type for a method, unwrapping any
+// pointer, or nil for plain functions.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,241 @@
+// Package ctrlock defines the chantvet analyzer that protects the
+// integrity of Chant's instrumentation and sync primitives: trace.Counters
+// and trace.Log contain atomics and mutexes, so copying them by value forks
+// the instrument (half the events land in a doomed copy); counter atomics
+// are add-only, so Store/Swap from any context races with concurrent Adds;
+// and a sync.Mutex Lock with no matching Unlock in the same function is the
+// classic lock leak that hangs a real-mode scheduler.
+package ctrlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chant/internal/analysis"
+	"chant/internal/analysis/detlint"
+)
+
+// Analyzer flags trace instrument misuse and unbalanced lock pairs.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctrlock",
+	Doc: "report by-value copies of trace.Counters/trace.Log, Store/Swap on " +
+		"add-only counter atomics, and sync.Mutex Lock calls with no " +
+		"matching Unlock in the same function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !detlint.InScope(pass.Pkg.Path()) && !analysis.PathMatches(pass.Pkg.Path(), "internal/trace") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTest(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to the blank identifier discards the value;
+					// no usable copy is made.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkCopy(pass, rhs)
+				}
+			case *ast.CallExpr:
+				checkStore(pass, n)
+				for _, arg := range n.Args {
+					checkCopy(pass, arg)
+				}
+			case *ast.FuncType:
+				checkSignature(pass, n)
+			case *ast.FuncDecl:
+				checkLockBalance(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// instrumentType reports whether t (after unwrapping) is trace.Counters or
+// trace.Log as a value type.
+func instrumentType(t types.Type) (name string, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !analysis.PathMatches(named.Obj().Pkg().Path(), "internal/trace") {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Counters", "Log":
+		return "trace." + named.Obj().Name(), true
+	}
+	return "", false
+}
+
+// checkCopy flags expressions that copy a Counters or Log by value: a
+// dereference, a variable read, or a call result of value type.
+func checkCopy(pass *analysis.Pass, expr ast.Expr) {
+	expr = ast.Unparen(expr)
+	if _, isLit := expr.(*ast.CompositeLit); isLit {
+		return // constructing a fresh instrument is fine
+	}
+	if _, isCall := expr.(*ast.CallExpr); isCall {
+		// A call yielding a value-typed instrument is itself declared
+		// somewhere we flag; don't double-report at each call site.
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if name, isInstr := instrumentType(tv.Type); isInstr {
+		pass.Reportf(expr.Pos(), "%s copied by value: the copy forks mutex and atomic state, splitting the instrument; use a pointer", name)
+	}
+}
+
+// checkSignature flags value-typed Counters/Log parameters and results.
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if name, isInstr := instrumentType(tv.Type); isInstr {
+				pass.Reportf(field.Type.Pos(), "%s passed by value as a %s: every call copies mutex and atomic state; use a pointer", name, kind)
+			}
+		}
+	}
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// checkStore flags Store and Swap on atomic fields reached through a
+// trace.Counters: counters are add-only accumulators, and a Store loses
+// every Add that raced with it.
+func checkStore(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	if fn.Name() != "Store" && fn.Name() != "Swap" && fn.Name() != "CompareAndSwap" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[field.X]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if name, isInstr := instrumentType(t); isInstr && name == "trace.Counters" {
+		pass.Reportf(call.Pos(), "%s on a trace.Counters field: counters are add-only; %s discards Adds racing from other schedulers", fn.Name(), fn.Name())
+	}
+}
+
+// lockMethod resolves a call to a (Lock|RLock|Unlock|RUnlock|TryLock) method
+// on sync.Mutex/sync.RWMutex or Chant's ult.Mutex, returning the method name
+// and a key identifying the receiver expression.
+func lockMethod(pass *analysis.Pass, call *ast.CallExpr) (method, recvKey string) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", ""
+	}
+	named := analysis.RecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	pkg := named.Obj().Pkg().Path()
+	isSync := pkg == "sync" && (named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+	isUlt := analysis.PathMatches(pkg, "internal/ult") && named.Obj().Name() == "Mutex"
+	if !isSync && !isUlt {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return fn.Name(), types.ExprString(sel.X)
+}
+
+// checkLockBalance counts Lock and Unlock call sites per receiver
+// expression within one function: more Locks than Unlocks (deferred or not)
+// means some path leaks the lock. The converse (extra Unlocks on branched
+// paths) is fine and common.
+func checkLockBalance(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	type counts struct {
+		locks, unlocks int
+		firstLock      ast.Node
+	}
+	perRecv := map[string]*counts{}
+	record := func(call *ast.CallExpr) {
+		method, key := lockMethod(pass, call)
+		if method == "" {
+			return
+		}
+		c := perRecv[key]
+		if c == nil {
+			c = &counts{}
+			perRecv[key] = c
+		}
+		switch method {
+		case "Lock", "RLock":
+			c.locks++
+			if c.firstLock == nil {
+				c.firstLock = call
+			}
+		case "Unlock", "RUnlock":
+			c.unlocks++
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literal bodies are separate balance domains only when they
+			// escape; a deferred literal releasing the lock belongs to this
+			// function's balance, so keep descending.
+			return true
+		case *ast.CallExpr:
+			record(n)
+		}
+		return true
+	})
+	// Deterministic report order: walk the body again in source order.
+	reported := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, key := lockMethod(pass, call)
+		if method != "Lock" && method != "RLock" || reported[key] {
+			return true
+		}
+		if c := perRecv[key]; c != nil && c.locks > c.unlocks {
+			reported[key] = true
+			pass.Reportf(call.Pos(), "%s.%s has no matching unlock in %s: %d lock call(s) vs %d unlock call(s); some path leaks the lock", key, method, decl.Name.Name, c.locks, c.unlocks)
+		}
+		return true
+	})
+}

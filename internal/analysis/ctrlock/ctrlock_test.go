@@ -1,0 +1,12 @@
+package ctrlock_test
+
+import (
+	"testing"
+
+	"chant/internal/analysis/analysistest"
+	"chant/internal/analysis/ctrlock"
+)
+
+func TestCtrlock(t *testing.T) {
+	analysistest.Run(t, "testdata", ctrlock.Analyzer, "./...")
+}

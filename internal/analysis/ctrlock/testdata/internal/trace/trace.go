@@ -1,0 +1,41 @@
+// Package trace stubs chant/internal/trace for ctrlock fixtures: the real
+// Counters and Log also embed atomics and a mutex, which is exactly why
+// copying them by value is a bug.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters stubs the per-process event counters.
+type Counters struct {
+	FullSwitches atomic.Uint64
+	Sends        atomic.Uint64
+	mu           sync.Mutex
+}
+
+// Snapshot stubs the plain-value counter copy (safe to copy).
+type Snapshot struct {
+	FullSwitches, Sends uint64
+}
+
+// Snap stubs snapshotting.
+func (c *Counters) Snap() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{FullSwitches: c.FullSwitches.Load(), Sends: c.Sends.Load()}
+}
+
+// Log stubs the scheduler event log.
+type Log struct {
+	mu   sync.Mutex
+	ring []int64
+}
+
+// Add stubs event recording.
+func (l *Log) Add(at int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = append(l.ring, at)
+}

@@ -1,0 +1,9 @@
+// Package ult stubs chant/internal/ult's thread mutex for ctrlock fixtures.
+package ult
+
+// Mutex stubs the cooperative thread mutex.
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) TryLock() bool { return false }
+func (m *Mutex) Unlock()       {}

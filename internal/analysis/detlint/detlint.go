@@ -1,0 +1,163 @@
+// Package detlint defines the chantvet analyzer that guards the
+// determinism of Chant's simulated Paragon: the paper's tables are
+// reproduced on a discrete-event simulator whose runs must be bit-for-bit
+// repeatable, so the simulation-critical packages must not consult the wall
+// clock, global PRNG state, unordered map iteration with side effects,
+// multi-case selects, or raw goroutines. The few legitimate wall-clock and
+// goroutine sites (the real-mode host, the TCP transport, Table 1's genuine
+// microbenchmark timing) carry a `//chant:allow-nondet <reason>` comment.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chant/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in simulation-critical packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "report nondeterminism sources (wall clock, global math/rand, raw " +
+		"goroutines, effectful map iteration, multi-case select) in Chant's " +
+		"simulation-critical packages; suppress legitimate sites with a " +
+		"//chant:allow-nondet <reason> comment",
+	Run: run,
+}
+
+// scope lists the repo-relative package trees whose determinism the paper
+// reproductions depend on. A package is in scope when any of these appears
+// in its import path (so internal/comm covers internal/comm/tcpnet too).
+var scope = []string{
+	"internal/sim",
+	"internal/ult",
+	"internal/core",
+	"internal/comm",
+	"internal/machine",
+	"internal/experiments",
+}
+
+// InScope reports whether a package path is simulation-critical.
+func InScope(pkgPath string) bool {
+	for _, s := range scope {
+		if analysis.PathContains(pkgPath, s) || analysis.PathMatches(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClock lists the time-package functions whose results differ run to
+// run (or that schedule against the wall clock).
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTest(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement in simulation-critical package %s: goroutine interleaving is nondeterministic", pass.Pkg.Path())
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || analysis.RecvNamed(fn) != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s in simulation-critical package %s: the wall clock is nondeterministic; use the Host/sim clock", fn.Name(), pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(), "global %s.%s in simulation-critical package %s: shared PRNG state is order-dependent; use sim.RNG with an explicit seed", fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
+	}
+}
+
+// checkRange flags iteration over a map whose body has side effects beyond
+// plain reads and builtin calls: Go randomizes map order, so any
+// order-sensitive effect (emitting events, sends, non-builtin calls)
+// diverges between runs.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var effect ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if effect != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effect = n
+		case *ast.CallExpr:
+			if !isPureBuiltin(pass, n) {
+				effect = n
+			}
+		}
+		return true
+	})
+	if effect != nil {
+		pass.Reportf(rng.Pos(), "range over map with order-sensitive effects in simulation-critical package %s: map iteration order is randomized; sort the keys first", pass.Pkg.Path())
+	}
+}
+
+// isPureBuiltin reports whether a call is one of the builtins whose use in a
+// map loop cannot observe iteration order externally (append into a slice
+// that is presumably sorted afterwards, len, cap, delete, copy, make, min,
+// max). Conversions also qualify.
+func isPureBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		// Selector or literal call: a conversion like sim.Time(x) is fine.
+		tv, isConv := pass.TypesInfo.Types[call.Fun]
+		return isConv && tv.IsType()
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return true
+	}
+	return false
+}
+
+// checkSelect flags selects that choose among multiple ready communications:
+// the runtime picks uniformly at random.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d communication cases in simulation-critical package %s: case choice is randomized when several are ready", comm, pass.Pkg.Path())
+	}
+}

@@ -1,0 +1,19 @@
+// Package hostlayer is outside the simulation-critical package set: detlint
+// must stay silent here even though every nondeterminism source appears.
+package hostlayer
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink any
+
+func unchecked(m map[string]int, emit func(string)) {
+	sink = time.Now()
+	sink = rand.Intn(10)
+	go func() { emit("x") }()
+	for k := range m {
+		emit(k)
+	}
+}

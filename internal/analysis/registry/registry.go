@@ -1,0 +1,54 @@
+// Package registry enumerates chantvet's analyzers and runs them over
+// loaded packages. It sits between the analyzers and the drivers (the
+// chantvet command and the analysistest harness) so each driver shares one
+// definition of "all checks".
+package registry
+
+import (
+	"sort"
+
+	"chant/internal/analysis"
+	"chant/internal/analysis/ctrlock"
+	"chant/internal/analysis/detlint"
+	"chant/internal/analysis/load"
+	"chant/internal/analysis/schedctx"
+)
+
+// Analyzers returns every chantvet analyzer, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		schedctx.Analyzer,
+		detlint.Analyzer,
+		ctrlock.Analyzer,
+	}
+}
+
+// Run applies the given analyzers to one loaded package and returns the
+// diagnostics sorted by position.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

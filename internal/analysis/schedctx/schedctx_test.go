@@ -1,0 +1,12 @@
+package schedctx_test
+
+import (
+	"testing"
+
+	"chant/internal/analysis/analysistest"
+	"chant/internal/analysis/schedctx"
+)
+
+func TestSchedctx(t *testing.T) {
+	analysistest.Run(t, "testdata", schedctx.Analyzer, "./...")
+}

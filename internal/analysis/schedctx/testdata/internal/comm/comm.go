@@ -1,0 +1,28 @@
+// Package comm stubs chant/internal/comm for schedctx fixtures.
+package comm
+
+// Addr stubs a process address.
+type Addr struct{ PE, Proc int32 }
+
+// MatchSpec stubs a receive match specification.
+type MatchSpec struct{}
+
+// RecvHandle stubs a receive completion handle.
+type RecvHandle struct{}
+
+// Header stubs a message header.
+type Header struct{}
+
+// Endpoint stubs a process's communication attachment.
+type Endpoint struct{}
+
+func (e *Endpoint) Send(dst Addr, ctx, tag, srcThread int32, data []byte)             {}
+func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []byte) {}
+func (e *Endpoint) Recv(spec MatchSpec, buf []byte) (int, Header, error)              { return 0, Header{}, nil }
+func (e *Endpoint) Irecv(spec MatchSpec, buf []byte) *RecvHandle                      { return nil }
+func (e *Endpoint) Test(h *RecvHandle) bool                                           { return false }
+func (e *Endpoint) TestAny(hs []*RecvHandle) int                                      { return -1 }
+func (e *Endpoint) Wait(h *RecvHandle)                                                {}
+func (e *Endpoint) Probe(spec MatchSpec) (Header, bool)                               { return Header{}, false }
+func (e *Endpoint) CancelRecv(h *RecvHandle) bool                                     { return false }
+func (e *Endpoint) DeliverLocal(msg any)                                              {}

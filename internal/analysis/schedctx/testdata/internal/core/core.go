@@ -1,0 +1,41 @@
+// Package core stubs chant/internal/core for schedctx fixtures.
+package core
+
+import "chant/internal/comm"
+
+// GlobalID stubs a global thread name.
+type GlobalID struct{ PE, Proc, Thread int32 }
+
+// Process stubs a Chant process.
+type Process struct{}
+
+func (p *Process) CreateLocal(name string, fn func(t *Thread), opts any) *Thread { return nil }
+
+// Thread stubs a chanter.
+type Thread struct{}
+
+func (t *Thread) Send(dst GlobalID, tag int32, data []byte) error     { return nil }
+func (t *Thread) SendSync(dst GlobalID, tag int32, data []byte) error { return nil }
+func (t *Thread) Recv(src GlobalID, tag int32, buf []byte) (int, GlobalID, error) {
+	return 0, GlobalID{}, nil
+}
+func (t *Thread) Irecv(src GlobalID, tag int32, buf []byte) (*comm.RecvHandle, error) {
+	return nil, nil
+}
+func (t *Thread) Msgtest(h *comm.RecvHandle) bool       { return false }
+func (t *Thread) Msgwait(h *comm.RecvHandle)            {}
+func (t *Thread) Yield()                                {}
+func (t *Thread) Exit(value any)                        {}
+func (t *Thread) Join(target GlobalID) (any, error)     { return nil, nil }
+func (t *Thread) JoinLocal(target *Thread) (any, error) { return nil, nil }
+func (t *Thread) Cancel(target GlobalID) error          { return nil }
+func (t *Thread) CancelLocal(target *Thread)            {}
+func (t *Thread) Create(pe, proc int32, name string, arg []byte, opts any) (GlobalID, error) {
+	return GlobalID{}, nil
+}
+func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, error) {
+	return 0, nil
+}
+func (t *Thread) Notify(dst comm.Addr, handler int32, req []byte) error { return nil }
+func (t *Thread) Ping(dst comm.Addr) error                              { return nil }
+func (t *Thread) Process() *Process                                     { return nil }

@@ -1,0 +1,46 @@
+// Package ult is a stub of chant/internal/ult exposing the scheduler API
+// surface the schedctx analyzer restricts. Fixtures resolve the same import
+// paths as the real repository (the testdata module is also named chant).
+package ult
+
+// Key stubs thread-local keys.
+type Key struct{}
+
+// TCB stubs a thread control block.
+type TCB struct{}
+
+func (t *TCB) SetLocal(k *Key, v any) {}
+func (t *TCB) Local(k *Key) any       { return nil }
+func (t *TCB) SetPriority(p int)      {}
+func (t *TCB) ID() int32              { return 0 }
+
+// SpawnOpts stubs spawn options.
+type SpawnOpts struct{}
+
+// Sched stubs the cooperative scheduler.
+type Sched struct{}
+
+func (s *Sched) Spawn(name string, fn func()) *TCB                  { return nil }
+func (s *Sched) SpawnWith(name string, fn func(), o SpawnOpts) *TCB { return nil }
+func (s *Sched) Run(main func()) error                              { return nil }
+func (s *Sched) Yield()                                             {}
+func (s *Sched) Block()                                             {}
+func (s *Sched) Unblock(t *TCB)                                     {}
+func (s *Sched) Exit(value any)                                     {}
+func (s *Sched) Cancel(t *TCB)                                      {}
+func (s *Sched) Join(t *TCB) (any, error)                           { return nil, nil }
+func (s *Sched) Current() *TCB                                      { return nil }
+
+// Mutex stubs the thread mutex.
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) TryLock() bool { return false }
+func (m *Mutex) Unlock()       {}
+
+// Cond stubs the thread condition variable.
+type Cond struct{}
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}

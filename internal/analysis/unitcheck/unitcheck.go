@@ -1,0 +1,106 @@
+// Package unitcheck implements the `go vet -vettool` protocol (the one
+// golang.org/x/tools/go/analysis/unitchecker speaks) on the standard
+// library, so chantvet can run under `go vet -vettool=$(which chantvet)
+// ./...`. The go command invokes the tool once per package with a JSON
+// config file naming the sources, the import map, and export-data files for
+// every dependency; the tool type-checks the unit, runs its analyzers,
+// prints findings to stderr, writes the (empty — chantvet exchanges no
+// facts) .vetx output, and exits 2 when it found anything.
+package unitcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"chant/internal/analysis"
+	"chant/internal/analysis/load"
+	"chant/internal/analysis/registry"
+)
+
+// Config mirrors the vet config JSON written by the go command (the fields
+// chantvet consumes; unknown fields are ignored).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet config file, printing diagnostics to w. It returns
+// the number of diagnostics (the caller exits 2 when nonzero) or an error
+// for protocol and type-checking failures.
+func Run(w io.Writer, cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("unitcheck: parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command requires the facts output to exist even for tools that
+	// exchange none; write it first so every exit path satisfies that.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("chantvet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: load.NewImporter(fset, cfg.PackageFile, cfg.ImportMap)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("unitcheck: type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	pkg := &load.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	diags, err := registry.Run(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

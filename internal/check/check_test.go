@@ -1,0 +1,22 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"chant/internal/check"
+)
+
+// TestFailfPanics runs in every build mode: Failf is the one hook that is
+// never compiled out, since Enabled-guarded call sites are its only users.
+func TestFailfPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.HasPrefix(s, "chant invariant violated: boom 7") {
+			t.Fatalf("Failf panicked with %v", r)
+		}
+	}()
+	check.Failf("boom %d", 7)
+	t.Fatal("Failf returned")
+}

@@ -1,0 +1,20 @@
+//go:build !chantdebug
+
+package check
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Owner is inert without the chantdebug build tag: an empty struct whose
+// methods inline to nothing. Call sites guard any argument computation with
+// `if check.Enabled` so release builds pay nothing at all.
+type Owner struct{}
+
+// Acquire is a no-op in release builds.
+func (*Owner) Acquire(string) {}
+
+// Release is a no-op in release builds.
+func (*Owner) Release() {}
+
+// Assert is a no-op in release builds.
+func (*Owner) Assert(string) {}

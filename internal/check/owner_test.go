@@ -1,0 +1,94 @@
+//go:build chantdebug
+
+package check_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"chant/internal/check"
+)
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), substr) {
+			t.Fatalf("expected panic containing %q, got %v", substr, r)
+		}
+	}()
+	fn()
+	t.Fatalf("no panic; expected one containing %q", substr)
+}
+
+func TestOwnerSameGoroutineLifecycle(t *testing.T) {
+	var o check.Owner
+	o.Assert("pre") // unowned: setup calls are legitimate
+	o.Acquire("a")
+	o.Assert("held")
+	o.Release()
+	o.Assert("post")
+}
+
+func TestOwnerAssertFromForeignGoroutine(t *testing.T) {
+	var o check.Owner
+	o.Acquire("domain")
+	defer o.Release()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		expectPanic(t, "outside the scheduling domain", func() { o.Assert("op") })
+	}()
+	wg.Wait()
+}
+
+func TestOwnerDoubleAcquireAcrossGoroutines(t *testing.T) {
+	var o check.Owner
+	o.Acquire("first")
+	defer o.Release()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		expectPanic(t, "still holds it", func() { o.Acquire("second") })
+	}()
+	wg.Wait()
+}
+
+func TestOwnerForeignRelease(t *testing.T) {
+	var o check.Owner
+	o.Acquire("holder")
+	defer o.Release()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		expectPanic(t, "releasing ownership held by", func() { o.Release() })
+	}()
+	wg.Wait()
+}
+
+// TestOwnerHandoff mirrors how the scheduler transfers the token across a
+// coroutine handoff: release before the channel send, acquire after the
+// receive.
+func TestOwnerHandoff(t *testing.T) {
+	var o check.Owner
+	o.Acquire("side-a")
+	ping, pong := make(chan struct{}), make(chan struct{})
+	go func() {
+		<-ping
+		o.Acquire("side-b")
+		o.Assert("work on b")
+		o.Release()
+		pong <- struct{}{}
+	}()
+	o.Release()
+	ping <- struct{}{}
+	<-pong
+	o.Acquire("side-a again")
+	o.Assert("work on a")
+	o.Release()
+}

@@ -39,6 +39,10 @@ type Options struct {
 	ListenAddr string
 	// DialTimeout bounds rendezvous and peer dials (default 10s).
 	DialTimeout time.Duration
+	// Cancel, when non-nil, aborts the rendezvous retry loop early when
+	// closed (context-style cancellation for callers that give up before
+	// the dial deadline).
+	Cancel <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +122,8 @@ func Bootstrap(o Options) (*Node, error) {
 		return nil, err
 	}
 	n.wg.Add(1)
+	// Real transport: inbound TCP frames arrive preemptively by nature.
+	//chant:allow-nondet real network I/O goroutine
 	go n.acceptLoop()
 	return n, nil
 }
@@ -159,20 +165,41 @@ func lead(o Options, dataAddr string) (map[comm.Addr]string, error) {
 	return tableToMap(table)
 }
 
-// join registers with the leader and waits for the table.
+// join registers with the leader and waits for the table. The leader may
+// not be listening yet, so the dial retries until the deadline passes or
+// o.Cancel closes; the deadline is fixed once up front and every retry
+// measures the single remaining budget with time.Until.
 func join(o Options, dataAddr string) (map[comm.Addr]string, error) {
-	var c net.Conn
-	var err error
+	// The wall clock is sanctioned here: rendezvous talks to real TCP
+	// peers in other OS processes, outside any simulation clock.
+	//chant:allow-nondet real TCP rendezvous deadline
 	deadline := time.Now().Add(o.DialTimeout)
+	var c net.Conn
+	var lastErr error
 	for {
-		c, err = net.DialTimeout("tcp", o.Rendezvous, time.Until(deadline))
-		if err == nil {
+		//chant:allow-nondet real TCP rendezvous deadline
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("deadline exceeded")
+			}
+			return nil, fmt.Errorf("tcpnet: rendezvous dial: %w", lastErr)
+		}
+		c, lastErr = net.DialTimeout("tcp", o.Rendezvous, remaining)
+		if lastErr == nil {
 			break
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("tcpnet: rendezvous dial: %w", err)
+		// Leader may not be up yet: pace the retry, but wake early on
+		// cancellation.
+		//chant:allow-nondet real-time retry pacing against a TCP peer
+		retry := time.NewTimer(50 * time.Millisecond)
+		//chant:allow-nondet cancellation races real I/O by design
+		select {
+		case <-retry.C:
+		case <-o.Cancel:
+			retry.Stop()
+			return nil, fmt.Errorf("tcpnet: rendezvous dial canceled: %w", lastErr)
 		}
-		time.Sleep(50 * time.Millisecond) // leader may not be up yet
 	}
 	defer c.Close()
 	reg := regMsg{PE: o.Self.PE, Proc: o.Self.Proc, Data: dataAddr}
@@ -311,6 +338,7 @@ func (n *Node) acceptLoop() {
 		n.inbound[c] = struct{}{}
 		n.mu.Unlock()
 		n.wg.Add(1)
+		//chant:allow-nondet real network I/O goroutine
 		go n.readLoop(c)
 	}
 }
@@ -368,6 +396,8 @@ func (n *Node) Close() error {
 	}
 	n.mu.Unlock()
 	err := n.ln.Close()
+	// Teardown is order-insensitive: each Close is independent.
+	//chant:allow-nondet connection teardown order does not matter
 	for _, s := range conns {
 		s.c.Close()
 	}

@@ -148,6 +148,17 @@ func (rt *Runtime) validAddr(a comm.Addr) bool {
 		a.Proc >= 0 && int(a.Proc) < rt.topo.ProcsPerPE
 }
 
+// sortAddrs orders process addresses by (PE, Proc), the canonical
+// enumeration order used everywhere map-keyed process sets are walked.
+func sortAddrs(addrs []comm.Addr) {
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].PE != addrs[j].PE {
+			return addrs[i].PE < addrs[j].PE
+		}
+		return addrs[i].Proc < addrs[j].Proc
+	})
+}
+
 // coordinator is the process that collects done-notifications and releases
 // the machine at shutdown.
 func (rt *Runtime) coordinator() comm.Addr { return comm.Addr{PE: 0, Proc: 0} }
@@ -156,7 +167,14 @@ func (rt *Runtime) coordinator() comm.Addr { return comm.Addr{PE: 0, Proc: 0} }
 // without a main still serve requests until released) and returns the
 // aggregated result. Run may be called once per Runtime.
 func (rt *Runtime) Run(mains map[comm.Addr]MainFunc) (*Result, error) {
+	// Validate in address order so the reported address is deterministic
+	// when several mains are misaddressed (map order varies run to run).
+	given := make([]comm.Addr, 0, len(mains))
 	for a := range mains {
+		given = append(given, a)
+	}
+	sortAddrs(given)
+	for _, a := range given {
 		if !rt.validAddr(a) {
 			return nil, fmt.Errorf("%w: main for %v", ErrBadTarget, a)
 		}
@@ -263,6 +281,9 @@ func (rt *Runtime) runReal(mains map[comm.Addr]MainFunc) (*Result, error) {
 	for i, addr := range addrs {
 		i, addr := i, addr
 		wg.Add(1)
+		// Real mode is preemptive by definition: one OS-scheduled
+		// goroutine per process, like one kernel thread per PE.
+		//chant:allow-nondet real-mode processes run preemptively
 		go func() {
 			defer wg.Done()
 			proc := rt.procs[addr]
@@ -288,12 +309,7 @@ func (rt *Runtime) collect(end sim.Time) *Result {
 	for a := range rt.procs {
 		keys = append(keys, a)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].PE != keys[j].PE {
-			return keys[i].PE < keys[j].PE
-		}
-		return keys[i].Proc < keys[j].Proc
-	})
+	sortAddrs(keys)
 	for _, a := range keys {
 		snap := rt.procs[a].Counters().Snap(end)
 		res.PerProc[a] = snap

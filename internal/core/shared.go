@@ -156,8 +156,15 @@ func (p *Process) sharedStoreLocal(t *Thread, name string, data []byte, writer c
 	e.writeLock.Lock()
 	defer e.writeLock.Unlock()
 	// Invalidate every cached copy, awaiting acknowledgement so that no
-	// stale read survives this write's completion.
+	// stale read survives this write's completion. The directory is walked
+	// in address order: invalidation RSRs land in the event stream, and map
+	// order would make simulated runs diverge (detlint flags the raw loop).
+	cachers := make([]comm.Addr, 0, len(e.directory))
 	for addr := range e.directory {
+		cachers = append(cachers, addr)
+	}
+	sortAddrs(cachers)
+	for _, addr := range cachers {
 		if addr == writer {
 			continue // the writer's copy is handled by the writer itself
 		}

@@ -1,0 +1,50 @@
+//go:build chantdebug
+
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAdvanceOutsideRunningProcPanics proves the chantdebug context assert:
+// advancing another process's clock (only the running process may advance)
+// panics instead of corrupting the event order.
+func TestAdvanceOutsideRunningProcPanics(t *testing.T) {
+	k := NewKernel()
+	caught := make(chan any, 1)
+	victim := k.Spawn("victim", func(p *Proc) { p.WaitSignal() })
+	k.Spawn("attacker", func(p *Proc) {
+		defer func() { caught <- recover() }()
+		victim.Advance(5)
+	})
+	k.At(1, func() { victim.Signal() }) // let the victim finish cleanly
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	r := <-caught
+	if r == nil || !strings.Contains(fmt.Sprint(r), "only the currently running process") {
+		t.Fatalf("cross-proc Advance did not trip the check; recovered %v", r)
+	}
+}
+
+// TestHeapMonotonicAuditCatchesPastEvent plants a corrupt heap entry behind
+// At's guard and proves the kernel's monotonic-time audit refuses to run
+// time backwards.
+func TestHeapMonotonicAuditCatchesPastEvent(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		// Bypass At's past-event guard, simulating a corrupted heap.
+		k.seq++
+		k.heap.push(event{at: 5, seq: k.seq, fn: func() {}})
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "went backwards") {
+			t.Fatalf("backwards event did not trip the audit; recovered %v", r)
+		}
+	}()
+	k.Run(0)
+	t.Fatal("Run returned despite a backwards event")
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"chant/internal/check"
 )
 
 // Kernel is a sequential discrete-event simulator. Events — kernel callbacks
@@ -73,6 +75,9 @@ func (k *Kernel) Run(deadline Time) error {
 			return nil
 		}
 		e := k.heap.pop()
+		if check.Enabled && e.at < k.now {
+			check.Failf("sim: event heap went backwards: popped event at %v with the clock already at %v (%d events dispatched)", e.at, k.now, k.Events)
+		}
 		k.now = e.at
 		k.Events++
 		if e.fn != nil {

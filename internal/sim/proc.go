@@ -1,5 +1,7 @@
 package sim
 
+import "chant/internal/check"
+
 // procState tracks where a process is in its lifecycle.
 type procState int
 
@@ -79,6 +81,9 @@ func (p *Proc) run() {
 	p.state = procRunning
 	if !p.started {
 		p.started = true
+		// The goroutine is a coroutine: strict yield/resume handoff with
+		// the kernel loop means only one side ever runs at a time.
+		//chant:allow-nondet strict coroutine handoff, no free interleaving
 		go func() {
 			p.fn(p)
 			p.state = procDone
@@ -95,6 +100,9 @@ func (p *Proc) run() {
 // non-positive duration is a no-op: the process keeps running without
 // yielding.
 func (p *Proc) Advance(d Duration) {
+	if check.Enabled && p.state != procRunning {
+		check.Failf("sim: Advance on proc %q in state %s: only the currently running process may advance its clock", p.name, p.state)
+	}
 	if d <= 0 {
 		return
 	}
@@ -109,6 +117,9 @@ func (p *Proc) Advance(d Duration) {
 // runnable satisfies the next WaitSignal immediately. No virtual time passes
 // while parked beyond what elapses before the Signal arrives.
 func (p *Proc) WaitSignal() {
+	if check.Enabled && p.state != procRunning {
+		check.Failf("sim: WaitSignal on proc %q in state %s: only the currently running process may park itself", p.name, p.state)
+	}
 	if p.sig {
 		p.sig = false
 		return

@@ -1,0 +1,74 @@
+//go:build chantdebug
+
+package ult
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestOwnerRejectsForeignGoroutine proves the chantdebug owner token: a raw
+// goroutine calling into a running scheduler — the exact misuse the
+// schedctx analyzer flags statically — panics at the call site instead of
+// corrupting the ready queue.
+func TestOwnerRejectsForeignGoroutine(t *testing.T) {
+	s := newTestSched()
+	got := make(chan any, 1)
+	err := s.Run(func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() { got <- recover(); close(done) }()
+			s.Spawn("intruder", func() {})
+		}()
+		<-done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r == nil || !strings.Contains(fmt.Sprint(r), "outside the scheduling domain") {
+		t.Fatalf("foreign Spawn did not trip the owner token; recovered %v", r)
+	}
+}
+
+// TestOwnerRejectsForeignBlockingCall covers the blocking entry points,
+// which go through mustCurrent's Assert.
+func TestOwnerRejectsForeignBlockingCall(t *testing.T) {
+	s := newTestSched()
+	got := make(chan any, 1)
+	err := s.Run(func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() { got <- recover(); close(done) }()
+			s.Yield()
+		}()
+		<-done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r == nil || !strings.Contains(fmt.Sprint(r), "outside the scheduling domain") {
+		t.Fatalf("foreign Yield did not trip the owner token; recovered %v", r)
+	}
+}
+
+// TestAuditCatchesCorruptAccounting corrupts the blocked count the way a
+// bookkeeping bug would and proves the run-loop audit panics with a thread
+// dump on the very next scheduling iteration.
+func TestAuditCatchesCorruptAccounting(t *testing.T) {
+	s := newTestSched()
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "blocked count") {
+			t.Fatalf("corrupt accounting did not trip the audit; recovered %v", r)
+		}
+	}()
+	s.Run(func() {
+		s.Spawn("w", func() {})
+		s.blocked++ // simulate a transition that skipped its bookkeeping
+		s.Yield()   // forces a pass through the run loop's audit
+	})
+	t.Fatal("Run returned despite corrupt accounting")
+}

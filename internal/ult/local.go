@@ -23,13 +23,29 @@ func (k *Key) Name() string { return k.name }
 // (pthread_setspecific). A nil value deletes the association.
 func (t *TCB) SetLocal(key *Key, value any) {
 	if value == nil {
-		delete(t.locals, key)
+		if _, had := t.locals[key]; had {
+			delete(t.locals, key)
+			removeKey(&t.localOrder, key)
+		}
 		return
 	}
 	if t.locals == nil {
 		t.locals = make(map[*Key]any)
 	}
+	if _, had := t.locals[key]; !had {
+		t.localOrder = append(t.localOrder, key)
+	}
 	t.locals[key] = value
+}
+
+// removeKey deletes the first occurrence of key from *list.
+func removeKey(list *[]*Key, key *Key) {
+	for i, k := range *list {
+		if k == key {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
 }
 
 // Local reports the value associated with key for thread t, or nil
@@ -38,12 +54,14 @@ func (t *TCB) Local(key *Key) any {
 	return t.locals[key]
 }
 
-// runDestructors invokes key destructors for a finished thread.
+// runDestructors invokes key destructors for a finished thread, in key
+// insertion order so cleanup is deterministic.
 func (t *TCB) runDestructors() {
-	for k, v := range t.locals {
+	for _, k := range t.localOrder {
 		if k.destructor != nil {
-			k.destructor(v)
+			k.destructor(t.locals[k])
 		}
 	}
 	t.locals = nil
+	t.localOrder = nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"chant/internal/check"
 	"chant/internal/machine"
 	"chant/internal/trace"
 )
@@ -62,6 +63,12 @@ type Sched struct {
 	hasExternalWaiters func() bool
 
 	pan *PanicError
+
+	// owner is the chantdebug scheduling-domain token: exactly one
+	// goroutine — the scheduler's or the running thread's trampoline —
+	// holds it at a time, transferred at every coroutine handoff. Inert
+	// (an empty struct) in release builds.
+	owner check.Owner
 }
 
 // NewSched creates a scheduler charging host and counting into ctrs.
@@ -79,6 +86,9 @@ func (s *Sched) Host() machine.Host { return s.host }
 
 // Counters reports the scheduler's event counters.
 func (s *Sched) Counters() *trace.Counters { return s.ctrs }
+
+// EventLog reports the scheduler's attached event log (nil when none).
+func (s *Sched) EventLog() *trace.Log { return s.opts.EventLog }
 
 // Current reports the running thread, or nil from scheduler context.
 func (s *Sched) Current() *TCB { return s.cur }
@@ -101,6 +111,9 @@ func (s *Sched) Spawn(name string, fn func()) *TCB {
 // SpawnWith creates a ready thread running fn with the given options,
 // charging the thread-creation cost.
 func (s *Sched) SpawnWith(name string, fn func(), o SpawnOpts) *TCB {
+	if check.Enabled {
+		s.owner.Assert("Sched.SpawnWith")
+	}
 	t := &TCB{
 		id:     s.nextID,
 		name:   name,
@@ -130,9 +143,16 @@ func (s *Sched) SpawnWith(name string, fn func(), o SpawnOpts) *TCB {
 // threads remain with no possible wakeup source, and re-raises any panic
 // that escaped a thread body as a *PanicError.
 func (s *Sched) Run(main func()) error {
+	if check.Enabled {
+		s.owner.Acquire("sched " + s.opts.Name)
+		defer s.owner.Release()
+	}
 	s.Spawn("main", main)
 	m := s.host.Model()
 	for s.liveRegular > 0 {
+		if check.Enabled {
+			s.audit()
+		}
 		if s.preSchedule != nil {
 			s.preSchedule()
 		}
@@ -207,13 +227,22 @@ func (s *Sched) switchIn(t *TCB) {
 	s.opts.EventLog.Add(s.host.Now(), trace.EvSwitchIn, t.id)
 	t.state = Running
 	s.cur = t
+	if check.Enabled {
+		s.owner.Release()
+	}
 	if !t.started {
 		t.started = true
+		// The trampoline goroutine is a coroutine: resume/toSched handoff
+		// keeps exactly one of {scheduler, thread} running at a time.
+		//chant:allow-nondet strict coroutine handoff, no free interleaving
 		go s.trampoline(t)
 	} else {
 		t.resume <- struct{}{}
 	}
 	<-s.toSched
+	if check.Enabled {
+		s.owner.Acquire("sched " + s.opts.Name)
+	}
 	s.cur = nil
 }
 
@@ -221,6 +250,9 @@ func (s *Sched) switchIn(t *TCB) {
 // exit and cancel unwinds into completion, captures stray panics, and
 // always returns control to the scheduler.
 func (s *Sched) trampoline(t *TCB) {
+	if check.Enabled {
+		s.owner.Acquire("thread " + t.name)
+	}
 	defer func() {
 		switch v := recover().(type) {
 		case nil:
@@ -231,6 +263,9 @@ func (s *Sched) trampoline(t *TCB) {
 			s.pan = &PanicError{Thread: t.name, Value: v}
 		}
 		s.finish(t)
+		if check.Enabled {
+			s.owner.Release()
+		}
 		s.toSched <- struct{}{}
 	}()
 	if t.canceled {
@@ -279,8 +314,14 @@ func (s *Sched) pruneThreads() {
 // park returns control to the scheduler and blocks until this thread is
 // switched in again. Callers must check t.canceled afterwards.
 func (s *Sched) park(t *TCB) {
+	if check.Enabled {
+		s.owner.Release()
+	}
 	s.toSched <- struct{}{}
 	<-t.resume
+	if check.Enabled {
+		s.owner.Acquire("thread " + t.name)
+	}
 }
 
 // Yield gives up the processor to the next ready thread
@@ -336,6 +377,9 @@ func (s *Sched) Block() {
 // from this scheduler's context (a running thread, a scheduling hook, or a
 // cancel path).
 func (s *Sched) Unblock(t *TCB) {
+	if check.Enabled {
+		s.owner.Assert("Sched.Unblock")
+	}
 	if t.state != Blocked {
 		panic(fmt.Sprintf("ult: Unblock of %q in state %s", t.name, t.state))
 	}
@@ -358,6 +402,9 @@ func (s *Sched) Exit(value any) {
 // Canceling the calling thread exits at once; canceling a finished thread
 // is a no-op.
 func (s *Sched) Cancel(t *TCB) {
+	if check.Enabled {
+		s.owner.Assert("Sched.Cancel")
+	}
 	if t.state == Done || t.canceled {
 		return
 	}
@@ -427,8 +474,14 @@ func (s *Sched) reapRemaining() {
 		}
 		t.state = Running
 		s.cur = t
+		if check.Enabled {
+			s.owner.Release()
+		}
 		t.resume <- struct{}{}
 		<-s.toSched
+		if check.Enabled {
+			s.owner.Acquire("sched " + s.opts.Name)
+		}
 		s.cur = nil
 	}
 }
@@ -446,10 +499,67 @@ func (s *Sched) deadlockError() error {
 }
 
 func (s *Sched) mustCurrent(op string) *TCB {
+	if check.Enabled {
+		s.owner.Assert("Sched." + op)
+	}
 	if s.cur == nil {
 		panic("ult: " + op + " called outside any thread")
 	}
 	return s.cur
+}
+
+// audit cross-checks the scheduler's cached accounting — the blocked count,
+// the ready queue, the live totals — against the ground truth of thread
+// states. Run calls it at every scheduling iteration in chantdebug builds;
+// a mismatch means some transition skipped its bookkeeping, so it panics
+// with a full thread dump rather than let the run limp on.
+func (s *Sched) audit() {
+	var ready, blocked, regular, total int
+	for _, t := range s.threads {
+		switch t.state {
+		case Ready:
+			ready++
+		case Blocked:
+			blocked++
+		case Running:
+			check.Failf("sched %q: thread %d %q is Running at a scheduling point\n%s", s.opts.Name, t.id, t.name, s.dumpThreads())
+		}
+		if t.state != Done {
+			total++
+			if !t.daemon {
+				regular++
+			}
+		}
+	}
+	if blocked != s.blocked {
+		check.Failf("sched %q: blocked count is %d but %d threads are Blocked\n%s", s.opts.Name, s.blocked, blocked, s.dumpThreads())
+	}
+	if ready != len(s.ready) {
+		check.Failf("sched %q: ready queue holds %d entries but %d threads are Ready\n%s", s.opts.Name, len(s.ready), ready, s.dumpThreads())
+	}
+	if regular != s.liveRegular || total != s.liveTotal {
+		check.Failf("sched %q: live counts (regular=%d total=%d) disagree with thread states (regular=%d total=%d)\n%s",
+			s.opts.Name, s.liveRegular, s.liveTotal, regular, total, s.dumpThreads())
+	}
+	for _, t := range s.ready {
+		if t.state != Ready {
+			check.Failf("sched %q: ready queue contains thread %d %q in state %s\n%s", s.opts.Name, t.id, t.name, t.state, s.dumpThreads())
+		}
+	}
+}
+
+// dumpThreads renders every tracked thread for invariant-failure
+// diagnostics.
+func (s *Sched) dumpThreads() string {
+	var b strings.Builder
+	for _, t := range s.threads {
+		mark := ""
+		if t.daemon {
+			mark = " daemon"
+		}
+		fmt.Fprintf(&b, "  [%d %s: %s%s]\n", t.id, t.name, t.state, mark)
+	}
+	return b.String()
 }
 
 // removeTCB deletes the first occurrence of t from *list.

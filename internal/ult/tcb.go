@@ -114,6 +114,10 @@ type TCB struct {
 	onCancel func()
 
 	locals map[*Key]any
+	// localOrder remembers key insertion order so destructors run
+	// deterministically (map iteration order would vary run to run, which
+	// the simulated experiments cannot tolerate).
+	localOrder []*Key
 }
 
 // SetOnCancel registers cleanup to run if this thread is canceled while
