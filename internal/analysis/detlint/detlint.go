@@ -34,6 +34,7 @@ var scope = []string{
 	"internal/core",
 	"internal/comm",
 	"internal/machine",
+	"internal/faults",
 	"internal/experiments",
 }
 

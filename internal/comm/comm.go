@@ -109,6 +109,48 @@ func (s MatchSpec) Matches(h Header) bool {
 // receive buffer; the payload was truncated to fit.
 var ErrTruncated = errors.New("comm: message truncated: receive buffer too small")
 
+// ErrTimeout reports that a deadline-aware wait abandoned a receive before
+// any matching message arrived. The receive is withdrawn from the mailbox; a
+// message arriving later joins the unexpected queue like any other.
+var ErrTimeout = errors.New("comm: receive deadline exceeded")
+
+// ErrPeerDead reports that a receive can never complete because the only
+// process it could match against has been declared dead. Peer failure is a
+// completion event, not a silent hang: handles pinned to a dead peer finish
+// immediately with this error.
+var ErrPeerDead = errors.New("comm: peer process declared dead")
+
+// Status classifies how a receive handle reached (or has not reached)
+// completion, LCI-style: the handle carries not just "done" but *how* —
+// delivered, timed out, or failed by peer death — so callers can branch on
+// outcome without decoding errors.
+type Status uint8
+
+const (
+	// StatusPending: the receive has not completed.
+	StatusPending Status = iota
+	// StatusDelivered: a matching message was deposited into the buffer.
+	StatusDelivered
+	// StatusTimedOut: a deadline wait withdrew the receive.
+	StatusTimedOut
+	// StatusPeerDead: the pinned source process was declared dead.
+	StatusPeerDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusDelivered:
+		return "delivered"
+	case StatusTimedOut:
+		return "timed-out"
+	case StatusPeerDead:
+		return "peer-dead"
+	}
+	return "invalid"
+}
+
 // Transport moves a message to its destination process. Implementations
 // must treat msg.Data as owned by the message (callers never mutate it after
 // submission) and must eventually invoke the destination Endpoint's

@@ -1,7 +1,10 @@
 package comm
 
 import (
+	"sync"
+
 	"chant/internal/machine"
+	"chant/internal/sim"
 	"chant/internal/trace"
 )
 
@@ -19,6 +22,12 @@ type Endpoint struct {
 	ctrs *trace.Counters
 	tr   Transport
 	mb   mailbox
+
+	// dead is the set of peers declared failed (by a transport's failure
+	// detector or a simulated crash event). Guarded by deadMu because
+	// detectors may run on transport-side contexts.
+	deadMu sync.Mutex
+	dead   map[Addr]bool
 }
 
 // NewEndpoint creates an endpoint for process addr, charging host and
@@ -35,6 +44,46 @@ func (e *Endpoint) Host() machine.Host { return e.host }
 
 // Counters reports the endpoint's event counters.
 func (e *Endpoint) Counters() *trace.Counters { return e.ctrs }
+
+// SetUnexpectedCap bounds the unexpected-message queue to cap entries; zero
+// (the default) leaves it unbounded. Arrivals matching no posted receive
+// while the queue is full are dropped and counted in
+// Counters.UnexpectedDropped — under fault injection and retry layers a
+// bounded queue turns buffer exhaustion into an ordinary countable drop.
+func (e *Endpoint) SetUnexpectedCap(cap int) {
+	e.mb.mu.Lock()
+	defer e.mb.mu.Unlock()
+	e.mb.unexpectedCap = cap
+}
+
+// MarkPeerDead declares peer failed: every posted receive pinned to it
+// completes immediately with ErrPeerDead, and future pinned receives are
+// born failed. Safe to call from any context (failure detectors run on
+// transport goroutines or simulator events). Idempotent.
+func (e *Endpoint) MarkPeerDead(peer Addr) {
+	e.deadMu.Lock()
+	if e.dead[peer] {
+		e.deadMu.Unlock()
+		return
+	}
+	if e.dead == nil {
+		e.dead = make(map[Addr]bool)
+	}
+	e.dead[peer] = true
+	e.deadMu.Unlock()
+	e.ctrs.PeersDead.Add(1)
+	if failed := e.mb.failPeer(peer, e.host.Now()); failed > 0 {
+		e.ctrs.PeerDeadRecvs.Add(uint64(failed))
+	}
+	e.host.Interrupt()
+}
+
+// PeerDead reports whether peer has been declared dead.
+func (e *Endpoint) PeerDead(peer Addr) bool {
+	e.deadMu.Lock()
+	defer e.deadMu.Unlock()
+	return e.dead[peer]
+}
 
 // Send transmits data to process dst with the given destination context,
 // tag, and sending-thread id. It is locally blocking (NX csend): the data
@@ -74,6 +123,21 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 // avoids).
 func (e *Endpoint) Irecv(spec MatchSpec, buf []byte) *RecvHandle {
 	h := &RecvHandle{spec: spec, buf: buf}
+	if spec.SrcPE != Any && spec.SrcProc != Any &&
+		e.PeerDead(Addr{PE: spec.SrcPE, Proc: spec.SrcProc}) {
+		// The only process that could satisfy this receive is dead; unless a
+		// matching message already arrived before the failure, the handle is
+		// born failed rather than left to hang.
+		if e.mb.post(h, e.host.Now()) {
+			e.ctrs.RecvImmediate.Add(1)
+			e.host.Charge(e.host.Model().CopyCost(h.n))
+			return h
+		}
+		if e.mb.removeFailed(h, ErrPeerDead, StatusPeerDead, e.host.Now()) {
+			e.ctrs.PeerDeadRecvs.Add(1)
+		}
+		return h
+	}
 	if e.mb.post(h, e.host.Now()) {
 		e.ctrs.RecvImmediate.Add(1)
 		e.host.Charge(e.host.Model().CopyCost(h.n))
@@ -153,6 +217,59 @@ func (e *Endpoint) Probe(spec MatchSpec) (Header, bool) {
 	return hdr, ok
 }
 
+// TimeoutRecv withdraws a posted receive and fails it with ErrTimeout,
+// atomically with respect to delivery. It reports false — and leaves the
+// handle untouched — if the receive already completed (or was canceled),
+// so callers that lose the race still observe the real completion.
+func (e *Endpoint) TimeoutRecv(h *RecvHandle) bool {
+	if !e.mb.removeFailed(h, ErrTimeout, StatusTimedOut, e.host.Now()) {
+		return false
+	}
+	e.ctrs.RecvTimeouts.Add(1)
+	return true
+}
+
+// TestDeadline is Test with a deadline: past the deadline an incomplete
+// receive is withdrawn and failed with ErrTimeout (completion still wins
+// any race). It reports whether the handle is done — by delivery, failure,
+// or timeout; the handle's Status distinguishes them.
+func (e *Endpoint) TestDeadline(h *RecvHandle, deadline sim.Time) bool {
+	if e.Test(h) {
+		return true
+	}
+	if e.host.Now() < deadline {
+		return false
+	}
+	if !e.TimeoutRecv(h) {
+		// Lost the race: the receive completed while we were timing it out.
+		return e.Test(h)
+	}
+	return true
+}
+
+// MsgwaitTimeout waits for the handle with a deadline, spin-testing rather
+// than parking: each miss charges the modeled msgtest-miss cost, which
+// advances virtual time under simulation and yields the processor on real
+// hosts, so the loop always reaches the deadline even if the message never
+// comes — the property a parked Idle wait cannot provide once messages can
+// be dropped. It returns the handle's error: nil, ErrTruncated, ErrTimeout,
+// or ErrPeerDead.
+func (e *Endpoint) MsgwaitTimeout(h *RecvHandle, deadline sim.Time) error {
+	for {
+		if e.Test(h) {
+			return h.err
+		}
+		if e.host.Now() >= deadline {
+			if e.TimeoutRecv(h) {
+				return ErrTimeout
+			}
+			if e.Test(h) {
+				return h.err
+			}
+		}
+	}
+}
+
 // CancelRecv withdraws a posted receive that has not completed, reporting
 // whether it was still pending. Used when a thread blocked in a receive is
 // canceled.
@@ -180,7 +297,12 @@ func (e *Endpoint) observeCompletion(h *RecvHandle) {
 // posted, and interrupts the host so an idle processor notices. Safe to
 // call from any context (another process's goroutine, a simulator event).
 func (e *Endpoint) DeliverLocal(msg *Message) {
-	if e.mb.deliver(msg, e.host.Now()) == nil {
+	h, dropped := e.mb.deliver(msg, e.host.Now())
+	if dropped {
+		e.ctrs.UnexpectedDropped.Add(1)
+		return
+	}
+	if h == nil {
 		e.ctrs.EarlyArrivals.Add(1)
 	}
 	e.host.Interrupt()

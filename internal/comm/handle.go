@@ -21,6 +21,7 @@ type RecvHandle struct {
 	n           int
 	hdr         Header
 	err         error
+	status      Status
 	completedAt sim.Time
 
 	// observed records that a completing call already charged the receive
@@ -60,8 +61,17 @@ func (h *RecvHandle) Len() int { return h.n }
 // Header reports the header of the matched message. Valid once Done.
 func (h *RecvHandle) Header() Header { return h.hdr }
 
-// Err reports a delivery error such as ErrTruncated. Valid once Done.
+// Err reports a delivery error such as ErrTruncated, ErrTimeout, or
+// ErrPeerDead. Valid once Done.
 func (h *RecvHandle) Err() error { return h.err }
+
+// Status reports how the receive completed. StatusPending until Done.
+func (h *RecvHandle) Status() Status {
+	if !h.done.Load() {
+		return StatusPending
+	}
+	return h.status
+}
 
 // CompletedAt reports the virtual time at which the message was deposited.
 // Valid once Done.
@@ -78,6 +88,20 @@ func (h *RecvHandle) complete(msg *Message, at sim.Time) {
 		h.err = ErrTruncated
 	}
 	h.hdr = msg.Hdr
+	h.status = StatusDelivered
 	h.completedAt = at
+	h.done.Store(true)
+}
+
+// fail completes the handle unsuccessfully: no payload, the given error and
+// status. The handle is pre-observed so failed receives never charge receive
+// overhead or count as completed receives. The caller must hold the owning
+// mailbox's lock (or own the handle exclusively, as Irecv does for handles
+// born failed).
+func (h *RecvHandle) fail(err error, status Status, at sim.Time) {
+	h.err = err
+	h.status = status
+	h.completedAt = at
+	h.observed = true
 	h.done.Store(true)
 }

@@ -16,24 +16,34 @@ type mailbox struct {
 	mu         sync.Mutex
 	posted     []*RecvHandle
 	unexpected []*Message
+
+	// unexpectedCap, when positive, bounds the unexpected queue: arrivals
+	// that match no posted receive once the queue is full are dropped (a
+	// countable fault event) instead of growing system buffering without
+	// bound.
+	unexpectedCap int
 }
 
 // deliver matches msg against posted receives. If a receive matches, the
 // payload is deposited directly into its user buffer (the no-extra-copy path
 // the paper's design is built around) and the handle is returned. Otherwise
-// the message joins the unexpected queue and nil is returned.
-func (mb *mailbox) deliver(msg *Message, at sim.Time) *RecvHandle {
+// the message joins the unexpected queue — unless the queue is at its cap,
+// in which case the message is dropped and dropped reports true.
+func (mb *mailbox) deliver(msg *Message, at sim.Time) (h *RecvHandle, dropped bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for i, h := range mb.posted {
 		if h.spec.Matches(msg.Hdr) {
 			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
 			h.complete(msg, at)
-			return h
+			return h, false
 		}
 	}
+	if mb.unexpectedCap > 0 && len(mb.unexpected) >= mb.unexpectedCap {
+		return nil, true
+	}
 	mb.unexpected = append(mb.unexpected, msg)
-	return nil
+	return nil, false
 }
 
 // post registers a receive. If an unexpected message already matches, it is
@@ -66,6 +76,44 @@ func (mb *mailbox) remove(h *RecvHandle) bool {
 		}
 	}
 	return false
+}
+
+// removeFailed withdraws a posted receive and fails it with the given error
+// and status, atomically with respect to delivery: exactly one of delivery
+// and failure wins. It reports false if the handle was no longer posted
+// (it completed, was canceled, or already failed).
+func (mb *mailbox) removeFailed(h *RecvHandle, err error, status Status, at sim.Time) bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, p := range mb.posted {
+		if p == h {
+			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
+			h.fail(err, status, at)
+			return true
+		}
+	}
+	return false
+}
+
+// failPeer fails every posted receive that can only be satisfied by the
+// given (now dead) peer — those whose spec pins both source fields to it —
+// and reports how many it failed. Wildcard receives stay posted: some other
+// peer may still satisfy them.
+func (mb *mailbox) failPeer(peer Addr, at sim.Time) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	failed := 0
+	kept := mb.posted[:0]
+	for _, h := range mb.posted {
+		if h.spec.SrcPE == peer.PE && h.spec.SrcProc == peer.Proc {
+			h.fail(ErrPeerDead, StatusPeerDead, at)
+			failed++
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	mb.posted = kept
+	return failed
 }
 
 // findUnexpected reports the header of the oldest unexpected message

@@ -80,7 +80,7 @@ func TestMailboxDeliverToPosted(t *testing.T) {
 	if mb.post(h, 0) {
 		t.Fatal("post with empty unexpected queue reported immediate")
 	}
-	got := mb.deliver(msgWith(hdr(1, 0, 2, 3), "hello"), 42)
+	got, _ := mb.deliver(msgWith(hdr(1, 0, 2, 3), "hello"), 42)
 	if got != h {
 		t.Fatal("deliver did not match the posted receive")
 	}
@@ -97,7 +97,7 @@ func TestMailboxDeliverToPosted(t *testing.T) {
 
 func TestMailboxEarlyArrivalThenPost(t *testing.T) {
 	var mb mailbox
-	if got := mb.deliver(msgWith(hdr(1, 0, 2, 3), "early"), 0); got != nil {
+	if got, _ := mb.deliver(msgWith(hdr(1, 0, 2, 3), "early"), 0); got != nil {
 		t.Fatal("deliver with no posted receive should buffer")
 	}
 	h := &RecvHandle{spec: MatchSpec{SrcPE: 1, SrcProc: 0, Ctx: 2, Tag: 3}, buf: make([]byte, 16)}
@@ -163,7 +163,7 @@ func TestMailboxRemove(t *testing.T) {
 		t.Fatal("second remove should report not-pending")
 	}
 	// A message arriving afterwards must be buffered, not matched.
-	if mb.deliver(msgWith(hdr(0, 0, 0, 0), "x"), 1) != nil {
+	if got, _ := mb.deliver(msgWith(hdr(0, 0, 0, 0), "x"), 1); got != nil {
 		t.Fatal("canceled receive still matched")
 	}
 }

@@ -7,6 +7,7 @@ package memnet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"chant/internal/comm"
@@ -18,8 +19,9 @@ import (
 // program. Unlike simnet, endpoints may be registered concurrently and
 // delivery happens immediately (the wall clock is the only latency).
 type Network struct {
-	mu  sync.RWMutex
-	eps map[comm.Addr]*comm.Endpoint
+	mu     sync.RWMutex
+	eps    map[comm.Addr]*comm.Endpoint
+	closed map[comm.Addr]bool
 }
 
 // New creates an empty in-memory network.
@@ -46,8 +48,57 @@ func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint {
 	return n.eps[addr]
 }
 
+// ClosePeer declares process addr failed: its messages stop flowing (sends
+// to and from it are silently discarded) and every other endpoint marks it
+// dead, failing receives pinned to it. This models an abruptly-killed OS
+// process for the in-memory machine. Idempotent.
+func (n *Network) ClosePeer(addr comm.Addr) {
+	n.mu.Lock()
+	if n.closed[addr] {
+		n.mu.Unlock()
+		return
+	}
+	if n.closed == nil {
+		n.closed = make(map[comm.Addr]bool)
+	}
+	n.closed[addr] = true
+	others := make([]*comm.Endpoint, 0, len(n.eps))
+	for a, ep := range n.eps {
+		if a != addr {
+			others = append(others, ep)
+		}
+	}
+	n.mu.Unlock()
+	// Notify survivors in address order so failure fan-out is deterministic.
+	sort.Slice(others, func(i, j int) bool {
+		ai, aj := others[i].Addr(), others[j].Addr()
+		if ai.PE != aj.PE {
+			return ai.PE < aj.PE
+		}
+		return ai.Proc < aj.Proc
+	})
+	for _, ep := range others {
+		ep.MarkPeerDead(addr)
+	}
+}
+
+// peerClosed reports whether addr has been closed.
+func (n *Network) peerClosed(addr comm.Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.closed[addr]
+}
+
 // Deliver implements comm.Transport with immediate synchronous delivery.
+// Messages to or from a closed peer are discarded: a dead process neither
+// sends nor receives.
 func (n *Network) Deliver(msg *comm.Message) {
+	if n.peerClosed(msg.Hdr.Dst()) || n.peerClosed(msg.Hdr.Src()) {
+		if sep := n.Endpoint(msg.Hdr.Src()); sep != nil {
+			sep.Counters().FaultDrops.Add(1)
+		}
+		return
+	}
 	ep := n.Endpoint(msg.Hdr.Dst())
 	if ep == nil {
 		panic(fmt.Sprintf("memnet: send to unknown process %v", msg.Hdr.Dst()))

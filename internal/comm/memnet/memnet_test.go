@@ -1,12 +1,14 @@
 package memnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
 	"chant/internal/comm"
 	"chant/internal/machine"
+	"chant/internal/sim"
 	"chant/internal/trace"
 )
 
@@ -102,6 +104,82 @@ func TestMemnetUnknownDestinationPanics(t *testing.T) {
 		}
 	}()
 	a.Send(comm.Addr{PE: 9, Proc: 9}, 0, 1, 0, []byte("x"))
+}
+
+// pinnedSpec matches anything from the given process only.
+func pinnedSpec(src comm.Addr) comm.MatchSpec {
+	return comm.MatchSpec{SrcPE: src.PE, SrcProc: src.Proc, SrcThread: comm.Any, Ctx: comm.Any, Tag: comm.Any}
+}
+
+// newPairNet is newPair but also exposing the network, for failure tests.
+func newPairNet(t *testing.T) (*Network, *comm.Endpoint, *comm.Endpoint) {
+	t.Helper()
+	net := New()
+	model := machine.Modern()
+	a := net.NewEndpoint(comm.Addr{PE: 0, Proc: 0}, machine.NewRealHost(model), &trace.Counters{})
+	b := net.NewEndpoint(comm.Addr{PE: 1, Proc: 0}, machine.NewRealHost(model), &trace.Counters{})
+	return net, a, b
+}
+
+func TestMemnetClosePeerFailsPinnedRecvs(t *testing.T) {
+	net, a, _ := newPairNet(t)
+	peer := comm.Addr{PE: 1, Proc: 0}
+	h := a.Irecv(pinnedSpec(peer), make([]byte, 8))
+	net.ClosePeer(peer)
+	if !a.Test(h) || !errors.Is(h.Err(), comm.ErrPeerDead) {
+		t.Fatalf("posted pinned recv after ClosePeer: done=%v err=%v", h.Done(), h.Err())
+	}
+	if h.Status() != comm.StatusPeerDead {
+		t.Errorf("status = %v, want %v", h.Status(), comm.StatusPeerDead)
+	}
+	if !a.PeerDead(peer) {
+		t.Error("PeerDead not reported")
+	}
+	// A receive posted after the failure is born failed.
+	h2 := a.Irecv(pinnedSpec(peer), nil)
+	if !a.Test(h2) || !errors.Is(h2.Err(), comm.ErrPeerDead) {
+		t.Errorf("new pinned recv: done=%v err=%v", h2.Done(), h2.Err())
+	}
+	// MsgwaitTimeout surfaces the death instead of waiting out the deadline.
+	h3 := a.Irecv(pinnedSpec(peer), nil)
+	if err := a.MsgwaitTimeout(h3, a.Host().Now().Add(sim.Second)); !errors.Is(err, comm.ErrPeerDead) {
+		t.Errorf("MsgwaitTimeout on dead peer: %v", err)
+	}
+	// Sends to the dead peer are discarded and counted, not delivered.
+	a.Send(peer, 0, 1, 0, []byte("x"))
+	if got := a.Counters().FaultDrops.Load(); got == 0 {
+		t.Error("send to dead peer not counted as a fault drop")
+	}
+	if got := a.Counters().PeersDead.Load(); got != 1 {
+		t.Errorf("PeersDead = %d, want 1", got)
+	}
+}
+
+func TestMemnetMsgwaitTimeout(t *testing.T) {
+	net, a, b := newPairNet(t)
+	h := a.Irecv(pinnedSpec(comm.Addr{PE: 1, Proc: 0}), make([]byte, 8))
+	err := a.MsgwaitTimeout(h, a.Host().Now().Add(20*sim.Millisecond))
+	if !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("MsgwaitTimeout = %v, want ErrTimeout", err)
+	}
+	if h.Status() != comm.StatusTimedOut {
+		t.Errorf("status = %v, want %v", h.Status(), comm.StatusTimedOut)
+	}
+	if got := a.Counters().RecvTimeouts.Load(); got != 1 {
+		t.Errorf("RecvTimeouts = %d, want 1", got)
+	}
+	// A message that already arrived still wins over peer death: buffered
+	// data outlives its sender.
+	b.Send(comm.Addr{PE: 0, Proc: 0}, 0, 3, 0, []byte("last words"))
+	net.ClosePeer(comm.Addr{PE: 1, Proc: 0})
+	buf := make([]byte, 16)
+	h2 := a.Irecv(pinnedSpec(comm.Addr{PE: 1, Proc: 0}), buf)
+	if err := a.MsgwaitTimeout(h2, a.Host().Now().Add(sim.Second)); err != nil {
+		t.Fatalf("buffered message lost to peer death: %v", err)
+	}
+	if string(buf[:h2.Len()]) != "last words" {
+		t.Errorf("got %q", buf[:h2.Len()])
+	}
 }
 
 func TestMemnetEndpointLookup(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"chant/internal/comm"
+	"chant/internal/faults"
 	"chant/internal/machine"
 	"chant/internal/sim"
 	"chant/internal/trace"
@@ -29,6 +30,13 @@ type Network struct {
 	// latency. Zero models a flat (distance-independent) network. Set it
 	// before traffic flows.
 	MeshWidth int
+
+	// Faults, when non-nil, is the deterministic fault-injection plane the
+	// wires consult on every cross-process message: drops, duplicates, delay
+	// jitter, partitions, and crash/stall schedules all originate here. Set
+	// it before traffic flows. Same-process (loopback) delivery is never
+	// faulted — there is no wire to fail.
+	Faults *faults.Plan
 
 	// Delivered counts messages handed to destination endpoints.
 	Delivered uint64
@@ -76,11 +84,46 @@ func (n *Network) Deliver(msg *comm.Message) {
 		if hops := n.hops(msg.Hdr.SrcPE, dst.PE); hops > 1 {
 			latency += n.model.NetPerHop.Scale(float64(hops - 1))
 		}
+		if n.Faults != nil {
+			d := n.Faults.Decide(n.kernel.Now(), msg.Hdr.Src(), dst, len(msg.Data))
+			ctrs := n.srcCounters(msg.Hdr.Src())
+			if d.Drop {
+				if ctrs != nil {
+					ctrs.FaultDrops.Add(1)
+				}
+				return
+			}
+			if d.Delay > 0 {
+				if ctrs != nil {
+					ctrs.FaultDelays.Add(1)
+				}
+				latency += d.Delay
+			}
+			if d.Duplicate {
+				if ctrs != nil {
+					ctrs.FaultDups.Add(1)
+				}
+				dup := &comm.Message{Hdr: msg.Hdr, Data: msg.Data, SentAt: msg.SentAt}
+				n.kernel.After(latency+d.DupDelay, func() {
+					n.Delivered++
+					ep.DeliverLocal(dup)
+				})
+			}
+		}
 	}
 	n.kernel.After(latency, func() {
 		n.Delivered++
 		ep.DeliverLocal(msg)
 	})
+}
+
+// srcCounters reports the sending endpoint's counters (nil for a source not
+// attached here), so injected faults are charged where they originate.
+func (n *Network) srcCounters(src comm.Addr) *trace.Counters {
+	if sep := n.eps[src]; sep != nil {
+		return sep.Counters()
+	}
+	return nil
 }
 
 // hops reports the Manhattan distance between two PEs on the configured

@@ -1,9 +1,11 @@
 package simnet
 
 import (
+	"errors"
 	"testing"
 
 	"chant/internal/comm"
+	"chant/internal/faults"
 	"chant/internal/machine"
 	"chant/internal/sim"
 	"chant/internal/trace"
@@ -259,5 +261,120 @@ func TestMeshHopsFunction(t *testing.T) {
 	flat := &Network{}
 	if flat.hops(0, 15) != 1 {
 		t.Error("flat network should be distance-independent")
+	}
+}
+
+func TestSimnetFaultPlanDropAndTimeout(t *testing.T) {
+	model := machine.Paragon1994()
+	r, start := newRig(t, 2, model)
+	r.net.Faults = faults.New(faults.Config{Default: faults.LinkRates{DropProb: 1}}, 11)
+	var err error
+	start(
+		func(ep *comm.Endpoint) {
+			ep.Send(comm.Addr{PE: 1, Proc: 0}, 0, 7, 0, make([]byte, 64))
+		},
+		func(ep *comm.Endpoint) {
+			h := ep.Irecv(comm.MatchAll, make([]byte, 64))
+			err = ep.MsgwaitTimeout(h, ep.Host().Now().Add(50*sim.Millisecond))
+		},
+	)
+	if !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("receive of a dropped message: %v, want ErrTimeout", err)
+	}
+	if got := r.ctrs[0].FaultDrops.Load(); got != 1 {
+		t.Errorf("sender FaultDrops = %d, want 1", got)
+	}
+	if got := r.net.Faults.Stats().Drops; got != 1 {
+		t.Errorf("plan Drops = %d, want 1", got)
+	}
+}
+
+func TestSimnetFaultPlanDuplicates(t *testing.T) {
+	model := machine.Paragon1994()
+	r, start := newRig(t, 2, model)
+	r.net.Faults = faults.New(faults.Config{
+		Default: faults.LinkRates{DupProb: 1, DelayMax: 100 * sim.Microsecond},
+	}, 11)
+	var copies int
+	start(
+		func(ep *comm.Endpoint) {
+			ep.Send(comm.Addr{PE: 1, Proc: 0}, 0, 7, 0, []byte("twin"))
+		},
+		func(ep *comm.Endpoint) {
+			buf := make([]byte, 8)
+			for i := 0; i < 2; i++ {
+				h := ep.Irecv(comm.MatchAll, buf)
+				if ep.MsgwaitTimeout(h, ep.Host().Now().Add(50*sim.Millisecond)) == nil {
+					copies++
+				}
+			}
+		},
+	)
+	if copies != 2 {
+		t.Fatalf("received %d copies of a duplicated message, want 2", copies)
+	}
+	if got := r.ctrs[0].FaultDups.Load(); got != 1 {
+		t.Errorf("sender FaultDups = %d, want 1", got)
+	}
+}
+
+func TestSimnetFaultPlanPartition(t *testing.T) {
+	model := machine.Paragon1994()
+	r, start := newRig(t, 2, model)
+	// The link is cut for the first 10ms of the run, then heals.
+	r.net.Faults = faults.New(faults.Config{
+		Cuts: []faults.Cut{{A: 0, B: 1, From: 0, To: sim.Time(10 * sim.Millisecond)}},
+	}, 11)
+	var gotLate bool
+	start(
+		func(ep *comm.Endpoint) {
+			ep.Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, []byte("lost"))
+			ep.Host().Charge(20 * sim.Millisecond)
+			ep.Send(comm.Addr{PE: 1, Proc: 0}, 0, 2, 0, []byte("healed"))
+		},
+		func(ep *comm.Endpoint) {
+			buf := make([]byte, 8)
+			h := ep.Irecv(comm.MatchAll, buf)
+			gotLate = ep.MsgwaitTimeout(h, ep.Host().Now().Add(sim.Second)) == nil && h.Header().Tag == 2
+		},
+	)
+	if !gotLate {
+		t.Fatal("message after the partition healed did not arrive (or the cut one leaked through)")
+	}
+	if got := r.net.Faults.Stats().PartitionDrops; got != 1 {
+		t.Errorf("PartitionDrops = %d, want 1", got)
+	}
+}
+
+// TestSimnetFaultDelayCharges checks injected delay jitter shows up as
+// extra latency on the wire.
+func TestSimnetFaultPlanDelay(t *testing.T) {
+	model := machine.Paragon1994()
+	const extra = 2 * sim.Millisecond
+	measure := func(plan *faults.Plan) sim.Time {
+		r, start := newRig(t, 2, model)
+		r.net.Faults = plan
+		var arrival sim.Time
+		start(
+			func(ep *comm.Endpoint) {
+				ep.Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, make([]byte, 64))
+			},
+			func(ep *comm.Endpoint) {
+				buf := make([]byte, 64)
+				ep.Recv(comm.MatchAll, buf)
+				arrival = ep.Host().Now()
+			},
+		)
+		return arrival
+	}
+	clean := measure(nil)
+	delayed := measure(faults.New(faults.Config{
+		Default: faults.LinkRates{DelayProb: 1, DelayMax: extra},
+	}, 11))
+	if delayed <= clean {
+		t.Fatalf("delay injection did not slow delivery: clean %v, delayed %v", clean, delayed)
+	}
+	if delayed.Sub(clean) > extra {
+		t.Fatalf("injected delay %v exceeds DelayMax %v", delayed.Sub(clean), extra)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +44,16 @@ type Options struct {
 	// closed (context-style cancellation for callers that give up before
 	// the dial deadline).
 	Cancel <-chan struct{}
+	// MaxFrameSize bounds one wire frame (header + payload). The reader
+	// drops any connection announcing a larger frame — a corrupt or hostile
+	// length prefix must not drive allocation — and the sender refuses to
+	// emit one. Default 64 MiB.
+	MaxFrameSize int
+	// Heartbeat, when positive, enables failure detection: the node sends a
+	// control frame to every peer at this interval, and a peer silent for
+	// heartbeatMisses intervals is declared dead — its pinned receives fail
+	// with ErrPeerDead instead of hanging. Zero disables detection.
+	Heartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -52,23 +63,31 @@ func (o Options) withDefaults() Options {
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 10 * time.Second
 	}
+	if o.MaxFrameSize == 0 {
+		o.MaxFrameSize = 64 << 20
+	}
 	return o
 }
 
 // Node is one OS process's endpoint registry plus its TCP machinery. It
 // implements comm.Transport for the endpoints created through it.
 type Node struct {
-	self  comm.Addr
-	ln    net.Listener
-	peers map[comm.Addr]string // every process's data listen address
+	self     comm.Addr
+	ln       net.Listener
+	peers    map[comm.Addr]string // every process's data listen address
+	maxFrame uint32
+	hb       time.Duration
 
-	mu      sync.Mutex
-	eps     map[comm.Addr]*comm.Endpoint
-	conns   map[string]*sender
-	inbound map[net.Conn]struct{}
-	closed  bool
+	mu       sync.Mutex
+	eps      map[comm.Addr]*comm.Endpoint
+	conns    map[string]*sender
+	inbound  map[net.Conn]struct{}
+	lastSeen map[comm.Addr]time.Time
+	dead     map[comm.Addr]bool
+	closed   bool
 
-	wg sync.WaitGroup
+	hbStop chan struct{}
+	wg     sync.WaitGroup
 }
 
 // sender is one outbound connection with a write lock (frames must not
@@ -93,9 +112,23 @@ type tableMsg struct {
 // wireHeaderLen is the fixed encoded header size: nine int32 fields.
 const wireHeaderLen = 36
 
-// maxFrame bounds a frame so a corrupt length prefix cannot allocate
-// unbounded memory.
-const maxFrame = 64 << 20
+// hbTag marks a heartbeat control frame. User tags are non-negative and the
+// runtime's reserved tags are positive, so no data frame can collide.
+const hbTag int32 = -0x4842 // "HB"
+
+// heartbeatMisses is how many silent heartbeat intervals declare a peer
+// dead.
+const heartbeatMisses = 3
+
+// Redial policy: a failed send retries with doubling backoff before the
+// peer is declared dead and the message dropped.
+const (
+	maxRedials     = 4
+	redialBackoff0 = 5 * time.Millisecond
+)
+
+// ErrFrameTooLarge reports a message exceeding Options.MaxFrameSize.
+var ErrFrameTooLarge = errors.New("tcpnet: frame exceeds MaxFrameSize")
 
 // Bootstrap joins (or leads) the machine's rendezvous and returns a Node
 // ready to create endpoints. It blocks until every process has registered.
@@ -106,11 +139,16 @@ func Bootstrap(o Options) (*Node, error) {
 		return nil, fmt.Errorf("tcpnet: data listen: %w", err)
 	}
 	n := &Node{
-		self:    o.Self,
-		ln:      ln,
-		eps:     make(map[comm.Addr]*comm.Endpoint),
-		conns:   make(map[string]*sender),
-		inbound: make(map[net.Conn]struct{}),
+		self:     o.Self,
+		ln:       ln,
+		maxFrame: uint32(o.MaxFrameSize),
+		hb:       o.Heartbeat,
+		eps:      make(map[comm.Addr]*comm.Endpoint),
+		conns:    make(map[string]*sender),
+		inbound:  make(map[net.Conn]struct{}),
+		lastSeen: make(map[comm.Addr]time.Time),
+		dead:     make(map[comm.Addr]bool),
+		hbStop:   make(chan struct{}),
 	}
 	if o.Lead {
 		n.peers, err = lead(o, ln.Addr().String())
@@ -125,6 +163,20 @@ func Bootstrap(o Options) (*Node, error) {
 	// Real transport: inbound TCP frames arrive preemptively by nature.
 	//chant:allow-nondet real network I/O goroutine
 	go n.acceptLoop()
+	if n.hb > 0 {
+		// Every peer starts its silence clock at bootstrap, so a peer that
+		// dies before ever speaking is still detected.
+		//chant:allow-nondet wall-clock failure-detection baseline
+		now := time.Now()
+		n.mu.Lock()
+		for a := range n.peers {
+			n.lastSeen[a] = now
+		}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		//chant:allow-nondet real-time heartbeat goroutine
+		go n.heartbeatLoop()
+	}
 	return n, nil
 }
 
@@ -247,27 +299,103 @@ func (n *Node) Peers() map[comm.Addr]string {
 }
 
 // Deliver implements comm.Transport: local destinations are delivered
-// directly; remote ones are framed onto the destination's connection.
+// directly; remote ones are framed onto the destination's connection. A
+// failed send redials with bounded backoff; once the redial budget is
+// exhausted the peer is declared dead and the message dropped — the wire is
+// lossy by contract now, and recovery belongs to the retry layers above.
 func (n *Node) Deliver(msg *comm.Message) {
 	dst := msg.Hdr.Dst()
 	n.mu.Lock()
 	ep := n.eps[dst]
+	dead := n.dead[dst]
 	n.mu.Unlock()
 	if ep != nil {
 		ep.DeliverLocal(msg)
 		return
 	}
+	if dead {
+		return // dead peers receive nothing
+	}
 	addr, ok := n.peers[dst]
 	if !ok {
 		panic(fmt.Sprintf("tcpnet: send to unknown process %v", dst))
 	}
-	s, err := n.senderFor(addr)
-	if err != nil {
-		panic(fmt.Sprintf("tcpnet: connect to %v (%s): %v", dst, addr, err))
+	if uint32(wireHeaderLen+len(msg.Data)) > n.maxFrame {
+		panic(fmt.Sprintf("tcpnet: send to %v: %v (%d bytes)", dst, ErrFrameTooLarge, len(msg.Data)))
 	}
-	if err := s.writeFrame(msg); err != nil {
-		panic(fmt.Sprintf("tcpnet: send to %v: %v", dst, err))
+	backoff := redialBackoff0
+	for attempt := 0; ; attempt++ {
+		s, err := n.senderFor(addr)
+		if err == nil {
+			if err = s.writeFrame(msg); err == nil {
+				return
+			}
+			// The connection is wedged; drop it so the next attempt dials
+			// fresh.
+			n.dropSender(addr, s)
+		}
+		if n.isClosed() || attempt >= maxRedials {
+			n.markPeerDead(dst)
+			return
+		}
+		// Pacing a redial against a real TCP peer is inherently wall-clock.
+		//chant:allow-nondet real-time redial backoff
+		time.Sleep(backoff)
+		backoff *= 2
 	}
+}
+
+// isClosed reports whether Close has begun.
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// dropSender discards a wedged outbound connection so the next send redials,
+// unless another sender already replaced it.
+func (n *Node) dropSender(addr string, s *sender) {
+	n.mu.Lock()
+	if n.conns[addr] == s {
+		delete(n.conns, addr)
+	}
+	n.mu.Unlock()
+	s.c.Close()
+}
+
+// markPeerDead declares peer failed: future sends to it are dropped and
+// every local endpoint fails its pinned receives. Idempotent; safe from any
+// goroutine.
+func (n *Node) markPeerDead(peer comm.Addr) {
+	n.mu.Lock()
+	if n.dead[peer] || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.dead[peer] = true
+	eps := make([]*comm.Endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	// Notify local endpoints in address order so fan-out is deterministic.
+	sort.Slice(eps, func(i, j int) bool {
+		ai, aj := eps[i].Addr(), eps[j].Addr()
+		if ai.PE != aj.PE {
+			return ai.PE < aj.PE
+		}
+		return ai.Proc < aj.Proc
+	})
+	for _, ep := range eps {
+		ep.MarkPeerDead(peer)
+	}
+}
+
+// PeerDead reports whether the node has declared peer failed.
+func (n *Node) PeerDead(peer comm.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead[peer]
 }
 
 // senderFor returns (dialing if necessary) the outbound connection to a
@@ -321,6 +449,92 @@ func getHeader(b []byte) comm.Header {
 	}
 }
 
+// heartbeatLoop periodically pings every peer and declares dead any peer
+// silent for heartbeatMisses intervals. Liveness is credited per source
+// address: any frame (data or heartbeat) from a peer refreshes it.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	// The failure detector is wall-clock by nature: it bounds real silence
+	// on a real wire.
+	//chant:allow-nondet real-time heartbeat ticker
+	tick := time.NewTicker(n.hb)
+	defer tick.Stop()
+	for {
+		//chant:allow-nondet heartbeat period races shutdown by design
+		select {
+		case <-n.hbStop:
+			return
+		case <-tick.C:
+		}
+		//chant:allow-nondet wall-clock failure detection
+		now := time.Now()
+		for _, peer := range n.sortedPeers() {
+			n.mu.Lock()
+			dead := n.dead[peer]
+			last := n.lastSeen[peer]
+			n.mu.Unlock()
+			if dead {
+				continue
+			}
+			if now.Sub(last) > time.Duration(heartbeatMisses)*n.hb {
+				n.markPeerDead(peer)
+				continue
+			}
+			n.sendHeartbeat(peer)
+		}
+	}
+}
+
+// sortedPeers reports every remote peer address in deterministic order.
+func (n *Node) sortedPeers() []comm.Addr {
+	out := make([]comm.Addr, 0, len(n.peers))
+	for a := range n.peers {
+		if a != n.self {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PE != out[j].PE {
+			return out[i].PE < out[j].PE
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// sendHeartbeat emits one control frame to peer, best-effort: a failure
+// here simply leaves the peer's silence clock running.
+func (n *Node) sendHeartbeat(peer comm.Addr) {
+	addr, ok := n.peers[peer]
+	if !ok {
+		return
+	}
+	s, err := n.senderFor(addr)
+	if err != nil {
+		return
+	}
+	hb := &comm.Message{Hdr: comm.Header{
+		SrcPE: n.self.PE, SrcProc: n.self.Proc,
+		DstPE: peer.PE, DstProc: peer.Proc,
+		Tag: hbTag,
+	}}
+	if err := s.writeFrame(hb); err != nil {
+		n.dropSender(addr, s)
+	}
+}
+
+// noteAlive refreshes a peer's silence clock.
+func (n *Node) noteAlive(peer comm.Addr) {
+	if n.hb <= 0 {
+		return
+	}
+	//chant:allow-nondet wall-clock failure detection
+	now := time.Now()
+	n.mu.Lock()
+	n.lastSeen[peer] = now
+	n.mu.Unlock()
+}
+
 // acceptLoop receives inbound connections; each gets a reader goroutine.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -360,14 +574,20 @@ func (n *Node) readLoop(c net.Conn) {
 			return // peer closed
 		}
 		frameLen := binary.BigEndian.Uint32(lenBuf[:])
-		if frameLen < wireHeaderLen || frameLen > maxFrame {
-			return // corrupt stream
+		if frameLen < wireHeaderLen || frameLen > n.maxFrame {
+			// A corrupt (or hostile) length prefix must not drive
+			// allocation: fail the connection cleanly instead.
+			return
 		}
 		frame := make([]byte, frameLen)
 		if _, err := io.ReadFull(r, frame); err != nil {
 			return
 		}
 		hdr := getHeader(frame)
+		n.noteAlive(hdr.Src())
+		if hdr.Tag == hbTag {
+			continue // heartbeat control frame; liveness is its payload
+		}
 		data := frame[wireHeaderLen:]
 		n.mu.Lock()
 		ep := n.eps[hdr.Dst()]
@@ -388,6 +608,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	close(n.hbStop)
 	conns := n.conns
 	n.conns = map[string]*sender{}
 	var inbound []net.Conn

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -234,4 +235,106 @@ func TestLoopbackThroughNode(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("loopback lost")
 	}
+}
+
+// bootWithOptions is bootMachine with per-node option tweaks applied on top
+// of the defaults.
+func bootWithOptions(t *testing.T, procs int, tweak func(o *Options)) ([]*Node, []*comm.Endpoint) {
+	t.Helper()
+	rendezvous := freeRendezvous(t)
+	nodes := make([]*Node, procs)
+	eps := make([]*comm.Endpoint, procs)
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := Options{
+				Self:       comm.Addr{PE: int32(i), Proc: 0},
+				Rendezvous: rendezvous,
+				Lead:       i == 0,
+				Procs:      procs,
+			}
+			if tweak != nil {
+				tweak(&o)
+			}
+			n, err := Bootstrap(o)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			nodes[i] = n
+			eps[i] = n.NewEndpoint(comm.Addr{PE: int32(i), Proc: 0},
+				machine.NewRealHost(machine.Modern()), &trace.Counters{})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d bootstrap: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	return nodes, eps
+}
+
+func TestTCPHeartbeatDetectsKilledPeer(t *testing.T) {
+	nodes, eps := bootWithOptions(t, 2, func(o *Options) {
+		o.Heartbeat = 25 * time.Millisecond
+	})
+	peer := comm.Addr{PE: 1, Proc: 0}
+	// Post a receive pinned to the peer, then kill it.
+	spec := comm.MatchSpec{SrcPE: 1, SrcProc: 0, SrcThread: comm.Any, Ctx: comm.Any, Tag: comm.Any}
+	h := eps[0].Irecv(spec, make([]byte, 8))
+	nodes[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for !nodes[0].PeerDead(peer) {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat failure detector never declared the killed peer dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !eps[0].Test(h) || !errors.Is(h.Err(), comm.ErrPeerDead) {
+		t.Fatalf("pinned receive after peer death: done=%v err=%v", h.Done(), h.Err())
+	}
+	if !eps[0].PeerDead(peer) {
+		t.Error("endpoint did not record the dead peer")
+	}
+	// Sends to the dead peer are now silently discarded, not panics.
+	eps[0].Send(peer, 0, 1, 0, []byte("into the void"))
+	if got := eps[0].Counters().PeersDead.Load(); got != 1 {
+		t.Errorf("PeersDead = %d, want 1", got)
+	}
+}
+
+func TestTCPHeartbeatKeepsLivePeerAlive(t *testing.T) {
+	nodes, _ := bootWithOptions(t, 2, func(o *Options) {
+		o.Heartbeat = 20 * time.Millisecond
+	})
+	// Well past several miss windows, an idle but live peer must not be
+	// declared dead — its heartbeats keep it fresh.
+	time.Sleep(300 * time.Millisecond)
+	if nodes[0].PeerDead(comm.Addr{PE: 1, Proc: 0}) || nodes[1].PeerDead(comm.Addr{PE: 0, Proc: 0}) {
+		t.Fatal("live idle peer declared dead")
+	}
+}
+
+func TestTCPOversizeFramePanics(t *testing.T) {
+	_, eps := bootWithOptions(t, 2, func(o *Options) {
+		o.MaxFrameSize = 4096
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize send did not panic")
+		}
+	}()
+	eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, 1, 0, make([]byte, 8192))
 }

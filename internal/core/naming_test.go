@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -172,13 +173,16 @@ func TestJoinValueCodec(t *testing.T) {
 }
 
 func TestReplyCodec(t *testing.T) {
-	if data, err := decodeReply(encodeReply([]byte("ok"), nil)); err != nil || string(data) != "ok" {
+	if data, err := decodeReply(encodeReply(7, []byte("ok"), nil)[rsrReplyPrefix:]); err != nil || string(data) != "ok" {
 		t.Errorf("success reply: (%q, %v)", data, err)
 	}
-	if _, err := decodeReply(encodeReply(nil, errors.New("boom"))); !errors.Is(err, ErrRemote) {
+	if _, err := decodeReply(encodeReply(7, nil, errors.New("boom"))[rsrReplyPrefix:]); !errors.Is(err, ErrRemote) {
 		t.Errorf("error reply: %v", err)
 	}
 	if _, err := decodeReply(nil); !errors.Is(err, ErrRemote) {
 		t.Errorf("empty reply: %v", err)
+	}
+	if wire := encodeReply(0xDEADBEEF, []byte("x"), nil); binary.LittleEndian.Uint32(wire) != 0xDEADBEEF {
+		t.Errorf("reply does not echo the request sequence: % x", wire[:rsrReplyPrefix])
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"chant/internal/comm"
+	"chant/internal/sim"
 	"chant/internal/ult"
 )
 
@@ -177,6 +178,53 @@ func (t *Thread) Msgwait(h *comm.RecvHandle) {
 	t.mustCurrent("Msgwait")
 	t.proc.policy.Wait(h, noBoost)
 	t.proc.maybeSyncAck(t.gid.Thread, h)
+}
+
+// MsgwaitTimeout blocks until the receive completes or timeout elapses.
+// On expiry the receive is withdrawn and comm.ErrTimeout returned; a pinned
+// source process declared dead surfaces as comm.ErrPeerDead. A nil return
+// means the message arrived (h.Len/h.Header are valid).
+func (t *Thread) MsgwaitTimeout(h *comm.RecvHandle, timeout sim.Duration) error {
+	t.mustCurrent("MsgwaitTimeout")
+	p := t.proc
+	err := p.waitDeadline(h, p.ep.Host().Now().Add(timeout))
+	if err == nil {
+		p.maybeSyncAck(t.gid.Thread, h)
+	}
+	return err
+}
+
+// waitDeadline blocks the calling thread until h completes or the host
+// clock reaches deadline. Unlike policy.Wait it must keep testing rather
+// than park: when the awaited message was dropped by the network, no
+// arrival will ever wake the waiter. Every missed test charges the
+// cost model (and advances the real clock), so the deadline is reached in
+// finitely many steps in both execution modes.
+func (p *Process) waitDeadline(h *comm.RecvHandle, deadline sim.Time) error {
+	if p.ep.Test(h) {
+		return h.Err()
+	}
+	host := p.ep.Host()
+	t := p.sched.Current()
+	end := waitAccounting(p.ep, h)
+	defer end()
+	t.SetOnCancel(func() { p.ep.CancelRecv(h) })
+	defer t.SetOnCancel(nil)
+	for {
+		p.sched.Yield()
+		if p.ep.Test(h) {
+			return h.Err()
+		}
+		if host.Now() >= deadline {
+			if p.ep.TimeoutRecv(h) {
+				return comm.ErrTimeout
+			}
+			// The message beat the withdrawal: the handle completed between
+			// the last test and the timeout attempt.
+			p.ep.Test(h)
+			return h.Err()
+		}
+	}
 }
 
 // Recv blocks until a message from src with tag arrives in buf

@@ -3,9 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"chant/internal/comm"
+	"chant/internal/faults"
 	"chant/internal/machine"
+	"chant/internal/sim"
 	"chant/internal/trace"
 	"chant/internal/ult"
 )
@@ -46,6 +49,33 @@ type Config struct {
 	// Process.EventLog. The determinism self-test compares these streams
 	// across runs; debugging sessions dump them.
 	EventLogSize int
+
+	// --- Robustness (fault tolerance) ---
+
+	// RSRTimeout, when positive, bounds each attempt of a remote service
+	// Call: a reply not arriving within the timeout triggers an idempotent
+	// resend (up to RSRRetries), after which Call returns ErrRSRTimeout.
+	// Zero keeps the paper's reliable-network behaviour: Call blocks until
+	// the reply arrives.
+	RSRTimeout sim.Duration
+	// RSRRetries is how many resends follow a timed-out Call attempt.
+	RSRRetries int
+	// RSRBackoff, when positive, is the extra compute charged before each
+	// resend, doubling per attempt (bounded exponential backoff).
+	RSRBackoff sim.Duration
+	// TermGrace, when positive, makes the distributed termination handshake
+	// fault-tolerant: done/release messages are resent on timeout, and the
+	// coordinator excuses processes declared dead rather than waiting for
+	// them forever. Zero keeps the reliable handshake.
+	TermGrace sim.Duration
+	// MaxUnexpected, when positive, caps each endpoint's unexpected-message
+	// queue; arrivals beyond the cap are dropped and counted
+	// (trace.Counters.UnexpectedDropped). Zero leaves it unbounded.
+	MaxUnexpected int
+	// Faults, when non-nil, is the fault-injection plan the simulated
+	// transport applies to every wire and the runtime consults for
+	// scheduled PE crashes. Only simulated runtimes observe it.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +106,7 @@ type Process struct {
 
 	handlers map[int32]Handler
 	nextReq  int32
+	rsrSeen  map[GlobalID]*rsrDedup
 	shared   map[string]*sharedEntry
 	channels map[int32]*chanState
 	nextChan int32
@@ -110,11 +141,25 @@ func newProcess(rt *Runtime, addr comm.Addr, host machine.Host, ctrs *trace.Coun
 		cfg:      cfg,
 		threads:  make(map[int32]*Thread),
 		handlers: make(map[int32]Handler),
+		rsrSeen:  make(map[GlobalID]*rsrDedup),
+	}
+	if cfg.MaxUnexpected > 0 {
+		ep.SetUnexpectedCap(cfg.MaxUnexpected)
 	}
 	p.policy = newPolicy(cfg.Policy, sched, ep)
 	p.registerBuiltinHandlers()
 	p.registerSharedHandlers()
 	p.registerChannelHandlers()
+	// Runtime-level handlers are installed before any main runs, so no Call
+	// can race a handler registration happening inside a remote main.
+	ids := make([]int32, 0, len(rt.handlers))
+	for id := range rt.handlers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p.RegisterHandler(id, rt.handlers[id])
+	}
 	return p
 }
 

@@ -34,8 +34,20 @@ type RSRContext struct {
 
 	wantReply bool
 	replyTag  int32
+	seq       uint32
 	deferred  bool
 	replied   bool
+}
+
+// rsrDedup is the per-source idempotency record: the most recent request
+// sequence number seen from one client thread and, once sent, its reply.
+// A retried request with the same sequence is answered from the cache
+// instead of re-running the handler — the property that makes timeouts plus
+// resends safe for non-idempotent handlers like create.
+type rsrDedup struct {
+	seq      uint32
+	replyTag int32
+	reply    []byte // cached reply wire; nil while a deferred reply is pending
 }
 
 // DeferReply tells the server not to reply when the handler returns;
@@ -55,7 +67,13 @@ func (c *RSRContext) Reply(data []byte, err error) {
 		panic("core: duplicate RSR reply")
 	}
 	c.replied = true
-	payload := encodeReply(data, err)
+	payload := encodeReply(c.seq, data, err)
+	// Cache the reply for idempotent retry — but only while this request is
+	// still the source's latest (a deferred reply may land after the client
+	// has moved on).
+	if rec := c.Proc.rsrSeen[c.Src]; rec != nil && rec.seq == c.seq {
+		rec.reply = payload
+	}
 	srcThread := serverLocalID
 	if cur := c.Proc.sched.Current(); cur != nil {
 		srcThread = cur.ID()
@@ -83,10 +101,19 @@ var (
 	ErrRSRTooLarge = errors.New("core: remote service request too large")
 	// ErrRemote wraps an error string returned by a remote handler.
 	ErrRemote = errors.New("core: remote error")
+	// ErrRSRTimeout reports a Call that exhausted its retry budget without
+	// ever seeing a reply (Config.RSRTimeout / RSRRetries).
+	ErrRSRTimeout = errors.New("core: remote service request timed out")
 )
 
-// rsrHeaderLen is the request envelope: handler id, flags, reply tag.
-const rsrHeaderLen = 9
+// rsrHeaderLen is the request envelope: handler id, flags, reply tag,
+// sequence number.
+const rsrHeaderLen = 13
+
+// rsrReplyPrefix is the reply envelope before the status byte: the echoed
+// request sequence, which lets a client discard stale replies matched by a
+// reused reply tag.
+const rsrReplyPrefix = 4
 
 const rsrFlagWantReply = 1
 
@@ -95,6 +122,12 @@ const rsrFlagWantReply = 1
 // reply payload is written into replyBuf; Call returns its length. The
 // reply receive is posted before the request is sent, so the response is
 // never an unexpected message.
+//
+// When Config.RSRTimeout is set, Call becomes a stop-and-wait reliable
+// request: an attempt whose reply does not arrive in time is resent (same
+// sequence number, so the server deduplicates) up to Config.RSRRetries
+// times, after which Call returns ErrRSRTimeout. A destination declared
+// dead surfaces as comm.ErrPeerDead.
 func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, error) {
 	t.mustCurrent("Call")
 	p := t.proc
@@ -106,23 +139,63 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 	}
 	p.nextReq++
 	replyTag := tagReplyBase + p.nextReq%tagReplySpan
+	seq := uint32(p.nextReq)
 
 	// Pre-post the reply receive (no-extra-copy path).
 	spec, err := p.recvSpec(t.gid.Thread, GlobalID{PE: dst.PE, Proc: dst.Proc, Thread: AnyField}, replyTag)
 	if err != nil {
 		return 0, err
 	}
-	// The reply carries a 1-byte status prefix.
-	wire := make([]byte, len(replyBuf)+1+256)
+	// The reply carries a sequence + status prefix.
+	wire := make([]byte, len(replyBuf)+rsrReplyPrefix+1+256)
 	h := p.ep.Irecv(spec, wire)
 
-	if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, req); err != nil {
+	if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, seq, req); err != nil {
 		p.ep.CancelRecv(h)
 		return 0, err
 	}
 	p.Counters().RSRSent.Add(1)
-	p.policy.Wait(h, noBoost)
-	data, remoteErr := decodeReply(wire[:h.Len()])
+
+	if p.cfg.RSRTimeout <= 0 {
+		// Reliable-network path: block until the reply arrives.
+		p.policy.Wait(h, noBoost)
+	} else {
+		host := p.ep.Host()
+		backoff := p.cfg.RSRBackoff
+		for attempt := 0; ; {
+			werr := p.waitDeadline(h, host.Now().Add(p.cfg.RSRTimeout))
+			if werr == nil {
+				// A reused reply tag can match a stale reply from an earlier,
+				// abandoned Call; the echoed sequence exposes it. Repost and
+				// keep waiting — the stale bytes are simply overwritten.
+				if h.Len() >= rsrReplyPrefix && binary.LittleEndian.Uint32(wire[0:]) != seq {
+					h = p.ep.Irecv(spec, wire)
+					continue
+				}
+				break
+			}
+			if errors.Is(werr, comm.ErrPeerDead) {
+				return 0, werr
+			}
+			if attempt >= p.cfg.RSRRetries {
+				p.Counters().RSRTimeouts.Add(1)
+				return 0, fmt.Errorf("%w: handler %d at %v after %d attempts",
+					ErrRSRTimeout, handler, dst, attempt+1)
+			}
+			attempt++
+			p.Counters().RSRRetries.Add(1)
+			if backoff > 0 {
+				host.Charge(backoff)
+				backoff *= 2
+			}
+			h = p.ep.Irecv(spec, wire)
+			if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, seq, req); err != nil {
+				p.ep.CancelRecv(h)
+				return 0, err
+			}
+		}
+	}
+	data, remoteErr := decodeReply(wire[rsrReplyPrefix:h.Len()])
 	if remoteErr != nil {
 		return 0, remoteErr
 	}
@@ -142,19 +215,22 @@ func (t *Thread) Notify(dst comm.Addr, handler int32, req []byte) error {
 	if len(req)+rsrHeaderLen > p.cfg.MaxRSR {
 		return fmt.Errorf("%w: %d bytes", ErrRSRTooLarge, len(req))
 	}
-	if err := p.sendRSR(t.gid.Thread, dst, handler, 0, 0, req); err != nil {
+	if err := p.sendRSR(t.gid.Thread, dst, handler, 0, 0, 0, req); err != nil {
 		return err
 	}
 	p.Counters().RSRSent.Add(1)
 	return nil
 }
 
-// sendRSR transmits one request envelope to dst's server thread.
-func (p *Process) sendRSR(srcThread int32, dst comm.Addr, handler int32, flags byte, replyTag int32, req []byte) error {
+// sendRSR transmits one request envelope to dst's server thread. seq is 0
+// for notifications; calls carry their per-client sequence for idempotent
+// retry.
+func (p *Process) sendRSR(srcThread int32, dst comm.Addr, handler int32, flags byte, replyTag int32, seq uint32, req []byte) error {
 	payload := make([]byte, rsrHeaderLen+len(req))
 	binary.LittleEndian.PutUint32(payload[0:], uint32(handler))
 	payload[4] = flags
 	binary.LittleEndian.PutUint32(payload[5:], uint32(replyTag))
+	binary.LittleEndian.PutUint32(payload[9:], seq)
 	copy(payload[rsrHeaderLen:], req)
 	return p.send(srcThread, GlobalID{PE: dst.PE, Proc: dst.Proc, Thread: serverLocalID}, tagRSRRequest, payload)
 }
@@ -198,12 +274,37 @@ func (p *Process) serveOne(hdr comm.Header, payload []byte) {
 	if len(payload) < rsrHeaderLen {
 		return // malformed; drop
 	}
+	src := GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: hdr.SrcThread}
 	ctx := &RSRContext{
 		Proc:      p,
-		Src:       GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: hdr.SrcThread},
+		Src:       src,
 		Req:       payload[rsrHeaderLen:],
 		wantReply: payload[4]&rsrFlagWantReply != 0,
 		replyTag:  int32(binary.LittleEndian.Uint32(payload[5:])),
+		seq:       binary.LittleEndian.Uint32(payload[9:]),
+	}
+	if ctx.wantReply && ctx.seq != 0 {
+		if rec := p.rsrSeen[src]; rec != nil {
+			switch {
+			case ctx.seq == rec.seq:
+				// Retransmission of the request being (or already) served:
+				// replay the cached reply rather than re-running the handler.
+				// If the reply is still pending (deferred), drop — the
+				// client's next resend will find the cache filled.
+				p.Counters().RSRDupsServed.Add(1)
+				if rec.reply != nil {
+					srcThread := serverLocalID
+					if cur := p.sched.Current(); cur != nil {
+						srcThread = cur.ID()
+					}
+					_ = p.send(srcThread, src, rec.replyTag, rec.reply)
+				}
+				return
+			case int32(ctx.seq-rec.seq) < 0:
+				return // straggler from an abandoned earlier Call; drop
+			}
+		}
+		p.rsrSeen[src] = &rsrDedup{seq: ctx.seq, replyTag: ctx.replyTag}
 	}
 	handler := p.handlers[int32(binary.LittleEndian.Uint32(payload[0:]))]
 	if handler == nil {
@@ -218,17 +319,19 @@ func (p *Process) serveOne(hdr comm.Header, payload []byte) {
 	}
 }
 
-// encodeReply frames a reply as [status byte][data | error string].
-func encodeReply(data []byte, err error) []byte {
+// encodeReply frames a reply as [seq][status byte][data | error string].
+func encodeReply(seq uint32, data []byte, err error) []byte {
 	if err != nil {
 		msg := err.Error()
-		out := make([]byte, 1+len(msg))
-		out[0] = 1
-		copy(out[1:], msg)
+		out := make([]byte, rsrReplyPrefix+1+len(msg))
+		binary.LittleEndian.PutUint32(out[0:], seq)
+		out[rsrReplyPrefix] = 1
+		copy(out[rsrReplyPrefix+1:], msg)
 		return out
 	}
-	out := make([]byte, 1+len(data))
-	copy(out[1:], data)
+	out := make([]byte, rsrReplyPrefix+1+len(data))
+	binary.LittleEndian.PutUint32(out[0:], seq)
+	copy(out[rsrReplyPrefix+1:], data)
 	return out
 }
 

@@ -57,7 +57,8 @@ type Runtime struct {
 	model *machine.Model
 	real  bool
 
-	funcs map[string]ThreadFunc
+	funcs    map[string]ThreadFunc
+	handlers map[int32]Handler
 
 	mu    sync.Mutex
 	procs map[comm.Addr]*Process
@@ -109,12 +110,13 @@ func newRuntime(topo Topology, cfg Config, model *machine.Model, real bool) *Run
 		panic("core: topology must have at least one PE and one process")
 	}
 	return &Runtime{
-		topo:  topo,
-		cfg:   cfg.withDefaults(),
-		model: model,
-		real:  real,
-		funcs: make(map[string]ThreadFunc),
-		procs: make(map[comm.Addr]*Process),
+		topo:     topo,
+		cfg:      cfg.withDefaults(),
+		model:    model,
+		real:     real,
+		funcs:    make(map[string]ThreadFunc),
+		handlers: make(map[int32]Handler),
+		procs:    make(map[comm.Addr]*Process),
 	}
 }
 
@@ -129,6 +131,20 @@ func (rt *Runtime) Register(name string, fn ThreadFunc) {
 }
 
 func (rt *Runtime) lookupFunc(name string) ThreadFunc { return rt.funcs[name] }
+
+// RegisterHandler binds a user RSR handler id (>= 0) to fn on every process
+// of the machine, before any main runs — so no Call can race a handler
+// registration happening inside a remote main. All registrations must
+// precede Run.
+func (rt *Runtime) RegisterHandler(id int32, fn Handler) {
+	if id < 0 {
+		panic("core: user RSR handler ids must be >= 0")
+	}
+	if _, dup := rt.handlers[id]; dup {
+		panic(fmt.Sprintf("core: duplicate RSR handler %d", id))
+	}
+	rt.handlers[id] = fn
+}
 
 // Topology reports the machine shape.
 func (rt *Runtime) Topology() Topology { return rt.topo }
@@ -199,6 +215,10 @@ func (rt *Runtime) wrapMain(addr comm.Addr, userMain MainFunc) MainFunc {
 		if n == 1 {
 			return
 		}
+		if rt.cfg.TermGrace > 0 {
+			rt.gracefulHandshake(addr, t)
+			return
+		}
 		p := t.proc
 		coord := rt.coordinator()
 		if addr == coord {
@@ -221,6 +241,105 @@ func (rt *Runtime) wrapMain(addr comm.Addr, userMain MainFunc) MainFunc {
 		}
 		var buf [1]byte
 		p.recvInternal(t, GlobalID{PE: coord.PE, Proc: coord.Proc, Thread: 0}, tagRelease, buf[:])
+	}
+}
+
+const (
+	// termMaxAttempts bounds how many times a non-coordinator resends its
+	// done-notification before giving up on an unreachable coordinator.
+	termMaxAttempts = 8
+	// termMaxIdleRounds is how many consecutive empty grace windows the
+	// coordinator tolerates before excusing processes it has not heard from.
+	termMaxIdleRounds = 4
+)
+
+// gracefulHandshake is the fault-tolerant termination handshake, enabled by
+// Config.TermGrace: done and release messages are resent when a grace
+// window passes without progress, and both sides excuse peers declared dead
+// instead of blocking forever on a message that will never come.
+func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
+	p := t.proc
+	coord := rt.coordinator()
+	grace := rt.cfg.TermGrace
+	host := p.ep.Host()
+	var buf [1]byte
+
+	if addr != coord {
+		coordID := GlobalID{PE: coord.PE, Proc: coord.Proc, Thread: 0}
+		for attempt := 0; attempt < termMaxAttempts; attempt++ {
+			// Post the release receive before (re)sending done, so the
+			// release is never unexpected.
+			spec, err := p.recvSpec(t.gid.Thread, coordID, tagRelease)
+			if err != nil {
+				panic("core: internal recv spec: " + err.Error())
+			}
+			h := p.ep.Irecv(spec, buf[:])
+			if err := p.send(t.gid.Thread, coordID, tagDone, nil); err != nil {
+				p.ep.CancelRecv(h)
+				return
+			}
+			werr := p.waitDeadline(h, host.Now().Add(grace))
+			if werr == nil || errors.Is(werr, comm.ErrPeerDead) {
+				return // released, or the coordinator died: shut down
+			}
+			// Grace window expired: the done or the release was lost; resend.
+		}
+		return // coordinator unreachable after all attempts; shut down anyway
+	}
+
+	// Coordinator: collect one done from every other process — deduplicating
+	// resends, excusing the dead — then broadcast releases.
+	others := make([]comm.Addr, 0, rt.topo.PEs*rt.topo.ProcsPerPE-1)
+	for _, a := range rt.topo.Addrs() {
+		if a != coord {
+			others = append(others, a)
+		}
+	}
+	seen := make(map[comm.Addr]bool, len(others))
+	heard := 0
+	idle := 0
+	for heard < len(others) && idle < termMaxIdleRounds {
+		spec, err := p.recvSpec(t.gid.Thread, AnyThread, tagDone)
+		if err != nil {
+			panic("core: internal recv spec: " + err.Error())
+		}
+		h := p.ep.Irecv(spec, buf[:])
+		if p.waitDeadline(h, host.Now().Add(grace)) != nil {
+			// Empty window: excuse peers meanwhile declared dead, count the
+			// round toward giving up on silent survivors.
+			for _, a := range others {
+				if !seen[a] && p.ep.PeerDead(a) {
+					seen[a] = true
+					heard++
+				}
+			}
+			idle++
+			continue
+		}
+		idle = 0
+		hdr := h.Header()
+		from := comm.Addr{PE: hdr.SrcPE, Proc: hdr.SrcProc}
+		if !seen[from] {
+			seen[from] = true
+			heard++
+		}
+	}
+	for _, a := range others {
+		_ = p.send(t.gid.Thread, GlobalID{PE: a.PE, Proc: a.Proc, Thread: 0}, tagRelease, nil)
+	}
+	// Linger briefly answering duplicate dones, so a process whose release
+	// was dropped (and which therefore resent its done) is not stranded.
+	for round := 0; round < 2; round++ {
+		spec, err := p.recvSpec(t.gid.Thread, AnyThread, tagDone)
+		if err != nil {
+			return
+		}
+		h := p.ep.Irecv(spec, buf[:])
+		if p.waitDeadline(h, host.Now().Add(grace)) != nil {
+			return
+		}
+		hdr := h.Header()
+		_ = p.send(t.gid.Thread, GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: 0}, tagRelease, nil)
 	}
 }
 
@@ -257,11 +376,52 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 			sp.Signal()
 		}
 	})
+	net.Faults = rt.cfg.Faults
+	if rt.cfg.Faults != nil {
+		for _, c := range rt.cfg.Faults.Crashes() {
+			c := c
+			kernel.At(c.At, func() { rt.crashPE(c.PE) })
+		}
+	}
 	if err := kernel.Run(0); err != nil {
 		return nil, err
 	}
 	res := rt.collect(kernel.Now())
 	return res, errors.Join(perr...)
+}
+
+// crashPE simulates the failure of a whole processing element at the
+// scheduled instant: every scheduler on the PE is killed (its run returns
+// ult.ErrKilled), and every surviving process is told the dead addresses so
+// receives pinned to them fail over to comm.ErrPeerDead instead of hanging.
+// It runs as a kernel callback, outside any process, walking the sorted
+// address list for a deterministic kill and notification order.
+func (rt *Runtime) crashPE(pe int32) {
+	addrs := rt.topo.Addrs()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, a := range addrs {
+		if a.PE != pe {
+			continue
+		}
+		if p := rt.procs[a]; p != nil {
+			p.sched.Kill()
+		}
+	}
+	for _, a := range addrs {
+		if a.PE == pe {
+			continue
+		}
+		p := rt.procs[a]
+		if p == nil {
+			continue
+		}
+		for _, dead := range addrs {
+			if dead.PE == pe {
+				p.ep.MarkPeerDead(dead)
+			}
+		}
+	}
 }
 
 // runReal executes the machine on goroutines over the in-memory transport.

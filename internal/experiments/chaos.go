@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chant/internal/comm"
+	"chant/internal/core"
+	"chant/internal/faults"
+	"chant/internal/machine"
+	"chant/internal/sim"
+	"chant/internal/trace"
+)
+
+// chaosEchoHandler is the RSR handler id the chaos workload calls: it
+// echoes the request payload back, so every iteration is one full
+// request/reply round trip through the retry layer.
+const chaosEchoHandler int32 = 100
+
+// ChaosConfig parameterizes the chaos soak: the Table 3 workload shape —
+// two PEs of workers alternating compute and communication — rebuilt on
+// the remote-service-request retry layer and run over a simulated network
+// that drops, duplicates, and delays messages according to a seeded fault
+// plan. The soak demonstrates the robustness claim: the workload completes
+// under injected faults, and identically so for a fixed fault seed.
+type ChaosConfig struct {
+	Workers int
+	Iters   int
+	Alpha   int64
+	Beta    int64
+	MsgSize int
+
+	// Fault plan: uniform rates on every cross-PE link.
+	DropProb  float64
+	DupProb   float64
+	DelayProb float64
+	DelayMax  sim.Duration
+	FaultSeed uint64
+
+	// Retry layer.
+	RSRTimeout sim.Duration
+	RSRRetries int
+	RSRBackoff sim.Duration
+	TermGrace  sim.Duration
+
+	Policy core.PolicyKind
+	Model  *machine.Model
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Workers == 0 {
+		c.Workers = 6
+	}
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 200
+	}
+	if c.Beta == 0 {
+		c.Beta = 100
+	}
+	if c.MsgSize == 0 {
+		c.MsgSize = 256
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.05
+	}
+	if c.DupProb == 0 {
+		c.DupProb = 0.02
+	}
+	if c.DelayProb == 0 {
+		c.DelayProb = 0.10
+	}
+	if c.DelayMax == 0 {
+		c.DelayMax = 500 * sim.Microsecond
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 0xC0FFEE
+	}
+	if c.RSRTimeout == 0 {
+		c.RSRTimeout = 10 * sim.Millisecond
+	}
+	if c.RSRRetries == 0 {
+		c.RSRRetries = 12
+	}
+	if c.RSRBackoff == 0 {
+		c.RSRBackoff = 100 * sim.Microsecond
+	}
+	if c.TermGrace == 0 {
+		c.TermGrace = 10 * sim.Millisecond
+	}
+	if c.Model == nil {
+		c.Model = machine.Paragon1994()
+	}
+	return c
+}
+
+// ChaosResult is everything one chaos run observed — enough to both assert
+// completion under faults and compare two runs bit for bit.
+type ChaosResult struct {
+	TimeMS float64
+	Total  trace.Snapshot
+	// Faults is the injection plan's own accounting.
+	Faults faults.Stats
+	// FaultEvents is the ordered stream of injected fault decisions — the
+	// determinism witness for the fault plane itself.
+	FaultEvents []faults.Event
+	// Events is each process's scheduler event stream.
+	Events map[comm.Addr][]trace.Event
+}
+
+// RunChaos executes the chaos soak once and reports what happened.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	plan := faults.New(faults.Config{
+		Default: faults.LinkRates{
+			DropProb:  cfg.DropProb,
+			DupProb:   cfg.DupProb,
+			DelayProb: cfg.DelayProb,
+			DelayMax:  cfg.DelayMax,
+		},
+	}, cfg.FaultSeed)
+
+	topo := core.Topology{PEs: 2, ProcsPerPE: 1}
+	rt := core.NewSimRuntime(topo, core.Config{
+		Policy:        cfg.Policy,
+		Delivery:      core.DeliverCtx,
+		EventLogSize:  1 << 15,
+		RSRTimeout:    cfg.RSRTimeout,
+		RSRRetries:    cfg.RSRRetries,
+		RSRBackoff:    cfg.RSRBackoff,
+		TermGrace:     cfg.TermGrace,
+		MaxUnexpected: 1024,
+		Faults:        plan,
+	}, cfg.Model)
+	rt.RegisterHandler(chaosEchoHandler, func(ctx *core.RSRContext) ([]byte, error) {
+		return ctx.Req, nil
+	})
+
+	workers := cfg.Workers
+	mk := func(pe int32) core.MainFunc {
+		return func(t *core.Thread) {
+			peer := comm.Addr{PE: 1 - pe, Proc: 0}
+			var ws []*core.Thread
+			for w := 0; w < workers; w++ {
+				w := w
+				ws = append(ws, t.Process().CreateLocal(fmt.Sprintf("w%d", w), func(me *core.Thread) {
+					host := me.Process().Endpoint().Host()
+					req := make([]byte, cfg.MsgSize)
+					reply := make([]byte, cfg.MsgSize)
+					for i := 0; i < cfg.Iters; i++ {
+						host.Compute(cfg.Alpha)
+						req[0] = byte(w)
+						req[1] = byte(i)
+						n, err := me.Call(peer, chaosEchoHandler, req, reply)
+						if err != nil {
+							panic(fmt.Sprintf("chaos: pe%d w%d iter %d: %v", pe, w, i, err))
+						}
+						if n != cfg.MsgSize || reply[0] != byte(w) || reply[1] != byte(i) {
+							panic(fmt.Sprintf("chaos: pe%d w%d iter %d: corrupted echo (%d bytes)", pe, w, i, n))
+						}
+						host.Compute(cfg.Beta)
+					}
+				}, defaultSpawnOpts()))
+			}
+			for _, w := range ws {
+				if _, err := t.JoinLocal(w); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	res, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: mk(0),
+		{PE: 1, Proc: 0}: mk(1),
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	out := ChaosResult{
+		TimeMS:      res.VirtualEnd.Millis(),
+		Total:       res.Total,
+		Faults:      plan.Stats(),
+		FaultEvents: plan.Events(),
+		Events:      make(map[comm.Addr][]trace.Event),
+	}
+	for _, a := range topo.Addrs() {
+		out.Events[a] = rt.Process(a).EventLog().Snapshot()
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"chant/internal/comm"
+	"chant/internal/sim"
+)
+
+func lossyCfg() Config {
+	return Config{
+		Default: LinkRates{
+			DropProb:  0.2,
+			DupProb:   0.1,
+			DelayProb: 0.3,
+			DelayMax:  400 * sim.Microsecond,
+		},
+	}
+}
+
+// replay feeds a fixed message schedule through a fresh plan and returns
+// the recorded event stream.
+func replay(cfg Config, seed uint64, msgs int) []Event {
+	p := New(cfg, seed)
+	now := sim.Time(0)
+	for i := 0; i < msgs; i++ {
+		src := comm.Addr{PE: int32(i % 3), Proc: 0}
+		dst := comm.Addr{PE: int32((i + 1) % 3), Proc: 0}
+		p.Decide(now, src, dst, 64+i)
+		now = now.Add(10 * sim.Microsecond)
+	}
+	return p.Events()
+}
+
+// TestFaultStreamDeterministic is the satellite determinism property: for
+// any seed, an identical message schedule produces an identical
+// drop/delay/duplicate event stream across two independent plans.
+func TestFaultStreamDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		return reflect.DeepEqual(replay(lossyCfg(), seed, 200), replay(lossyCfg(), seed, 200))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStreamVariesWithSeed(t *testing.T) {
+	if reflect.DeepEqual(replay(lossyCfg(), 1, 500), replay(lossyCfg(), 2, 500)) {
+		t.Fatal("different seeds produced identical 500-message fault streams")
+	}
+}
+
+func TestLinkStreamsIndependent(t *testing.T) {
+	// The same draw index on different links must not be correlated: decide
+	// 100 messages on each of two links and compare the decision kinds.
+	p := New(lossyCfg(), 42)
+	a := comm.Addr{PE: 0, Proc: 0}
+	b := comm.Addr{PE: 1, Proc: 0}
+	c := comm.Addr{PE: 2, Proc: 0}
+	same := 0
+	for i := 0; i < 100; i++ {
+		d1 := p.Decide(sim.Time(i), a, b, 64)
+		d2 := p.Decide(sim.Time(i), a, c, 64)
+		if d1.Drop == d2.Drop && d1.Duplicate == d2.Duplicate && (d1.Delay > 0) == (d2.Delay > 0) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("links a->b and a->c made identical decisions for 100 messages")
+	}
+}
+
+func TestPartitionDropsEverything(t *testing.T) {
+	cfg := Config{Cuts: []Cut{{A: 0, B: 1, From: 10, To: 20}}}
+	p := New(cfg, 7)
+	a := comm.Addr{PE: 0, Proc: 0}
+	b := comm.Addr{PE: 1, Proc: 0}
+	if d := p.Decide(5, a, b, 8); d.Drop {
+		t.Error("message before the cut window was dropped")
+	}
+	if d := p.Decide(15, a, b, 8); !d.Drop || d.Kind != KindPartition {
+		t.Errorf("message inside the cut window survived: %+v", d)
+	}
+	if d := p.Decide(15, b, a, 8); !d.Drop {
+		t.Error("cut is not bidirectional")
+	}
+	if d := p.Decide(25, a, b, 8); d.Drop {
+		t.Error("message after the cut window was dropped")
+	}
+	if got := p.Stats().PartitionDrops; got != 2 {
+		t.Errorf("PartitionDrops = %d, want 2", got)
+	}
+}
+
+func TestCrashDropsAfterInstant(t *testing.T) {
+	cfg := Config{Crashes: []Crash{{PE: 1, At: 100}}}
+	p := New(cfg, 7)
+	a := comm.Addr{PE: 0, Proc: 0}
+	b := comm.Addr{PE: 1, Proc: 0}
+	if d := p.Decide(50, a, b, 8); d.Drop {
+		t.Error("message before the crash was dropped")
+	}
+	if d := p.Decide(150, a, b, 8); !d.Drop || d.Kind != KindCrash {
+		t.Errorf("message to the crashed PE survived: %+v", d)
+	}
+	if !p.DeadAt(1, 150) || p.DeadAt(1, 50) || p.DeadAt(0, 150) {
+		t.Error("DeadAt wrong")
+	}
+	crashes := p.Crashes()
+	if len(crashes) != 1 || crashes[0].PE != 1 || crashes[0].At != 100 {
+		t.Errorf("Crashes() = %+v", crashes)
+	}
+}
+
+func TestStallDelaysWithoutDropping(t *testing.T) {
+	cfg := Config{Stalls: []Stall{{PE: 1, From: 0, To: 1000}}}
+	p := New(cfg, 7)
+	d := p.Decide(500, comm.Addr{PE: 0}, comm.Addr{PE: 1}, 8)
+	if d.Drop || d.Delay <= 0 || d.Kind != KindStall {
+		t.Errorf("stalled delivery: %+v", d)
+	}
+	// Delivery is pushed past the stall window's end.
+	if got := sim.Time(500).Add(d.Delay); got < 1000 {
+		t.Errorf("delivery at %v, before stall end", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	events := replay(lossyCfg(), 99, 400)
+	p := New(lossyCfg(), 99)
+	now := sim.Time(0)
+	for i := 0; i < 400; i++ {
+		src := comm.Addr{PE: int32(i % 3), Proc: 0}
+		dst := comm.Addr{PE: int32((i + 1) % 3), Proc: 0}
+		p.Decide(now, src, dst, 64+i)
+		now = now.Add(10 * sim.Microsecond)
+	}
+	st := p.Stats()
+	if st.Messages != 400 {
+		t.Errorf("Messages = %d, want 400", st.Messages)
+	}
+	if st.Drops == 0 || st.Dups == 0 || st.Delays == 0 {
+		t.Errorf("expected all fault kinds at these rates: %+v", st)
+	}
+	var drops, dups, delays uint64
+	for _, e := range events {
+		switch e.Kind {
+		case KindDrop:
+			drops++
+		case KindDup:
+			dups++
+		case KindDelay:
+			delays++
+		}
+	}
+	if drops != st.Drops || dups != st.Dups || delays != st.Delays {
+		t.Errorf("event stream (%d/%d/%d) disagrees with stats %+v", drops, dups, delays, st)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}

@@ -40,6 +40,18 @@ type Counters struct {
 	RSRRequests atomic.Uint64 // requests served by this process's server thread
 	RSRSent     atomic.Uint64 // requests issued from this process
 
+	// Robustness events (fault injection, failure detection, recovery).
+	FaultDrops        atomic.Uint64 // outbound messages dropped by the fault plane
+	FaultDups         atomic.Uint64 // outbound messages duplicated by the fault plane
+	FaultDelays       atomic.Uint64 // outbound messages delayed/stalled by the fault plane
+	UnexpectedDropped atomic.Uint64 // messages dropped at the unexpected-queue cap
+	RecvTimeouts      atomic.Uint64 // receives abandoned by a deadline wait
+	PeerDeadRecvs     atomic.Uint64 // receives failed because their peer was declared dead
+	PeersDead         atomic.Uint64 // peers this process declared dead
+	RSRRetries        atomic.Uint64 // RSR call attempts beyond the first
+	RSRTimeouts       atomic.Uint64 // RSR calls that exhausted their retry budget
+	RSRDupsServed     atomic.Uint64 // duplicate RSR requests answered from the dedup cache
+
 	wait waitingIntegrator
 }
 
@@ -143,6 +155,9 @@ type Snapshot struct {
 	Sends, Recvs, RecvImmediate, EarlyArrivals, BytesSent              uint64
 	MsgTestCalls, MsgTestFails, TestAnyCalls, TestAnyScanned           uint64
 	RSRRequests, RSRSent                                               uint64
+	FaultDrops, FaultDups, FaultDelays, UnexpectedDropped              uint64
+	RecvTimeouts, PeerDeadRecvs, PeersDead                             uint64
+	RSRRetries, RSRTimeouts, RSRDupsServed                             uint64
 	AvgWaiting                                                         float64
 	MaxWaiting                                                         int
 }
@@ -151,25 +166,35 @@ type Snapshot struct {
 // average over the window ending at end.
 func (c *Counters) Snap(end sim.Time) Snapshot {
 	return Snapshot{
-		FullSwitches:    c.FullSwitches.Load(),
-		PartialSwitches: c.PartialSwitches.Load(),
-		Yields:          c.Yields.Load(),
-		YieldsNoSwitch:  c.YieldsNoSwitch.Load(),
-		IdleEntries:     c.IdleEntries.Load(),
-		ThreadsCreated:  c.ThreadsCreated.Load(),
-		Sends:           c.Sends.Load(),
-		Recvs:           c.Recvs.Load(),
-		RecvImmediate:   c.RecvImmediate.Load(),
-		EarlyArrivals:   c.EarlyArrivals.Load(),
-		BytesSent:       c.BytesSent.Load(),
-		MsgTestCalls:    c.MsgTestCalls.Load(),
-		MsgTestFails:    c.MsgTestFails.Load(),
-		TestAnyCalls:    c.TestAnyCalls.Load(),
-		TestAnyScanned:  c.TestAnyScanned.Load(),
-		RSRRequests:     c.RSRRequests.Load(),
-		RSRSent:         c.RSRSent.Load(),
-		AvgWaiting:      c.AvgWaiting(end),
-		MaxWaiting:      c.MaxWaiting(),
+		FullSwitches:      c.FullSwitches.Load(),
+		PartialSwitches:   c.PartialSwitches.Load(),
+		Yields:            c.Yields.Load(),
+		YieldsNoSwitch:    c.YieldsNoSwitch.Load(),
+		IdleEntries:       c.IdleEntries.Load(),
+		ThreadsCreated:    c.ThreadsCreated.Load(),
+		Sends:             c.Sends.Load(),
+		Recvs:             c.Recvs.Load(),
+		RecvImmediate:     c.RecvImmediate.Load(),
+		EarlyArrivals:     c.EarlyArrivals.Load(),
+		BytesSent:         c.BytesSent.Load(),
+		MsgTestCalls:      c.MsgTestCalls.Load(),
+		MsgTestFails:      c.MsgTestFails.Load(),
+		TestAnyCalls:      c.TestAnyCalls.Load(),
+		TestAnyScanned:    c.TestAnyScanned.Load(),
+		RSRRequests:       c.RSRRequests.Load(),
+		RSRSent:           c.RSRSent.Load(),
+		FaultDrops:        c.FaultDrops.Load(),
+		FaultDups:         c.FaultDups.Load(),
+		FaultDelays:       c.FaultDelays.Load(),
+		UnexpectedDropped: c.UnexpectedDropped.Load(),
+		RecvTimeouts:      c.RecvTimeouts.Load(),
+		PeerDeadRecvs:     c.PeerDeadRecvs.Load(),
+		PeersDead:         c.PeersDead.Load(),
+		RSRRetries:        c.RSRRetries.Load(),
+		RSRTimeouts:       c.RSRTimeouts.Load(),
+		RSRDupsServed:     c.RSRDupsServed.Load(),
+		AvgWaiting:        c.AvgWaiting(end),
+		MaxWaiting:        c.MaxWaiting(),
 	}
 }
 
@@ -194,6 +219,16 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.TestAnyScanned += other.TestAnyScanned
 	s.RSRRequests += other.RSRRequests
 	s.RSRSent += other.RSRSent
+	s.FaultDrops += other.FaultDrops
+	s.FaultDups += other.FaultDups
+	s.FaultDelays += other.FaultDelays
+	s.UnexpectedDropped += other.UnexpectedDropped
+	s.RecvTimeouts += other.RecvTimeouts
+	s.PeerDeadRecvs += other.PeerDeadRecvs
+	s.PeersDead += other.PeersDead
+	s.RSRRetries += other.RSRRetries
+	s.RSRTimeouts += other.RSRTimeouts
+	s.RSRDupsServed += other.RSRDupsServed
 	s.AvgWaiting += other.AvgWaiting
 	if other.MaxWaiting > s.MaxWaiting {
 		s.MaxWaiting = other.MaxWaiting

@@ -3,6 +3,7 @@ package ult
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"chant/internal/check"
 	"chant/internal/machine"
@@ -61,6 +62,12 @@ type Sched struct {
 	// woken by an external event (an outstanding receive), distinguishing
 	// "keep polling" from deadlock when the ready queue is empty.
 	hasExternalWaiters func() bool
+
+	// killed is the asynchronous whole-scheduler termination request (a
+	// simulated PE crash). It is the only cross-context input to the
+	// scheduler: any goroutine may set it; the run loop and the Yield fast
+	// path observe it at their next scheduling point.
+	killed atomic.Bool
 
 	pan *PanicError
 
@@ -153,6 +160,9 @@ func (s *Sched) Run(main func()) error {
 		if check.Enabled {
 			s.audit()
 		}
+		if s.killed.Load() {
+			s.killSweep()
+		}
 		if s.preSchedule != nil {
 			s.preSchedule()
 		}
@@ -196,7 +206,35 @@ func (s *Sched) Run(main func()) error {
 		}
 	}
 	s.reapRemaining()
+	if s.killed.Load() {
+		return ErrKilled
+	}
 	return nil
+}
+
+// Kill requests asynchronous termination of the whole scheduler: at the
+// next scheduling point every thread (including any spawned afterwards) is
+// canceled, and Run returns ErrKilled once they have unwound. This is how a
+// simulated PE crash takes its process down: safe to call from any context
+// — a simulator event, a transport goroutine — because it only latches a
+// flag and interrupts the host; all cancellation runs inside the
+// scheduler's own loop, in deterministic thread-creation order.
+func (s *Sched) Kill() {
+	s.killed.Store(true)
+	s.host.Interrupt()
+}
+
+// Killed reports whether Kill has been requested.
+func (s *Sched) Killed() bool { return s.killed.Load() }
+
+// killSweep cancels every live thread, in creation order. Runs in the
+// scheduler's loop with the owner token held.
+func (s *Sched) killSweep() {
+	for _, t := range s.threads {
+		if t.state != Done && !t.canceled {
+			s.Cancel(t)
+		}
+	}
 }
 
 // pickReady removes and returns the first ready thread of the highest
@@ -333,6 +371,18 @@ func (s *Sched) Yield() {
 	t := s.mustCurrent("Yield")
 	s.ctrs.Yields.Add(1)
 	if t.canceled {
+		panic(cancelSignal{})
+	}
+	if s.killed.Load() {
+		// A lone spinning thread takes the no-switch fast path below and
+		// might never return to the run loop, so the kill must also be a
+		// cancellation point here.
+		t.canceled = true
+		if t.onCancel != nil {
+			fn := t.onCancel
+			t.onCancel = nil
+			fn()
+		}
 		panic(cancelSignal{})
 	}
 	if len(s.ready) == 0 && t.Pending == nil && s.preSchedule != nil {

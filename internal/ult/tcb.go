@@ -65,6 +65,10 @@ var (
 	// ErrDeadlock reports a scheduler with blocked threads and no possible
 	// source of wakeups.
 	ErrDeadlock = errors.New("ult: deadlock: blocked threads with no wakeup source")
+	// ErrKilled reports a scheduler terminated by Kill (a simulated PE
+	// crash or an external shutdown): every thread was canceled and the run
+	// did not complete normally.
+	ErrKilled = errors.New("ult: scheduler killed")
 )
 
 // exitSignal and cancelSignal unwind a thread's stack to its trampoline.
