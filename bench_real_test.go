@@ -61,6 +61,33 @@ func BenchmarkRealPingPong(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathPingPong is the allocation-focused round-trip benchmark:
+// ns/op and allocs/op over the in-memory transport, where the message and
+// handle pools should keep the steady state allocation-free on the hot
+// path. Compare against the historical BENCH_hotpath.json figures.
+func BenchmarkHotPathPingPong(b *testing.B) {
+	b.ReportAllocs()
+	benchRealMachine(b, core.SchedulerPollsPS,
+		func(t *core.Thread, rounds int) {
+			peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+			buf := make([]byte, 64)
+			out := make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				t.Recv(peer, 1, buf)
+			}
+		},
+		func(t *core.Thread, rounds int) {
+			peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			buf := make([]byte, 64)
+			out := make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Recv(peer, 1, buf)
+				t.Send(peer, 1, out)
+			}
+		})
+}
+
 // BenchmarkRealRSR measures remote-procedure-call round trips through the
 // server thread.
 func BenchmarkRealRSR(b *testing.B) {

@@ -11,10 +11,15 @@
 //
 // Experiments: table1 table2 fig8 table3 table4 table5 fig10 fig11 fig12
 // fig13 ablation-testany ablation-fastpath ablation-delivery
-// ablation-scaling modern all
+// ablation-scaling modern hotpath all
+//
+// chantbench -json runs the hot-path A/B benchmarks (indexed ready queue,
+// bucketed matching, pooled ping-pong) and emits machine-readable JSON;
+// redirect it to BENCH_hotpath.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +30,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (see package comment)")
-		md     = flag.Bool("md", false, "render Markdown instead of terminal tables")
-		report = flag.Bool("report", false, "run everything and emit the full report")
-		rounds = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
+		exp     = flag.String("exp", "all", "experiment to run (see package comment)")
+		md      = flag.Bool("md", false, "render Markdown instead of terminal tables")
+		report  = flag.Bool("report", false, "run everything and emit the full report")
+		rounds  = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
+		asJSON  = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
 	)
 	flag.Parse()
+
+	if *asJSON {
+		out, err := json.MarshalIndent(experiments.RunHotPath(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	if *report {
 		fmt.Print(experiments.FullReport(*md))
@@ -88,6 +104,15 @@ func main() {
 		case "ablation-scaling":
 			fmt.Println("Ablation E: polling cost vs thread population")
 			fmt.Print(experiments.FormatScaling(experiments.RunScaling(nil), *md))
+		case "hotpath":
+			fmt.Println("Hot paths: constant-time structures vs the seed's linear scans (wall clock)")
+			r := experiments.RunHotPath()
+			fmt.Printf("  ready queue, 1000 threads:   %8.1f ns/op indexed  %8.1f ns/op linear  (%.1fx)\n",
+				r.QueueIndexedNsOp, r.QueueLinearNsOp, r.QueueSpeedup)
+			fmt.Printf("  matching, 1000 outstanding:  %8.1f ns/op bucketed %8.1f ns/op linear  (%.1fx)\n",
+				r.MatchBucketedNsOp, r.MatchLinearNsOp, r.MatchSpeedup)
+			fmt.Printf("  memnet ping-pong round trip: %8.1f ns/op  %.1f allocs/op\n",
+				r.PingPongNsOp, r.PingPongAllocsOp)
 		default:
 			fmt.Fprintf(os.Stderr, "chantbench: unknown experiment %q\n", name)
 			os.Exit(2)

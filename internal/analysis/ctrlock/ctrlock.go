@@ -9,6 +9,7 @@ package ctrlock
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"chant/internal/analysis"
@@ -19,8 +20,10 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "ctrlock",
 	Doc: "report by-value copies of trace.Counters/trace.Log, Store/Swap on " +
-		"add-only counter atomics, and sync.Mutex Lock calls with no " +
-		"matching Unlock in the same function",
+		"add-only counter atomics, sync.Mutex Lock calls with no " +
+		"matching Unlock in the same function, and append-based compact " +
+		"deletes on reference-element slices (they strand a live reference " +
+		"in the vacated tail slot)",
 	Run: run,
 }
 
@@ -45,6 +48,7 @@ func run(pass *analysis.Pass) error {
 					}
 					checkCopy(pass, rhs)
 				}
+				checkCompactDelete(pass, n)
 			case *ast.CallExpr:
 				checkStore(pass, n)
 				for _, arg := range n.Args {
@@ -149,6 +153,71 @@ func checkStore(pass *analysis.Pass, call *ast.CallExpr) {
 	if name, isInstr := instrumentType(t); isInstr && name == "trace.Counters" {
 		pass.Reportf(call.Pos(), "%s on a trace.Counters field: counters are add-only; %s discards Adds racing from other schedulers", fn.Name(), fn.Name())
 	}
+}
+
+// checkCompactDelete flags the `s = append(s[:i], s[i+1:]...)` element
+// removal idiom when s's elements hold references (pointers, interfaces,
+// slices, maps, chans, funcs, strings): append shifts the tail left but the
+// old last slot keeps its value, pinning the removed object until the slice
+// is reallocated — exactly the failPeer leak this repo once shipped. The
+// fix is copy + nil the vacated slot + truncate.
+func checkCompactDelete(pass *analysis.Pass, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || !call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	head, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || head.High == nil || head.Slice3 {
+		return
+	}
+	tail, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	if !ok || tail.Low == nil || tail.High != nil {
+		return
+	}
+	base := types.ExprString(head.X)
+	if types.ExprString(tail.X) != base || types.ExprString(n.Lhs[0]) != base {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[head.X]
+	if !ok {
+		return
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok || !holdsReferences(slice.Elem()) {
+		return
+	}
+	pass.Reportf(n.Pos(), "append-based compact delete on %s strands a live reference in the vacated tail slot; use copy, zero the last element, then truncate", base)
+}
+
+// holdsReferences reports whether values of type t keep other objects
+// reachable (so a stale slot delays collection).
+func holdsReferences(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Slice, *types.Map,
+		*types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsReferences(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsReferences(u.Elem())
+	}
+	return false
 }
 
 // lockMethod resolves a call to a (Lock|RLock|Unlock|RUnlock|TryLock) method

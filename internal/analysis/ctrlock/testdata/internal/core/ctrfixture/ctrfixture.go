@@ -50,6 +50,29 @@ func leakUlt(m *ult.Mutex) {
 	m.Lock() // want `m\.Lock has no matching unlock in leakUlt`
 }
 
+// compactDeletes exercises the stale-tail check: append-based removal on a
+// reference-element slice strands the removed pointer in the old last slot.
+func compactDeletes(ptrs []*trace.Counters, ints []int, i int) ([]*trace.Counters, []int) {
+	ptrs = append(ptrs[:i], ptrs[i+1:]...) // want `append-based compact delete on ptrs strands a live reference`
+	ints = append(ints[:i], ints[i+1:]...) // ok: value elements hold nothing
+	return ptrs, ints
+}
+
+type withRef struct{ name string }
+
+func compactDeleteStruct(xs []withRef, i int) []withRef {
+	xs = append(xs[:i], xs[i+1:]...) // want `append-based compact delete on xs strands a live reference`
+	return xs
+}
+
+// compactDeleteFixed is the sanctioned removal shape: shift, zero the
+// vacated slot, truncate.
+func compactDeleteFixed(ptrs []*trace.Counters, i int) []*trace.Counters {
+	copy(ptrs[i:], ptrs[i+1:])
+	ptrs[len(ptrs)-1] = nil
+	return ptrs[:len(ptrs)-1]
+}
+
 // balanced locking shapes must stay silent.
 type guarded struct {
 	mu    sync.Mutex

@@ -81,10 +81,15 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkCall flags wall-clock reads and global math/rand draws.
+// checkCall flags wall-clock reads, global math/rand draws, and sync.Pool
+// traffic.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	fn := analysis.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil || analysis.RecvNamed(fn) != nil {
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if named := analysis.RecvNamed(fn); named != nil {
+		checkPoolMethod(pass, call, fn.Name(), named)
 		return
 	}
 	switch fn.Pkg().Path() {
@@ -95,6 +100,22 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	case "math/rand", "math/rand/v2":
 		pass.Reportf(call.Pos(), "global %s.%s in simulation-critical package %s: shared PRNG state is order-dependent; use sim.RNG with an explicit seed", fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
 	}
+}
+
+// checkPoolMethod flags Get and Put on sync.Pool: the pool hands objects
+// back in a scheduler- and GC-dependent order, so any observable reuse (a
+// recycled buffer's identity, a per-P cache hit vs a fresh allocation)
+// varies run to run. Deterministic code wants a plain LIFO freelist;
+// real-transport paths gate pooling behind Host.Deterministic() and carry
+// the annotation.
+func checkPoolMethod(pass *analysis.Pass, call *ast.CallExpr, method string, named *types.Named) {
+	if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return
+	}
+	if method != "Get" && method != "Put" {
+		return
+	}
+	pass.Reportf(call.Pos(), "sync.Pool.%s in simulation-critical package %s: pool reuse order is scheduler- and GC-dependent; use a plain freelist, or gate behind Host.Deterministic()", method, pass.Pkg.Path())
 }
 
 // checkRange flags iteration over a map whose body has side effects beyond

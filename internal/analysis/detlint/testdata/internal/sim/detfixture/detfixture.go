@@ -7,6 +7,7 @@ package detfixture
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -52,6 +53,30 @@ func mapOrder(counts map[string]int, emit func(string)) []string {
 		emit(name)
 	}
 	return keys
+}
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func pooled() {
+	b := bufPool.Get() // want `sync\.Pool\.Get in simulation-critical package .* pool reuse order is scheduler- and GC-dependent`
+	bufPool.Put(b)     // want `sync\.Pool\.Put in simulation-critical package`
+	//chant:allow-nondet fixture: gated behind Host.Deterministic()
+	b = bufPool.Get()
+	bufPool.Put(b) //chant:allow-nondet fixture: gated behind Host.Deterministic()
+}
+
+// freeList is the sanctioned deterministic recycling shape: a plain LIFO
+// under the owner's lock.
+type freeList struct{ free []*int }
+
+func (f *freeList) get() *int {
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return x
+	}
+	return new(int)
 }
 
 func selects(a, b chan int) int {

@@ -78,6 +78,10 @@ type Message struct {
 	Hdr    Header
 	Data   []byte
 	SentAt sim.Time
+
+	// pooled marks a message drawn from the real-transport recycling pool
+	// (pool.go); the mailbox returns it there after its terminal copy.
+	pooled bool
 }
 
 // MatchSpec selects which messages a receive accepts. Any field may be the

@@ -3,6 +3,7 @@ package comm
 import (
 	"sync"
 
+	"chant/internal/check"
 	"chant/internal/machine"
 	"chant/internal/sim"
 	"chant/internal/trace"
@@ -28,6 +29,12 @@ type Endpoint struct {
 	// detectors may run on transport-side contexts.
 	deadMu sync.Mutex
 	dead   map[Addr]bool
+
+	// freeHandles recycles receive handles whose owners provably drop them
+	// (the internal blocking-receive paths). Touched only from the
+	// endpoint's own process context, so no lock is needed — and LIFO reuse
+	// order is deterministic, unlike a sync.Pool.
+	freeHandles []*RecvHandle
 }
 
 // NewEndpoint creates an endpoint for process addr, charging host and
@@ -97,23 +104,29 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 	e.host.Charge(e.host.Model().SendOverhead)
 	e.ctrs.Sends.Add(1)
 	e.ctrs.BytesSent.Add(uint64(len(data)))
-	body := make([]byte, len(data))
-	copy(body, data)
-	e.tr.Deliver(&Message{
-		Hdr: Header{
-			SrcPE:     e.addr.PE,
-			SrcProc:   e.addr.Proc,
-			SrcThread: srcThread,
-			DstPE:     dst.PE,
-			DstProc:   dst.Proc,
-			Ctx:       ctx,
-			Tag:       tag,
-			Size:      int32(len(data)),
-			Flags:     flags,
-		},
-		Data:   body,
-		SentAt: e.host.Now(),
-	})
+	var msg *Message
+	if e.host.Deterministic() {
+		// Simulated transports may hold a message indefinitely or re-deliver
+		// it under fault-injected duplication, and pool reuse order is
+		// scheduling-dependent: simulation always sends fresh messages.
+		msg = &Message{Data: make([]byte, len(data))}
+	} else {
+		msg = GetPooledMessage(len(data))
+	}
+	copy(msg.Data, data)
+	msg.Hdr = Header{
+		SrcPE:     e.addr.PE,
+		SrcProc:   e.addr.Proc,
+		SrcThread: srcThread,
+		DstPE:     dst.PE,
+		DstProc:   dst.Proc,
+		Ctx:       ctx,
+		Tag:       tag,
+		Size:      int32(len(data)),
+		Flags:     flags,
+	}
+	msg.SentAt = e.host.Now()
+	e.tr.Deliver(msg)
 }
 
 // Irecv posts a nonblocking receive for a message matching spec, to be
@@ -122,7 +135,7 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 // system buffer is charged (this is the extra copy a pre-posted receive
 // avoids).
 func (e *Endpoint) Irecv(spec MatchSpec, buf []byte) *RecvHandle {
-	h := &RecvHandle{spec: spec, buf: buf}
+	h := e.newHandle(spec, buf)
 	if spec.SrcPE != Any && spec.SrcProc != Any &&
 		e.PeerDead(Addr{PE: spec.SrcPE, Proc: spec.SrcProc}) {
 		// The only process that could satisfy this receive is dead; unless a
@@ -290,6 +303,88 @@ func (e *Endpoint) observeCompletion(h *RecvHandle) {
 	h.observed = true
 	e.ctrs.Recvs.Add(1)
 	e.host.Charge(e.host.Model().RecvOverhead)
+}
+
+// Observe charges the one-time receive-completion overhead for a handle
+// known to be done — the accounting a successful Test performs, exposed for
+// polling policies that learn of completions from the drained ready-list
+// rather than by testing.
+func (e *Endpoint) Observe(h *RecvHandle) { e.observeCompletion(h) }
+
+// TrackCompletions enables the mailbox's completion ready-list: from now on
+// every handle this endpoint's mailbox completes (matched, failed, timed
+// out) is queued for DrainCompletions. Enabled once by the Scheduler-polls
+// (WQ) policies; there is no way to disable it.
+func (e *Endpoint) TrackCompletions() { e.mb.track() }
+
+// DrainCompletions appends all handles completed since the last drain to
+// buf and returns it. Drained handles may include ones the caller never
+// registered (receives completed by other paths); callers filter by their
+// own bookkeeping. Must be called from the endpoint's process context.
+func (e *Endpoint) DrainCompletions(buf []*RecvHandle) []*RecvHandle {
+	return e.mb.drainCompleted(buf)
+}
+
+// ChargeTestAny performs the cost accounting of one TestAny call over n
+// handles without scanning anything: the Scheduler-polls (WQAny) policy
+// learns completions from the drained ready-list but must charge — and
+// count — exactly what the msgtestany it replaces would have.
+func (e *Endpoint) ChargeTestAny(n int) {
+	e.ctrs.TestAnyCalls.Add(1)
+	e.ctrs.TestAnyScanned.Add(uint64(n))
+	m := e.host.Model()
+	e.host.Charge(m.TestAnyBase + m.TestAnyPer.Scale(float64(n)))
+}
+
+// ChargeTestBatch performs the cost accounting of hits successful and
+// misses unsuccessful msgtest calls in one bulk charge. Only valid on
+// non-deterministic hosts: under simulation each charge is a yield point
+// whose position affects what later tests observe, so the per-call Test
+// sequence must be preserved there.
+func (e *Endpoint) ChargeTestBatch(hits, misses int) {
+	if check.Enabled && e.host.Deterministic() {
+		check.Failf("comm: ChargeTestBatch on a deterministic host: batching charges reorders simulation yield points")
+	}
+	e.ctrs.MsgTestCalls.Add(uint64(hits + misses))
+	e.ctrs.MsgTestFails.Add(uint64(misses))
+	m := e.host.Model()
+	e.host.Charge(m.MsgTestHit.Scale(float64(hits)) + m.MsgTestMiss.Scale(float64(misses)))
+}
+
+// newHandle draws a recycled receive handle, or allocates one.
+func (e *Endpoint) newHandle(spec MatchSpec, buf []byte) *RecvHandle {
+	if n := len(e.freeHandles); n > 0 {
+		h := e.freeHandles[n-1]
+		e.freeHandles[n-1] = nil
+		e.freeHandles = e.freeHandles[:n-1]
+		h.spec, h.buf = spec, buf
+		return h
+	}
+	return &RecvHandle{spec: spec, buf: buf}
+}
+
+// ReleaseHandle returns a terminal (completed or canceled, no longer
+// posted) handle for reuse by a later Irecv. Only callers that provably
+// hold the last reference may release — the internal blocking-receive
+// paths do; user-facing handles are never recycled.
+func (e *Endpoint) ReleaseHandle(h *RecvHandle) {
+	if check.Enabled {
+		if h.entry != nil {
+			check.Failf("comm: ReleaseHandle of a still-posted handle (spec %+v)", h.spec)
+		}
+		if !h.done.Load() && !h.canceled {
+			check.Failf("comm: ReleaseHandle of a live handle (spec %+v)", h.spec)
+		}
+	}
+	if h.notified {
+		// A completion notification for this handle is still queued on the
+		// mailbox ready-list; recycling it now could let a polling policy
+		// mistake the stale notification for a fresh registration. Let the
+		// garbage collector have it instead.
+		return
+	}
+	h.Reset()
+	e.freeHandles = append(e.freeHandles, h)
 }
 
 // DeliverLocal is the transport-side delivery entry point: it matches msg

@@ -27,6 +27,7 @@ func (h *fakeHost) Charge(d sim.Duration) {
 func (h *fakeHost) Compute(units int64) { h.Charge(sim.Duration(units) * h.model.ComputeUnit) }
 func (h *fakeHost) Idle()               { panic("fakeHost cannot idle") }
 func (h *fakeHost) Interrupt()          { h.interrupts++ }
+func (h *fakeHost) Deterministic() bool { return true }
 func (h *fakeHost) Model() *machine.Model {
 	return h.model
 }

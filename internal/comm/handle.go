@@ -35,6 +35,36 @@ type RecvHandle struct {
 	// acked latches the synchronous-send acknowledgement so it is sent at
 	// most once no matter how many calls observe completion.
 	acked bool
+
+	// entry is the handle's node in its mailbox's posted-receive index while
+	// posted; nil otherwise. Guarded by the mailbox lock.
+	entry *postNode
+
+	// notified marks a completion queued on the mailbox's ready-list and not
+	// yet drained. Such a handle must not be recycled: a polling policy
+	// would later drain the stale notification and could confuse it with a
+	// fresh registration of the reused handle. Written under the mailbox
+	// lock before done is set; read by ReleaseHandle after done (endpoint
+	// context), cleared by the drain (also endpoint context).
+	notified bool
+}
+
+// Reset clears the handle for reuse via the endpoint's handle pool. The
+// handle must be terminal: completed or canceled, and no longer posted.
+func (h *RecvHandle) Reset() {
+	h.spec = MatchSpec{}
+	h.buf = nil
+	h.done.Store(false)
+	h.n = 0
+	h.hdr = Header{}
+	h.err = nil
+	h.status = StatusPending
+	h.completedAt = 0
+	h.observed = false
+	h.canceled = false
+	h.acked = false
+	h.entry = nil
+	h.notified = false
 }
 
 // NeedsSyncAck reports (and latches) whether this completed receive

@@ -6,22 +6,156 @@ import (
 	"chant/internal/sim"
 )
 
-// mailbox is the matching engine of one endpoint: a list of posted receives
-// and a queue of unexpected (early-arrival) messages. Matching is FIFO on
-// both sides: an arriving message matches the oldest compatible posted
+// mailbox is the matching engine of one endpoint: posted receives on one
+// side, unexpected (early-arrival) messages on the other. Matching is FIFO
+// on both sides: an arriving message matches the oldest compatible posted
 // receive; a newly posted receive matches the oldest compatible unexpected
 // message. Together with transports that preserve per-pair submission order,
 // this gives the non-overtaking guarantee message-passing programs expect.
+//
+// The seed matched linearly — every arrival scanned every posted receive —
+// which made the paper's hottest event O(outstanding receives). This engine
+// buckets both sides by the exact match key (all five header fields a spec
+// can pin) and keeps receives with any wildcard field on a side list, so
+// the dominant fully-pinned case is O(1) and only genuine wildcards are
+// scanned. Every entry also sits on a global list in arrival order, stamped
+// with a monotonic sequence number: "oldest compatible" is then the
+// minimum-sequence candidate across the exact bucket front and the wildcard
+// scan, which is exactly the element the old linear sweep would have
+// stopped at. RefMatcher (refmatch.go) preserves the linear algorithm as
+// the reference model for the differential property test and benchmarks.
 type mailbox struct {
-	mu         sync.Mutex
-	posted     []*RecvHandle
-	unexpected []*Message
+	mu  sync.Mutex
+	seq uint64 // arrival stamp shared by posted receives and unexpected messages
+
+	// Posted receives: the global arrival-ordered list (failPeer walks it so
+	// failures fire in deterministic post order), exact-spec buckets, and the
+	// wildcard side list (specs with any Any field), each arrival-ordered.
+	postAll   postList
+	postExact map[matchKey]*postList
+	postWild  postList
+	nPosted   int
+
+	// Unexpected messages: headers are always fully concrete, so every
+	// message lives in an exact bucket plus the global arrival-ordered list
+	// (which wildcard receives and findUnexpected scan).
+	umAll   msgList
+	umExact map[matchKey]*msgList
+	nUnexp  int
 
 	// unexpectedCap, when positive, bounds the unexpected queue: arrivals
 	// that match no posted receive once the queue is full are dropped (a
 	// countable fault event) instead of growing system buffering without
 	// bound.
 	unexpectedCap int
+
+	// completed is the completion ready-list: when tracking is on (the
+	// Scheduler-polls (WQ) policies enable it), every handle completed by
+	// this mailbox — matched, failed by peer death, or withdrawn by timeout —
+	// is appended here for the endpoint to drain, so polling can inspect
+	// only completed handles instead of re-testing every outstanding one.
+	tracking  bool
+	completed []*RecvHandle
+
+	// Node freelists (plain, under mu — deterministic, unlike sync.Pool).
+	freePost *postNode
+	freeMsg  *msgNode
+}
+
+// matchKey is the exact-match signature: the five header fields a MatchSpec
+// can pin. A spec with no wildcard fields matches a header iff their keys
+// are equal.
+type matchKey struct {
+	srcPE, srcProc, srcThread, ctx, tag int32
+}
+
+func keyOfHeader(h Header) matchKey {
+	return matchKey{h.SrcPE, h.SrcProc, h.SrcThread, h.Ctx, h.Tag}
+}
+
+// keyOfSpec reports the spec's exact key, or ok=false if any field is a
+// wildcard.
+func keyOfSpec(s MatchSpec) (matchKey, bool) {
+	if s.SrcPE == Any || s.SrcProc == Any || s.SrcThread == Any || s.Ctx == Any || s.Tag == Any {
+		return matchKey{}, false
+	}
+	return matchKey{s.SrcPE, s.SrcProc, s.SrcThread, s.Ctx, s.Tag}, true
+}
+
+// Each node is intrusively linked into two lists at once: the global
+// arrival-ordered list and its bucket (or the wildcard side list).
+const (
+	gLink = 0 // global arrival-ordered list
+	lLink = 1 // exact-key bucket, or the wildcard side list
+)
+
+type postNode struct {
+	h    *RecvHandle
+	seq  uint64
+	wild bool
+	key  matchKey // valid when !wild
+	prev [2]*postNode
+	next [2]*postNode
+}
+
+type postList struct{ head, tail *postNode }
+
+func (l *postList) pushBack(link int, n *postNode) {
+	n.prev[link], n.next[link] = l.tail, nil
+	if l.tail != nil {
+		l.tail.next[link] = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+}
+
+func (l *postList) remove(link int, n *postNode) {
+	if n.prev[link] != nil {
+		n.prev[link].next[link] = n.next[link]
+	} else {
+		l.head = n.next[link]
+	}
+	if n.next[link] != nil {
+		n.next[link].prev[link] = n.prev[link]
+	} else {
+		l.tail = n.prev[link]
+	}
+	n.prev[link], n.next[link] = nil, nil
+}
+
+type msgNode struct {
+	msg  *Message
+	seq  uint64
+	key  matchKey
+	prev [2]*msgNode
+	next [2]*msgNode
+}
+
+type msgList struct{ head, tail *msgNode }
+
+func (l *msgList) pushBack(link int, n *msgNode) {
+	n.prev[link], n.next[link] = l.tail, nil
+	if l.tail != nil {
+		l.tail.next[link] = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+}
+
+func (l *msgList) remove(link int, n *msgNode) {
+	if n.prev[link] != nil {
+		n.prev[link].next[link] = n.next[link]
+	} else {
+		l.head = n.next[link]
+	}
+	if n.next[link] != nil {
+		n.next[link].prev[link] = n.prev[link]
+	} else {
+		l.tail = n.prev[link]
+	}
+	n.prev[link], n.next[link] = nil, nil
 }
 
 // deliver matches msg against posted receives. If a receive matches, the
@@ -32,17 +166,40 @@ type mailbox struct {
 func (mb *mailbox) deliver(msg *Message, at sim.Time) (h *RecvHandle, dropped bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, h := range mb.posted {
-		if h.spec.Matches(msg.Hdr) {
-			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			h.complete(msg, at)
-			return h, false
+	key := keyOfHeader(msg.Hdr)
+	var best *postNode
+	if bl := mb.postExact[key]; bl != nil {
+		best = bl.head
+	}
+	for n := mb.postWild.head; n != nil; n = n.next[lLink] {
+		if best != nil && n.seq > best.seq {
+			// The wildcard list is arrival-ordered: nothing past n can be
+			// older than the exact-bucket candidate.
+			break
+		}
+		if n.h.spec.Matches(msg.Hdr) {
+			best = n
+			break
 		}
 	}
-	if mb.unexpectedCap > 0 && len(mb.unexpected) >= mb.unexpectedCap {
+	if best != nil {
+		h := best.h
+		mb.unlinkPost(best)
+		mb.freePostNode(best)
+		mb.notify(h) // before complete: the notified flag must precede done
+		h.complete(msg, at)
+		releaseMessage(msg)
+		return h, false
+	}
+	if mb.unexpectedCap > 0 && mb.nUnexp >= mb.unexpectedCap {
+		releaseMessage(msg)
 		return nil, true
 	}
-	mb.unexpected = append(mb.unexpected, msg)
+	mb.seq++
+	n := mb.newMsgNode(msg, key, mb.seq)
+	mb.umAll.pushBack(gLink, n)
+	mb.msgBucket(key).pushBack(lLink, n)
+	mb.nUnexp++
 	return nil, false
 }
 
@@ -52,14 +209,39 @@ func (mb *mailbox) deliver(msg *Message, at sim.Time) (h *RecvHandle, dropped bo
 func (mb *mailbox) post(h *RecvHandle, at sim.Time) (immediate bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, msg := range mb.unexpected {
-		if h.spec.Matches(msg.Hdr) {
-			mb.unexpected = append(mb.unexpected[:i], mb.unexpected[i+1:]...)
-			h.complete(msg, at)
-			return true
+	key, exact := keyOfSpec(h.spec)
+	var n *msgNode
+	if exact {
+		if ml := mb.umExact[key]; ml != nil {
+			n = ml.head
+		}
+	} else {
+		for x := mb.umAll.head; x != nil; x = x.next[gLink] {
+			if h.spec.Matches(x.msg.Hdr) {
+				n = x
+				break
+			}
 		}
 	}
-	mb.posted = append(mb.posted, h)
+	if n != nil {
+		msg := n.msg
+		mb.unlinkMsg(n)
+		mb.freeMsgNode(n)
+		mb.notify(h)
+		h.complete(msg, at)
+		releaseMessage(msg)
+		return true
+	}
+	mb.seq++
+	pn := mb.newPostNode(h, key, !exact, mb.seq)
+	h.entry = pn
+	mb.postAll.pushBack(gLink, pn)
+	if exact {
+		mb.postBucket(key).pushBack(lLink, pn)
+	} else {
+		mb.postWild.pushBack(lLink, pn)
+	}
+	mb.nPosted++
 	return false
 }
 
@@ -68,14 +250,14 @@ func (mb *mailbox) post(h *RecvHandle, at sim.Time) (immediate bool) {
 func (mb *mailbox) remove(h *RecvHandle) bool {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, p := range mb.posted {
-		if p == h {
-			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			h.canceled = true
-			return true
-		}
+	n := h.entry
+	if n == nil {
+		return false
 	}
-	return false
+	mb.unlinkPost(n)
+	mb.freePostNode(n)
+	h.canceled = true
+	return true
 }
 
 // removeFailed withdraws a posted receive and fails it with the given error
@@ -85,34 +267,38 @@ func (mb *mailbox) remove(h *RecvHandle) bool {
 func (mb *mailbox) removeFailed(h *RecvHandle, err error, status Status, at sim.Time) bool {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, p := range mb.posted {
-		if p == h {
-			mb.posted = append(mb.posted[:i], mb.posted[i+1:]...)
-			h.fail(err, status, at)
-			return true
-		}
+	n := h.entry
+	if n == nil {
+		return false
 	}
-	return false
+	mb.unlinkPost(n)
+	mb.freePostNode(n)
+	mb.notify(h)
+	h.fail(err, status, at)
+	return true
 }
 
 // failPeer fails every posted receive that can only be satisfied by the
 // given (now dead) peer — those whose spec pins both source fields to it —
 // and reports how many it failed. Wildcard receives stay posted: some other
-// peer may still satisfy them.
+// peer may still satisfy them. The walk follows the global list, so
+// failures fire in deterministic post order.
 func (mb *mailbox) failPeer(peer Addr, at sim.Time) int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	failed := 0
-	kept := mb.posted[:0]
-	for _, h := range mb.posted {
-		if h.spec.SrcPE == peer.PE && h.spec.SrcProc == peer.Proc {
+	for n := mb.postAll.head; n != nil; {
+		next := n.next[gLink]
+		if n.h.spec.SrcPE == peer.PE && n.h.spec.SrcProc == peer.Proc {
+			h := n.h
+			mb.unlinkPost(n)
+			mb.freePostNode(n)
+			mb.notify(h)
 			h.fail(ErrPeerDead, StatusPeerDead, at)
 			failed++
-		} else {
-			kept = append(kept, h)
 		}
+		n = next
 	}
-	mb.posted = kept
 	return failed
 }
 
@@ -121,9 +307,15 @@ func (mb *mailbox) failPeer(peer Addr, at sim.Time) int {
 func (mb *mailbox) findUnexpected(spec MatchSpec) (Header, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for _, msg := range mb.unexpected {
-		if spec.Matches(msg.Hdr) {
-			return msg.Hdr, true
+	if key, exact := keyOfSpec(spec); exact {
+		if ml := mb.umExact[key]; ml != nil {
+			return ml.head.msg.Hdr, true
+		}
+		return Header{}, false
+	}
+	for n := mb.umAll.head; n != nil; n = n.next[gLink] {
+		if spec.Matches(n.msg.Hdr) {
+			return n.msg.Hdr, true
 		}
 	}
 	return Header{}, false
@@ -133,5 +325,125 @@ func (mb *mailbox) findUnexpected(spec MatchSpec) (Header, bool) {
 func (mb *mailbox) depths() (posted, unexpected int) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return len(mb.posted), len(mb.unexpected)
+	return mb.nPosted, mb.nUnexp
+}
+
+// track enables the completion ready-list.
+func (mb *mailbox) track() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.tracking = true
+}
+
+// drainCompleted appends the completion ready-list to buf and clears it,
+// releasing each handle's notified latch.
+func (mb *mailbox) drainCompleted(buf []*RecvHandle) []*RecvHandle {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, h := range mb.completed {
+		h.notified = false
+		buf = append(buf, h)
+		mb.completed[i] = nil
+	}
+	mb.completed = mb.completed[:0]
+	return buf
+}
+
+// notify records a completion on the ready-list, latching the handle
+// against pool reuse until the notification is drained. Caller holds mb.mu;
+// must run before the handle's done flag is set.
+func (mb *mailbox) notify(h *RecvHandle) {
+	if mb.tracking {
+		h.notified = true
+		mb.completed = append(mb.completed, h)
+	}
+}
+
+// unlinkPost removes a posted node from the global list and its bucket or
+// the wildcard list, clearing the handle back-pointer. Caller holds mb.mu.
+func (mb *mailbox) unlinkPost(n *postNode) {
+	mb.postAll.remove(gLink, n)
+	if n.wild {
+		mb.postWild.remove(lLink, n)
+	} else {
+		bl := mb.postExact[n.key]
+		bl.remove(lLink, n)
+		if bl.head == nil {
+			delete(mb.postExact, n.key)
+		}
+	}
+	n.h.entry = nil
+	mb.nPosted--
+}
+
+// unlinkMsg removes an unexpected-message node from the global list and its
+// bucket. Caller holds mb.mu.
+func (mb *mailbox) unlinkMsg(n *msgNode) {
+	mb.umAll.remove(gLink, n)
+	ml := mb.umExact[n.key]
+	ml.remove(lLink, n)
+	if ml.head == nil {
+		delete(mb.umExact, n.key)
+	}
+	mb.nUnexp--
+}
+
+func (mb *mailbox) postBucket(key matchKey) *postList {
+	if mb.postExact == nil {
+		mb.postExact = make(map[matchKey]*postList)
+	}
+	bl := mb.postExact[key]
+	if bl == nil {
+		bl = &postList{}
+		mb.postExact[key] = bl
+	}
+	return bl
+}
+
+func (mb *mailbox) msgBucket(key matchKey) *msgList {
+	if mb.umExact == nil {
+		mb.umExact = make(map[matchKey]*msgList)
+	}
+	ml := mb.umExact[key]
+	if ml == nil {
+		ml = &msgList{}
+		mb.umExact[key] = ml
+	}
+	return ml
+}
+
+func (mb *mailbox) newPostNode(h *RecvHandle, key matchKey, wild bool, seq uint64) *postNode {
+	n := mb.freePost
+	if n != nil {
+		mb.freePost = n.next[gLink]
+		n.next[gLink] = nil
+	} else {
+		n = &postNode{}
+	}
+	n.h, n.key, n.wild, n.seq = h, key, wild, seq
+	return n
+}
+
+func (mb *mailbox) freePostNode(n *postNode) {
+	*n = postNode{}
+	n.next[gLink] = mb.freePost
+	mb.freePost = n
+}
+
+func (mb *mailbox) newMsgNode(msg *Message, key matchKey, seq uint64) *msgNode {
+	n := mb.freeMsg
+	if n != nil {
+		mb.freeMsg = n.next[gLink]
+		n.next[gLink] = nil
+	} else {
+		n = &msgNode{}
+	}
+	n.msg, n.key, n.seq = msg, key, seq
+	return n
+}
+
+func (mb *mailbox) freeMsgNode(n *msgNode) {
+	*n = msgNode{}
+	n.next[gLink] = mb.freeMsg
+	mb.freeMsg = n
 }

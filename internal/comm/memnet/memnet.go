@@ -97,6 +97,7 @@ func (n *Network) Deliver(msg *comm.Message) {
 		if sep := n.Endpoint(msg.Hdr.Src()); sep != nil {
 			sep.Counters().FaultDrops.Add(1)
 		}
+		comm.ReleaseMessage(msg)
 		return
 	}
 	ep := n.Endpoint(msg.Hdr.Dst())

@@ -1,0 +1,68 @@
+package comm
+
+import "sync"
+
+// Message recycling for the real (wall-clock) transports. On memnet and
+// tcpnet every send and every arrival allocated a fresh Message plus
+// payload buffer; at ping-pong rates that garbage dominates the profile.
+// Messages drawn from the pool carry pooled=true and are returned at their
+// terminal-copy point — the mailbox releases them after depositing into the
+// user buffer (match, immediate post, or drop-at-cap), and tcpnet releases
+// its send-side message after serializing the frame.
+//
+// sync.Pool reuse order is scheduling-dependent, so pooling is strictly a
+// real-mode optimization: SendFlags only draws from the pool when the host
+// is non-deterministic, simulated transports may re-deliver the same
+// *Message under fault-injected duplication, and releaseMessage is a no-op
+// for the unpooled messages simulation uses. The determinism witness
+// (TestChaosSoak) and detlint's sync.Pool check hold this line.
+
+//chant:allow-nondet message pool serves real transports only; sim messages never enter it
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// getMessage draws a recycled message, marked for release at its
+// terminal-copy point.
+func getMessage() *Message {
+	//chant:allow-nondet message pool serves real transports only
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// releaseMessage returns a pooled message for reuse; a no-op for messages
+// allocated outside the pool (everything simulation sends).
+func releaseMessage(m *Message) {
+	if !m.pooled {
+		return
+	}
+	m.pooled = false
+	m.Hdr = Header{}
+	m.Data = m.Data[:0]
+	m.SentAt = 0
+	//chant:allow-nondet message pool serves real transports only
+	msgPool.Put(m)
+}
+
+// sizeData resizes m.Data to n bytes, reusing capacity when possible.
+func (m *Message) sizeData(n int) {
+	if cap(m.Data) >= n {
+		m.Data = m.Data[:n]
+	} else {
+		m.Data = make([]byte, n)
+	}
+}
+
+// GetPooledMessage returns a recycled message with Data sized to n bytes,
+// for a real transport's receive path; the mailbox releases it after the
+// deposit copy.
+func GetPooledMessage(n int) *Message {
+	m := getMessage()
+	m.sizeData(n)
+	return m
+}
+
+// ReleaseMessage returns a pooled message for reuse, for transports that
+// finish with a message outside the mailbox (tcpnet's sender releases the
+// submitted message once the frame is serialized). No-op for unpooled
+// messages.
+func ReleaseMessage(m *Message) { releaseMessage(m) }

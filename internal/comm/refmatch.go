@@ -1,0 +1,168 @@
+package comm
+
+import "chant/internal/sim"
+
+// This file keeps two thin faces over the matching engines for tests and
+// benchmarks: Matcher exposes the production bucketed mailbox standalone
+// (no endpoint, no cost accounting), and RefMatcher preserves the seed's
+// linear algorithm verbatim as the reference model. The differential
+// property test drives both with the same operation stream and asserts
+// identical match results; BenchmarkHotPathMatch* measures one against the
+// other.
+
+// NewRecvHandle creates a bare receive handle bound to no endpoint, for
+// driving a Matcher or RefMatcher directly.
+func NewRecvHandle(spec MatchSpec, buf []byte) *RecvHandle {
+	return &RecvHandle{spec: spec, buf: buf}
+}
+
+// RearmHandle resets a terminal bare handle and re-initializes it for
+// another post, so matcher benchmarks can measure match cost without a
+// handle allocation per operation. Only for handles made by NewRecvHandle;
+// endpoint-owned handles are recycled through ReleaseHandle.
+func RearmHandle(h *RecvHandle, spec MatchSpec, buf []byte) {
+	h.Reset()
+	h.spec, h.buf = spec, buf
+}
+
+// Matcher is the production bucketed matching engine, standalone.
+type Matcher struct{ mb mailbox }
+
+// NewMatcher creates an empty bucketed matcher.
+func NewMatcher() *Matcher { return &Matcher{} }
+
+// SetUnexpectedCap bounds the unexpected queue (zero = unbounded).
+func (m *Matcher) SetUnexpectedCap(cap int) { m.mb.unexpectedCap = cap }
+
+// Deliver matches msg against posted receives; see mailbox.deliver.
+func (m *Matcher) Deliver(msg *Message, at sim.Time) (*RecvHandle, bool) {
+	return m.mb.deliver(msg, at)
+}
+
+// Post registers a receive; see mailbox.post.
+func (m *Matcher) Post(h *RecvHandle, at sim.Time) bool { return m.mb.post(h, at) }
+
+// Remove cancels a posted receive; see mailbox.remove.
+func (m *Matcher) Remove(h *RecvHandle) bool { return m.mb.remove(h) }
+
+// RemoveFailed withdraws and fails a posted receive; see
+// mailbox.removeFailed.
+func (m *Matcher) RemoveFailed(h *RecvHandle, err error, status Status, at sim.Time) bool {
+	return m.mb.removeFailed(h, err, status, at)
+}
+
+// FailPeer fails every receive pinned to peer; see mailbox.failPeer.
+func (m *Matcher) FailPeer(peer Addr, at sim.Time) int { return m.mb.failPeer(peer, at) }
+
+// FindUnexpected probes the unexpected queue; see mailbox.findUnexpected.
+func (m *Matcher) FindUnexpected(spec MatchSpec) (Header, bool) {
+	return m.mb.findUnexpected(spec)
+}
+
+// Depths reports queue lengths.
+func (m *Matcher) Depths() (posted, unexpected int) { return m.mb.depths() }
+
+// RefMatcher is the seed's linear matching engine: every operation scans a
+// flat slice. Semantics are identical to Matcher by construction — the
+// property test in mailbox_test.go enforces it.
+type RefMatcher struct {
+	posted        []*RecvHandle
+	unexpected    []*Message
+	UnexpectedCap int
+}
+
+// Deliver matches msg against posted receives with a linear scan.
+func (mb *RefMatcher) Deliver(msg *Message, at sim.Time) (*RecvHandle, bool) {
+	for i, h := range mb.posted {
+		if h.spec.Matches(msg.Hdr) {
+			copy(mb.posted[i:], mb.posted[i+1:])
+			mb.posted[len(mb.posted)-1] = nil
+			mb.posted = mb.posted[:len(mb.posted)-1]
+			h.complete(msg, at)
+			return h, false
+		}
+	}
+	if mb.UnexpectedCap > 0 && len(mb.unexpected) >= mb.UnexpectedCap {
+		return nil, true
+	}
+	mb.unexpected = append(mb.unexpected, msg)
+	return nil, false
+}
+
+// Post registers a receive, consuming the oldest matching unexpected
+// message if one exists.
+func (mb *RefMatcher) Post(h *RecvHandle, at sim.Time) bool {
+	for i, msg := range mb.unexpected {
+		if h.spec.Matches(msg.Hdr) {
+			copy(mb.unexpected[i:], mb.unexpected[i+1:])
+			mb.unexpected[len(mb.unexpected)-1] = nil
+			mb.unexpected = mb.unexpected[:len(mb.unexpected)-1]
+			h.complete(msg, at)
+			return true
+		}
+	}
+	mb.posted = append(mb.posted, h)
+	return false
+}
+
+// Remove cancels a posted receive.
+func (mb *RefMatcher) Remove(h *RecvHandle) bool {
+	for i, p := range mb.posted {
+		if p == h {
+			copy(mb.posted[i:], mb.posted[i+1:])
+			mb.posted[len(mb.posted)-1] = nil
+			mb.posted = mb.posted[:len(mb.posted)-1]
+			h.canceled = true
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveFailed withdraws and fails a posted receive.
+func (mb *RefMatcher) RemoveFailed(h *RecvHandle, err error, status Status, at sim.Time) bool {
+	for i, p := range mb.posted {
+		if p == h {
+			copy(mb.posted[i:], mb.posted[i+1:])
+			mb.posted[len(mb.posted)-1] = nil
+			mb.posted = mb.posted[:len(mb.posted)-1]
+			h.fail(err, status, at)
+			return true
+		}
+	}
+	return false
+}
+
+// FailPeer fails every posted receive pinned to peer, in post order.
+func (mb *RefMatcher) FailPeer(peer Addr, at sim.Time) int {
+	failed := 0
+	kept := mb.posted[:0]
+	for _, h := range mb.posted {
+		if h.spec.SrcPE == peer.PE && h.spec.SrcProc == peer.Proc {
+			h.fail(ErrPeerDead, StatusPeerDead, at)
+			failed++
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	for i := len(kept); i < len(mb.posted); i++ {
+		mb.posted[i] = nil
+	}
+	mb.posted = kept
+	return failed
+}
+
+// FindUnexpected probes for the oldest matching unexpected message.
+func (mb *RefMatcher) FindUnexpected(spec MatchSpec) (Header, bool) {
+	for _, msg := range mb.unexpected {
+		if spec.Matches(msg.Hdr) {
+			return msg.Hdr, true
+		}
+	}
+	return Header{}, false
+}
+
+// Depths reports queue lengths.
+func (mb *RefMatcher) Depths() (posted, unexpected int) {
+	return len(mb.posted), len(mb.unexpected)
+}

@@ -314,6 +314,7 @@ func (n *Node) Deliver(msg *comm.Message) {
 		return
 	}
 	if dead {
+		comm.ReleaseMessage(msg)
 		return // dead peers receive nothing
 	}
 	addr, ok := n.peers[dst]
@@ -328,6 +329,7 @@ func (n *Node) Deliver(msg *comm.Message) {
 		s, err := n.senderFor(addr)
 		if err == nil {
 			if err = s.writeFrame(msg); err == nil {
+				comm.ReleaseMessage(msg) // frame is flushed; recycle the buffer
 				return
 			}
 			// The connection is wedged; drop it so the next attempt dials
@@ -336,6 +338,7 @@ func (n *Node) Deliver(msg *comm.Message) {
 		}
 		if n.isClosed() || attempt >= maxRedials {
 			n.markPeerDead(dst)
+			comm.ReleaseMessage(msg)
 			return
 		}
 		// Pacing a redial against a real TCP peer is inherently wall-clock.
@@ -579,23 +582,37 @@ func (n *Node) readLoop(c net.Conn) {
 			// allocation: fail the connection cleanly instead.
 			return
 		}
-		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(r, frame); err != nil {
+		var hdrBuf [wireHeaderLen]byte
+		if _, err := io.ReadFull(r, hdrBuf[:]); err != nil {
 			return
 		}
-		hdr := getHeader(frame)
+		hdr := getHeader(hdrBuf[:])
 		n.noteAlive(hdr.Src())
+		payload := int(frameLen) - wireHeaderLen
 		if hdr.Tag == hbTag {
+			if payload > 0 {
+				if _, err := io.CopyN(io.Discard, r, int64(payload)); err != nil {
+					return
+				}
+			}
 			continue // heartbeat control frame; liveness is its payload
 		}
-		data := frame[wireHeaderLen:]
+		// Inbound payloads come from the message pool: a steady-state
+		// receiver recycles its buffers instead of allocating per frame.
+		msg := comm.GetPooledMessage(payload)
+		if _, err := io.ReadFull(r, msg.Data); err != nil {
+			comm.ReleaseMessage(msg)
+			return
+		}
+		msg.Hdr = hdr
 		n.mu.Lock()
 		ep := n.eps[hdr.Dst()]
 		n.mu.Unlock()
 		if ep == nil {
+			comm.ReleaseMessage(msg)
 			continue // no such local endpoint; drop (like NX)
 		}
-		ep.DeliverLocal(&comm.Message{Hdr: hdr, Data: data})
+		ep.DeliverLocal(msg)
 	}
 }
 

@@ -48,9 +48,11 @@ func (t *Thread) SendSync(dst GlobalID, tag int32, data []byte) error {
 	ack := t.proc.ep.Irecv(spec, nil)
 	if err := t.proc.sendFlags(t.gid.Thread, dst, tag, comm.FlagSync, data); err != nil {
 		t.proc.ep.CancelRecv(ack)
+		t.proc.ep.ReleaseHandle(ack)
 		return err
 	}
 	t.proc.policy.Wait(ack, noBoost)
+	t.proc.ep.ReleaseHandle(ack)
 	return nil
 }
 
@@ -239,7 +241,9 @@ func (t *Thread) Recv(src GlobalID, tag int32, buf []byte) (int, GlobalID, error
 	t.proc.maybeSyncAck(t.gid.Thread, h)
 	hdr := h.Header()
 	from := GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: hdr.SrcThread}
-	return h.Len(), from, h.Err()
+	n, err := h.Len(), h.Err()
+	t.proc.ep.ReleaseHandle(h) // h never escapes a blocking Recv
+	return n, from, err
 }
 
 // recvInternal is the blocking receive used by runtime-internal traffic
@@ -251,7 +255,9 @@ func (p *Process) recvInternal(t *Thread, src GlobalID, tag int32, buf []byte) (
 	}
 	h := p.ep.Irecv(spec, buf)
 	p.policy.Wait(h, noBoost)
-	return h.Len(), h.Header()
+	n, hdr := h.Len(), h.Header()
+	p.ep.ReleaseHandle(h)
+	return n, hdr
 }
 
 // startDispatcher creates the body-mode dispatcher: the "intermediate
@@ -275,10 +281,11 @@ func (p *Process) startDispatcher() {
 			h := p.ep.Irecv(spec, buf)
 			p.policy.Wait(h, noBoost)
 			n := h.Len()
+			hdr := h.Header()
+			p.ep.ReleaseHandle(h)
 			if n < bodyPrefixLen {
 				continue // malformed; drop
 			}
-			hdr := h.Header()
 			dstThread := int32(binary.LittleEndian.Uint32(buf[0:]))
 			srcThread := int32(binary.LittleEndian.Uint32(buf[4:]))
 			origTag := int32(binary.LittleEndian.Uint32(buf[8:]))

@@ -70,7 +70,20 @@ func newPolicy(kind PolicyKind, sched *ult.Sched, ep *comm.Endpoint) policy {
 	case SchedulerPollsPS:
 		return &psPolicy{sched: sched, ep: ep}
 	case SchedulerPollsWQ, SchedulerPollsWQAny:
-		p := &wqPolicy{sched: sched, ep: ep, useTestAny: kind == SchedulerPollsWQAny}
+		p := &wqPolicy{
+			sched:      sched,
+			ep:         ep,
+			useTestAny: kind == SchedulerPollsWQAny,
+			det:        ep.Host().Deterministic(),
+			index:      make(map[*comm.RecvHandle]*wqEntry),
+		}
+		// The completion ready-list replaces scanning in every mode except
+		// WQ-under-simulation, where the exact per-entry msgtest sequence
+		// (each a yield point) must be preserved for bit-identical runs.
+		p.tracking = p.useTestAny || !p.det
+		if p.tracking {
+			ep.TrackCompletions()
+		}
 		sched.SetPreSchedule(p.preSchedule)
 		sched.SetExternalWaiters(p.external)
 		return p
@@ -161,23 +174,53 @@ func (p *psPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 	t.SetOnCancel(nil)
 }
 
-// wqEntry is one outstanding request on the Scheduler-polls (WQ) list.
+// wqEntry is one outstanding request on the Scheduler-polls (WQ) list: an
+// intrusive doubly-linked node so completion and cancellation unlink in
+// O(1), stamped with a registration sequence number (the paper's algorithm
+// scans — and therefore completes — in registration order).
 type wqEntry struct {
 	h       *comm.RecvHandle
 	t       *ult.TCB
 	boostTo int
+	seq     uint64
+	done    bool // drained from the ready-list, awaiting completion (WQAny)
+	prev    *wqEntry
+	next    *wqEntry
 }
 
 // wqPolicy is Scheduler polls (WQ): waiting threads block on a queue of
 // polling requests that the scheduler examines at every scheduling point —
 // testing each request in turn (NX style), or with one msgtestany call
 // (MPI style) when useTestAny is set.
+//
+// The seed re-tested every outstanding request at every scheduling point,
+// O(waiters) per point even when nothing had arrived. This version learns
+// completions from the endpoint's ready-list (DrainCompletions), so a
+// scheduling point inspects only handles that actually completed. The cost
+// model is unaffected: simulated msgtest/msgtestany *charges* are issued
+// exactly as the algorithm prescribes — per entry under WQ, one call per
+// point under WQAny — so the paper's Tables 3–5 counts are unchanged. The
+// one mode that still tests each handle for real is WQ under simulation,
+// where each charge is a yield point and the delivery interleaving it
+// induces is part of the bit-identical determinism witness.
 type wqPolicy struct {
 	sched      *ult.Sched
 	ep         *comm.Endpoint
-	entries    []wqEntry
-	scratch    []*comm.RecvHandle // reused handle slice for TestAny
 	useTestAny bool
+	det        bool // deterministic host: preserve exact charge interleaving
+	tracking   bool // ready-list draining enabled
+
+	head, tail *wqEntry
+	index      map[*comm.RecvHandle]*wqEntry
+	count      int
+	seq        uint64
+
+	// doneList holds drained-but-not-yet-completed entries: WQAny completes
+	// one request per scheduling point (as msgtestany reports one), so the
+	// rest must stay discoverable across calls.
+	doneList []*wqEntry
+	drain    []*comm.RecvHandle // reusable DrainCompletions buffer
+	free     *wqEntry           // entry freelist
 }
 
 func (p *wqPolicy) Kind() PolicyKind {
@@ -187,7 +230,7 @@ func (p *wqPolicy) Kind() PolicyKind {
 	return SchedulerPollsWQ
 }
 
-func (p *wqPolicy) external() bool { return len(p.entries) > 0 }
+func (p *wqPolicy) external() bool { return p.count > 0 }
 
 func (p *wqPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 	if p.ep.Test(h) {
@@ -196,11 +239,13 @@ func (p *wqPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 	host := p.ep.Host()
 	host.Charge(host.Model().RegisterPoll)
 	t := p.sched.Current()
-	p.entries = append(p.entries, wqEntry{h: h, t: t, boostTo: boostTo})
+	e := p.newEntry(h, t, boostTo)
+	p.pushBack(e)
+	p.index[h] = e
 	end := waitAccounting(p.ep, h)
 	defer end()
 	t.SetOnCancel(func() {
-		p.removeThread(t)
+		p.removeEntry(h, t)
 		p.ep.CancelRecv(h)
 	})
 	p.sched.Block()
@@ -209,49 +254,175 @@ func (p *wqPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 
 // preSchedule is the scheduling-point walk installed on the scheduler.
 func (p *wqPolicy) preSchedule() {
-	if len(p.entries) == 0 {
-		return
-	}
-	if p.useTestAny {
-		p.scratch = p.scratch[:0]
-		for _, e := range p.entries {
-			p.scratch = append(p.scratch, e.h)
-		}
-		idx := p.ep.TestAny(p.scratch)
-		if idx >= 0 {
-			p.complete(idx)
+	if p.count == 0 {
+		if p.tracking {
+			// Nothing registered, but completions from unregistered receives
+			// (first-test hits, probes, timeouts) still queue on the
+			// ready-list: drain and discard to keep it bounded.
+			p.drainDone()
 		}
 		return
 	}
-	// Test every outstanding request in turn, as the paper describes for
-	// systems without msgtestany: "all outstanding messages are checked at
-	// each context switch".
-	i := 0
-	for i < len(p.entries) {
-		if p.ep.Test(p.entries[i].h) {
-			p.complete(i)
-			continue // the next entry shifted into slot i
-		}
-		i++
+	switch {
+	case p.useTestAny:
+		p.scanAny()
+	case p.det:
+		p.scanExact()
+	default:
+		p.scanBatch()
 	}
 }
 
-// complete removes entry i and readies its thread, applying any boost.
-func (p *wqPolicy) complete(i int) {
-	e := p.entries[i]
-	p.entries = append(p.entries[:i], p.entries[i+1:]...)
-	if e.boostTo != noBoost {
-		e.t.SetPriority(e.boostTo)
+// scanExact is WQ under simulation: test every outstanding request in turn,
+// as the paper describes for systems without msgtestany ("all outstanding
+// messages are checked at each context switch"). Each Test charges — and
+// under simulation, yields — individually; a delivery landing during one
+// charge is visible to the tests that follow, which is why this sequence
+// cannot be batched without changing the witness.
+func (p *wqPolicy) scanExact() {
+	for e := p.head; e != nil; {
+		next := e.next
+		if p.ep.Test(e.h) {
+			p.completeEntry(e)
+		}
+		e = next
 	}
-	p.sched.Unblock(e.t)
 }
 
-// removeThread drops any entry belonging to t (cancellation path).
-func (p *wqPolicy) removeThread(t *ult.TCB) {
-	for i, e := range p.entries {
-		if e.t == t {
-			p.entries = append(p.entries[:i], p.entries[i+1:]...)
-			return
+// scanBatch is WQ on a real host: learn completions from the drained
+// ready-list, then issue the same counters and charges the per-entry test
+// loop would have — n msgtest calls, misses for the still-pending ones —
+// in one bulk charge (real-mode Charge has no yield semantics to preserve).
+func (p *wqPolicy) scanBatch() {
+	p.drainDone()
+	n := p.count
+	hits := len(p.doneList)
+	p.ep.ChargeTestBatch(hits, n-hits)
+	for i, e := range p.doneList {
+		p.ep.Observe(e.h)
+		p.completeEntry(e)
+		p.doneList[i] = nil
+	}
+	p.doneList = p.doneList[:0]
+}
+
+// scanAny is WQAny in both modes: one msgtestany charge over the current
+// list, then complete the registration-order-first completed request, as
+// MPI_TESTANY would have reported. The charge is issued before the drain:
+// under simulation the charge advances virtual time, and a delivery landing
+// during it was visible to the old post-charge scan — by drain time it is
+// on the ready-list, so the drain sees exactly the same done-set.
+func (p *wqPolicy) scanAny() {
+	p.ep.ChargeTestAny(p.count)
+	p.drainDone()
+	if len(p.doneList) == 0 {
+		return
+	}
+	bi := 0
+	for i, e := range p.doneList[1:] {
+		if e.seq < p.doneList[bi].seq {
+			bi = i + 1
 		}
 	}
+	e := p.doneList[bi]
+	last := len(p.doneList) - 1
+	p.doneList[bi] = p.doneList[last]
+	p.doneList[last] = nil
+	p.doneList = p.doneList[:last]
+	p.ep.Observe(e.h)
+	p.completeEntry(e)
+}
+
+// drainDone pulls completion notifications from the endpoint and marks the
+// corresponding registered entries done. Handles not in the index belong to
+// receives that completed outside the polling list and are ignored.
+func (p *wqPolicy) drainDone() {
+	p.drain = p.ep.DrainCompletions(p.drain[:0])
+	for i, h := range p.drain {
+		if e := p.index[h]; e != nil && !e.done {
+			e.done = true
+			p.doneList = append(p.doneList, e)
+		}
+		p.drain[i] = nil
+	}
+}
+
+// completeEntry unlinks e and readies its thread, applying any boost. The
+// caller is responsible for e's doneList slot, if any.
+func (p *wqPolicy) completeEntry(e *wqEntry) {
+	t, boostTo := e.t, e.boostTo
+	p.unlink(e)
+	p.freeEntry(e)
+	if boostTo != noBoost {
+		t.SetPriority(boostTo)
+	}
+	p.sched.Unblock(t)
+}
+
+// removeEntry drops the entry registered for h by t, if still present
+// (cancellation path).
+func (p *wqPolicy) removeEntry(h *comm.RecvHandle, t *ult.TCB) {
+	e := p.index[h]
+	if e == nil || e.t != t {
+		return
+	}
+	if e.done {
+		for i, d := range p.doneList {
+			if d == e {
+				last := len(p.doneList) - 1
+				p.doneList[i] = p.doneList[last]
+				p.doneList[last] = nil
+				p.doneList = p.doneList[:last]
+				break
+			}
+		}
+	}
+	p.unlink(e)
+	p.freeEntry(e)
+}
+
+func (p *wqPolicy) pushBack(e *wqEntry) {
+	e.prev = p.tail
+	if p.tail != nil {
+		p.tail.next = e
+	} else {
+		p.head = e
+	}
+	p.tail = e
+	p.count++
+}
+
+func (p *wqPolicy) unlink(e *wqEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(p.index, e.h)
+	p.count--
+}
+
+func (p *wqPolicy) newEntry(h *comm.RecvHandle, t *ult.TCB, boostTo int) *wqEntry {
+	e := p.free
+	if e != nil {
+		p.free = e.next
+		e.next = nil
+	} else {
+		e = &wqEntry{}
+	}
+	p.seq++
+	e.h, e.t, e.boostTo, e.seq, e.done = h, t, boostTo, p.seq, false
+	return e
+}
+
+func (p *wqPolicy) freeEntry(e *wqEntry) {
+	*e = wqEntry{}
+	e.next = p.free
+	p.free = e
 }

@@ -152,6 +152,7 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 
 	if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, seq, req); err != nil {
 		p.ep.CancelRecv(h)
+		p.ep.ReleaseHandle(h)
 		return 0, err
 	}
 	p.Counters().RSRSent.Add(1)
@@ -169,16 +170,19 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 				// abandoned Call; the echoed sequence exposes it. Repost and
 				// keep waiting — the stale bytes are simply overwritten.
 				if h.Len() >= rsrReplyPrefix && binary.LittleEndian.Uint32(wire[0:]) != seq {
+					p.ep.ReleaseHandle(h)
 					h = p.ep.Irecv(spec, wire)
 					continue
 				}
 				break
 			}
 			if errors.Is(werr, comm.ErrPeerDead) {
+				p.ep.ReleaseHandle(h)
 				return 0, werr
 			}
 			if attempt >= p.cfg.RSRRetries {
 				p.Counters().RSRTimeouts.Add(1)
+				p.ep.ReleaseHandle(h)
 				return 0, fmt.Errorf("%w: handler %d at %v after %d attempts",
 					ErrRSRTimeout, handler, dst, attempt+1)
 			}
@@ -188,14 +192,18 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 				host.Charge(backoff)
 				backoff *= 2
 			}
+			p.ep.ReleaseHandle(h)
 			h = p.ep.Irecv(spec, wire)
 			if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, seq, req); err != nil {
 				p.ep.CancelRecv(h)
+				p.ep.ReleaseHandle(h)
 				return 0, err
 			}
 		}
 	}
-	data, remoteErr := decodeReply(wire[rsrReplyPrefix:h.Len()])
+	n := h.Len()
+	p.ep.ReleaseHandle(h) // the reply lives in wire; h never escapes Call
+	data, remoteErr := decodeReply(wire[rsrReplyPrefix:n])
 	if remoteErr != nil {
 		return 0, remoteErr
 	}
@@ -260,7 +268,9 @@ func (p *Process) startServer() {
 			p.policy.Wait(h, boost)
 			host.Charge(m.RSRDispatch)
 			p.Counters().RSRRequests.Add(1)
-			p.serveOne(h.Header(), buf[:h.Len()])
+			hdr, n := h.Header(), h.Len()
+			p.ep.ReleaseHandle(h)
+			p.serveOne(hdr, buf[:n])
 		}
 	}, ult.SpawnOpts{Daemon: true})
 	if p.server.gid.Thread != serverLocalID {

@@ -1,0 +1,166 @@
+// Hot-path A/B measurements: the constant-time structures introduced for
+// the scheduler and mailbox, timed against the seed's linear reference
+// implementations (which are kept alive precisely for this comparison), and
+// a real-transport ping-pong that exercises the allocation pools. These are
+// wall-clock numbers — unlike every other experiment in this package they
+// measure the implementation, not the simulated machine — so they live
+// behind chantbench -json and the BenchmarkHotPath* suite rather than in
+// the paper tables.
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"chant/internal/comm"
+	"chant/internal/core"
+	"chant/internal/machine"
+	"chant/internal/ult"
+)
+
+// HotPathResult is the BENCH_hotpath.json payload.
+type HotPathResult struct {
+	// Ready-queue churn: one pop+push cycle at a steady 1000-thread
+	// population (the per-decision work of pickReady).
+	QueueIndexedNsOp float64 `json:"queue_indexed_ns_op"`
+	QueueLinearNsOp  float64 `json:"queue_linear_ns_op"`
+	QueueSpeedup     float64 `json:"queue_speedup"`
+
+	// Mailbox matching: one delivery+repost cycle against 1000 outstanding
+	// receives with pseudo-random keys.
+	MatchBucketedNsOp float64 `json:"match_bucketed_ns_op"`
+	MatchLinearNsOp   float64 `json:"match_linear_ns_op"`
+	MatchSpeedup      float64 `json:"match_speedup"`
+
+	// Real-transport (memnet) ping-pong round trip, message+handle pools
+	// active: wall ns and heap allocations per round trip.
+	PingPongNsOp     float64 `json:"pingpong_ns_op"`
+	PingPongAllocsOp float64 `json:"pingpong_allocs_op"`
+}
+
+const hotPathPopulation = 1000
+
+// wallNsPerOp times op in batches until ~40ms have accumulated.
+func wallNsPerOp(batch int, op func()) float64 {
+	for i := 0; i < batch; i++ {
+		op() // warm-up: fault in buckets, grow rings
+	}
+	var total time.Duration
+	ops := 0
+	for total < 40*time.Millisecond {
+		//chant:allow-nondet wall-clock benchmark timing
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			op()
+		}
+		//chant:allow-nondet wall-clock benchmark timing
+		total += time.Since(start)
+		ops += batch
+	}
+	return float64(total.Nanoseconds()) / float64(ops)
+}
+
+type readyQueue interface {
+	Push(*ult.TCB)
+	Pop() *ult.TCB
+}
+
+func queueChurnNs(q readyQueue) float64 {
+	for i := 0; i < hotPathPopulation; i++ {
+		q.Push(ult.NewBenchTCB(int32(i), i%8))
+	}
+	return wallNsPerOp(4096, func() { q.Push(q.Pop()) })
+}
+
+type matcher interface {
+	Deliver(msg *comm.Message) *comm.RecvHandle
+	Post(h *comm.RecvHandle)
+}
+
+type bucketedMatcher struct{ m *comm.Matcher }
+
+func (e bucketedMatcher) Deliver(msg *comm.Message) *comm.RecvHandle {
+	h, _ := e.m.Deliver(msg, 0)
+	return h
+}
+func (e bucketedMatcher) Post(h *comm.RecvHandle) { e.m.Post(h, 0) }
+
+type linearMatcher struct{ m *comm.RefMatcher }
+
+func (e linearMatcher) Deliver(msg *comm.Message) *comm.RecvHandle {
+	h, _ := e.m.Deliver(msg, 0)
+	return h
+}
+func (e linearMatcher) Post(h *comm.RecvHandle) { e.m.Post(h, 0) }
+
+func matchChurnNs(eng matcher) float64 {
+	spec := func(k int) comm.MatchSpec {
+		return comm.MatchSpec{SrcPE: 1, SrcProc: 0, SrcThread: 0, Ctx: 0, Tag: int32(k)}
+	}
+	for i := 0; i < hotPathPopulation; i++ {
+		eng.Post(comm.NewRecvHandle(spec(i), make([]byte, 8)))
+	}
+	msg := &comm.Message{Data: []byte("ping")}
+	buf := make([]byte, 8)
+	rng := uint32(12345) // LCG keys; a cyclic key would hide the linear scan
+	return wallNsPerOp(1024, func() {
+		rng = rng*1664525 + 1013904223
+		k := int(rng % uint32(hotPathPopulation))
+		msg.Hdr = comm.Header{SrcPE: 1, Tag: int32(k)}
+		h := eng.Deliver(msg)
+		comm.RearmHandle(h, spec(k), buf)
+		eng.Post(h)
+	})
+}
+
+// pingPong runs rounds round trips on a 2-PE real-mode machine and reports
+// wall ns and heap allocations per round trip. The figure includes machine
+// setup/teardown amortized over the rounds, so use enough rounds.
+func pingPong(rounds int) (nsOp, allocsOp float64) {
+	rt := core.NewRealRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS}, machine.Modern())
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	//chant:allow-nondet wall-clock benchmark timing
+	start := time.Now()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+			buf, out := make([]byte, 64), make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				t.Recv(peer, 1, buf)
+			}
+		},
+		{PE: 1, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			buf, out := make([]byte, 64), make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Recv(peer, 1, buf)
+				t.Send(peer, 1, out)
+			}
+		},
+	})
+	//chant:allow-nondet wall-clock benchmark timing
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		panic(err)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(rounds),
+		float64(m1.Mallocs-m0.Mallocs) / float64(rounds)
+}
+
+// RunHotPath produces the BENCH_hotpath.json measurements.
+func RunHotPath() HotPathResult {
+	var r HotPathResult
+	r.QueueIndexedNsOp = queueChurnNs(&ult.ReadyQueue{})
+	r.QueueLinearNsOp = queueChurnNs(&ult.LinearQueue{})
+	r.QueueSpeedup = r.QueueLinearNsOp / r.QueueIndexedNsOp
+	r.MatchBucketedNsOp = matchChurnNs(bucketedMatcher{comm.NewMatcher()})
+	r.MatchLinearNsOp = matchChurnNs(linearMatcher{&comm.RefMatcher{}})
+	r.MatchSpeedup = r.MatchLinearNsOp / r.MatchBucketedNsOp
+	r.PingPongNsOp, r.PingPongAllocsOp = pingPong(20000)
+	return r
+}

@@ -32,6 +32,11 @@ type Host interface {
 	Interrupt()
 	// Model reports the cost model this host charges against.
 	Model() *Model
+	// Deterministic reports whether this host's runs must be bit-for-bit
+	// repeatable (the discrete-event simulator) or merely correct (the wall
+	// clock). Optimizations whose effects depend on scheduling order —
+	// allocation pooling, batched cost charging — are gated off when true.
+	Deterministic() bool
 }
 
 // SimHost runs a processing element inside the discrete-event simulator:
@@ -57,9 +62,10 @@ func (h *SimHost) Charge(d sim.Duration) { h.proc.Advance(d) }
 func (h *SimHost) Compute(units int64) {
 	h.proc.Advance(sim.Duration(units) * h.model.ComputeUnit)
 }
-func (h *SimHost) Idle()         { h.proc.WaitSignal() }
-func (h *SimHost) Interrupt()    { h.proc.Signal() }
-func (h *SimHost) Model() *Model { return h.model }
+func (h *SimHost) Idle()               { h.proc.WaitSignal() }
+func (h *SimHost) Interrupt()          { h.proc.Signal() }
+func (h *SimHost) Model() *Model       { return h.model }
+func (h *SimHost) Deterministic() bool { return true }
 
 // RealHost runs against the wall clock: Charge is free (real operations
 // carry their real cost), Compute spins for the requested work, and
@@ -130,3 +136,5 @@ func (h *RealHost) Interrupt() {
 }
 
 func (h *RealHost) Model() *Model { return h.model }
+
+func (h *RealHost) Deterministic() bool { return false }

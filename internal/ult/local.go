@@ -38,11 +38,15 @@ func (t *TCB) SetLocal(key *Key, value any) {
 	t.locals[key] = value
 }
 
-// removeKey deletes the first occurrence of key from *list.
+// removeKey deletes the first occurrence of key from *list, niling the
+// vacated tail slot so the backing array does not pin the key alive.
 func removeKey(list *[]*Key, key *Key) {
-	for i, k := range *list {
+	s := *list
+	for i, k := range s {
 		if k == key {
-			*list = append((*list)[:i], (*list)[i+1:]...)
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			*list = s[:len(s)-1]
 			return
 		}
 	}

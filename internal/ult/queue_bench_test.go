@@ -1,0 +1,51 @@
+package ult
+
+import "testing"
+
+// Hot-path benchmarks: the indexed ready queue against the seed's linear
+// scan, at the thread populations where the difference dominates a context
+// switch. Each op is one pop + re-push cycle against a steady-state
+// population, i.e. exactly the work pickReady does per scheduling decision.
+
+type benchQueue interface {
+	Push(*TCB)
+	Pop() *TCB
+}
+
+func benchChurn(b *testing.B, q benchQueue, threads int) {
+	b.Helper()
+	for i := 0; i < threads; i++ {
+		q.Push(NewBenchTCB(int32(i), i%8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(q.Pop())
+	}
+}
+
+func BenchmarkHotPathReadyQueueChurn(b *testing.B) {
+	for _, threads := range []int{10, 100, 1000} {
+		b.Run(benchSize(threads), func(b *testing.B) {
+			benchChurn(b, &ReadyQueue{}, threads)
+		})
+	}
+}
+
+func BenchmarkHotPathLinearQueueChurn(b *testing.B) {
+	for _, threads := range []int{10, 100, 1000} {
+		b.Run(benchSize(threads), func(b *testing.B) {
+			benchChurn(b, &LinearQueue{}, threads)
+		})
+	}
+}
+
+func benchSize(n int) string {
+	switch n {
+	case 10:
+		return "threads=10"
+	case 100:
+		return "threads=100"
+	default:
+		return "threads=1000"
+	}
+}

@@ -1,0 +1,199 @@
+package ult
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// churnPrios mixes the common bitmap-covered band with exotic priorities on
+// both sides of it, so the above/below overflow paths and the bitmap
+// boundary at 63/64 all see traffic.
+var churnPrios = []int{-3, -1, 0, 0, 1, 2, 3, 3, 63, 64, 100}
+
+// Differential check: ReadyQueue must pop the exact thread sequence the
+// seed's linear scan produces under random push/pop/reprioritize churn.
+// Twin TCBs (same id, same priority) drive the two queues in lockstep.
+func TestReadyQueueDifferentialChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var rq ReadyQueue
+	var lq LinearQueue
+	type pair struct{ a, b *TCB }
+	queued := map[int32]*pair{}
+	var nextID int32
+	pops := 0
+	for op := 0; op < 10000; op++ {
+		switch c := r.Intn(10); {
+		case c < 5 || len(queued) == 0: // push
+			prio := churnPrios[r.Intn(len(churnPrios))]
+			nextID++
+			p := &pair{a: NewBenchTCB(nextID, prio), b: NewBenchTCB(nextID, prio)}
+			rq.Push(p.a)
+			lq.Push(p.b)
+			queued[nextID] = p
+		case c < 8: // pop
+			a, b := rq.Pop(), lq.Pop()
+			if (a == nil) != (b == nil) {
+				t.Fatalf("op %d: Pop emptiness diverged: %v vs %v", op, a, b)
+			}
+			if a.id != b.id {
+				t.Fatalf("op %d: Pop order diverged: id %d (prio %d) vs id %d (prio %d)",
+					op, a.id, a.prio, b.id, b.prio)
+			}
+			delete(queued, a.id)
+			pops++
+		default: // reprioritize a queued thread
+			var ids []int32
+			for id := range queued {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			p := queued[ids[r.Intn(len(ids))]]
+			to := churnPrios[r.Intn(len(churnPrios))]
+			if to == p.a.prio {
+				continue
+			}
+			from := p.a.prio
+			p.a.prio = to
+			rq.move(p.a, from, to)
+			p.b.prio = to // the linear scan reads prio at pick time
+		}
+		if rq.Len() != lq.Len() {
+			t.Fatalf("op %d: Len %d vs %d", op, rq.Len(), lq.Len())
+		}
+	}
+	if pops == 0 {
+		t.Fatal("churn never popped")
+	}
+	// Drain: remaining pops must agree too.
+	for {
+		a, b := rq.Pop(), lq.Pop()
+		if a == nil && b == nil {
+			break
+		}
+		if a == nil || b == nil || a.id != b.id {
+			t.Fatalf("drain diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+// Within-priority FIFO and cross-priority ordering must survive heavy mixed
+// spawn/cancel/boost churn at the scheduler level: across 200 rounds (~10k
+// spawns) workers must always execute in (descending final priority, spawn
+// order) sequence.
+func TestPriorityFIFOUnderChurn(t *testing.T) {
+	s := newTestSched()
+	r := rand.New(rand.NewSource(11))
+	type rec struct{ prio, seq int }
+	err := s.Run(func() {
+		seq := 0
+		for round := 0; round < 200; round++ {
+			var log []rec
+			var spawned []*TCB
+			var prios []int
+			n := 30 + r.Intn(40)
+			for i := 0; i < n; i++ {
+				prio := churnPrios[r.Intn(len(churnPrios))]
+				mySeq := seq
+				seq++
+				w := s.SpawnWith("w", func() {
+					me := s.Current()
+					log = append(log, rec{prio: me.prio, seq: mySeq})
+				}, SpawnOpts{Priority: prio})
+				spawned = append(spawned, w)
+				prios = append(prios, prio)
+			}
+			// Reprioritize a few while they sit in the ready queue.
+			for i := 0; i < 5; i++ {
+				j := r.Intn(n)
+				p := churnPrios[r.Intn(len(churnPrios))]
+				spawned[j].SetPriority(p)
+				prios[j] = p
+			}
+			// Cancel a subset before it ever runs.
+			canceled := make([]bool, n)
+			for j := range spawned {
+				if r.Intn(6) == 0 {
+					s.Cancel(spawned[j])
+					canceled[j] = true
+				}
+			}
+			var want []rec
+			for j := range spawned {
+				if !canceled[j] {
+					want = append(want, rec{prio: prios[j], seq: round0Seq(seq, n, j)})
+				}
+			}
+			// Stable by spawn order, then stable sort by descending priority:
+			// FIFO within a priority class.
+			sort.SliceStable(want, func(i, j int) bool { return want[i].prio > want[j].prio })
+			for _, w := range spawned {
+				s.Join(w)
+			}
+			if len(log) != len(want) {
+				t.Fatalf("round %d: ran %d workers, want %d", round, len(log), len(want))
+			}
+			for i := range want {
+				if log[i] != want[i] {
+					t.Fatalf("round %d: execution order diverged at %d:\n got %v\nwant %v",
+						round, i, log, want)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// round0Seq recovers worker j's global spawn sequence number given the
+// post-round counter and the round size.
+func round0Seq(seqAfter, n, j int) int { return seqAfter - n + j }
+
+// A priority lowered while queued must also take effect before the pick:
+// the seed's scan read priorities at pick time, and the indexed queue
+// relocates eagerly to match.
+func TestPriorityLoweredWhileQueued(t *testing.T) {
+	s := newTestSched()
+	var order []string
+	err := s.Run(func() {
+		a := s.SpawnWith("a", func() { order = append(order, "a") }, SpawnOpts{Priority: 5})
+		s.SpawnWith("b", func() { order = append(order, "b") }, SpawnOpts{Priority: 3})
+		a.SetPriority(1) // demote a below b while both wait
+		s.Yield()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("demoted thread did not yield its slot: %v", order)
+	}
+}
+
+// Priorities outside the bitmap window [0,64) — negatives and 64+ — must
+// order correctly against each other and against the bitmap band.
+func TestExoticPriorityOrdering(t *testing.T) {
+	s := newTestSched()
+	var order []int
+	err := s.Run(func() {
+		for _, p := range []int{-3, 100, 0, 64, 63, -1, 7} {
+			p := p
+			s.SpawnWith("w", func() { order = append(order, p) }, SpawnOpts{Priority: p})
+		}
+		for i := 0; i < 10; i++ {
+			s.Yield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{100, 64, 63, 7, 0, -1, -3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d of %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -44,7 +44,7 @@ type Sched struct {
 	ctrs *trace.Counters
 	opts Options
 
-	ready   []*TCB
+	ready   ReadyQueue
 	cur     *TCB
 	toSched chan struct{}
 
@@ -139,7 +139,7 @@ func (s *Sched) SpawnWith(name string, fn func(), o SpawnOpts) *TCB {
 	}
 	s.ctrs.ThreadsCreated.Add(1)
 	s.host.Charge(s.host.Model().ThreadCreate)
-	s.ready = append(s.ready, t)
+	s.ready.Push(t)
 	s.opts.EventLog.Add(s.host.Now(), trace.EvSpawn, t.id)
 	return t
 }
@@ -195,7 +195,7 @@ func (s *Sched) Run(main func()) error {
 			s.host.Charge(m.PartialSwitch)
 			s.opts.EventLog.Add(s.host.Now(), trace.EvPartialSwitch, t.id)
 			if !t.Pending() {
-				s.ready = append(s.ready, t)
+				s.ready.Push(t)
 				continue
 			}
 		}
@@ -238,23 +238,11 @@ func (s *Sched) killSweep() {
 }
 
 // pickReady removes and returns the first ready thread of the highest
-// priority, or nil if the ready queue is empty. The linear scan keeps
-// within-priority FIFO order and honors priority changes made while queued.
+// priority, or nil if the ready queue is empty. The indexed queue keeps
+// within-priority FIFO order and honors priority changes made while queued
+// (SetPriority relocates queued threads eagerly; see queue.go).
 func (s *Sched) pickReady() *TCB {
-	if len(s.ready) == 0 {
-		return nil
-	}
-	best := 0
-	for i := 1; i < len(s.ready); i++ {
-		if s.ready[i].prio > s.ready[best].prio {
-			best = i
-		}
-	}
-	t := s.ready[best]
-	copy(s.ready[best:], s.ready[best+1:])
-	s.ready[len(s.ready)-1] = nil
-	s.ready = s.ready[:len(s.ready)-1]
-	return t
+	return s.ready.Pop()
 }
 
 // switchIn performs a complete context switch to t: the event the paper's
@@ -385,21 +373,21 @@ func (s *Sched) Yield() {
 		}
 		panic(cancelSignal{})
 	}
-	if len(s.ready) == 0 && t.Pending == nil && s.preSchedule != nil {
+	if s.ready.Len() == 0 && t.Pending == nil && s.preSchedule != nil {
 		// A no-switch yield is still a scheduling point: the polling hook
 		// must run or a lone spinning thread would starve every blocked
 		// receiver. The hook may ready a thread, in which case the fast
 		// path below no longer applies.
 		s.preSchedule()
 	}
-	if len(s.ready) == 0 && t.Pending == nil {
+	if s.ready.Len() == 0 && t.Pending == nil {
 		s.ctrs.YieldsNoSwitch.Add(1)
 		s.host.Charge(s.host.Model().YieldNoSwitch)
 		s.opts.EventLog.Add(s.host.Now(), trace.EvYieldFast, t.id)
 		return
 	}
 	t.state = Ready
-	s.ready = append(s.ready, t)
+	s.ready.Push(t)
 	s.park(t)
 	if t.canceled {
 		panic(cancelSignal{})
@@ -435,7 +423,7 @@ func (s *Sched) Unblock(t *TCB) {
 	}
 	t.state = Ready
 	s.blocked--
-	s.ready = append(s.ready, t)
+	s.ready.Push(t)
 	s.opts.EventLog.Add(s.host.Now(), trace.EvUnblock, t.id)
 }
 
@@ -584,18 +572,22 @@ func (s *Sched) audit() {
 	if blocked != s.blocked {
 		check.Failf("sched %q: blocked count is %d but %d threads are Blocked\n%s", s.opts.Name, s.blocked, blocked, s.dumpThreads())
 	}
-	if ready != len(s.ready) {
-		check.Failf("sched %q: ready queue holds %d entries but %d threads are Ready\n%s", s.opts.Name, len(s.ready), ready, s.dumpThreads())
+	if ready != s.ready.Len() {
+		check.Failf("sched %q: ready queue holds %d entries but %d threads are Ready\n%s", s.opts.Name, s.ready.Len(), ready, s.dumpThreads())
 	}
 	if regular != s.liveRegular || total != s.liveTotal {
 		check.Failf("sched %q: live counts (regular=%d total=%d) disagree with thread states (regular=%d total=%d)\n%s",
 			s.opts.Name, s.liveRegular, s.liveTotal, regular, total, s.dumpThreads())
 	}
-	for _, t := range s.ready {
+	s.ready.Do(func(t *TCB) {
 		if t.state != Ready {
 			check.Failf("sched %q: ready queue contains thread %d %q in state %s\n%s", s.opts.Name, t.id, t.name, t.state, s.dumpThreads())
 		}
-	}
+		if !t.inReady || t.readyPrio != t.prio {
+			check.Failf("sched %q: ready queue bookkeeping stale for thread %d %q (inReady=%v readyPrio=%d prio=%d)\n%s",
+				s.opts.Name, t.id, t.name, t.inReady, t.readyPrio, t.prio, s.dumpThreads())
+		}
+	})
 }
 
 // dumpThreads renders every tracked thread for invariant-failure
@@ -612,11 +604,15 @@ func (s *Sched) dumpThreads() string {
 	return b.String()
 }
 
-// removeTCB deletes the first occurrence of t from *list.
+// removeTCB deletes the first occurrence of t from *list, niling the vacated
+// tail slot so the backing array does not pin the removed TCB alive.
 func removeTCB(list *[]*TCB, t *TCB) {
-	for i, x := range *list {
+	s := *list
+	for i, x := range s {
 		if x == t {
-			*list = append((*list)[:i], (*list)[i+1:]...)
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			*list = s[:len(s)-1]
 			return
 		}
 	}

@@ -100,6 +100,14 @@ type TCB struct {
 	started bool
 	resume  chan struct{}
 
+	// Ready-queue bookkeeping (see queue.go): enqueue sequence number (the
+	// within-priority FIFO tiebreak), the priority bucket the TCB currently
+	// sits in, and whether it is queued at all. readyPrio can lag prio only
+	// between SetPriority's update and the move it triggers.
+	readySeq  uint64
+	readyPrio int
+	inReady   bool
+
 	// Pending, when non-nil, is this thread's outstanding polling request
 	// (Scheduler-polls (PS)): the scheduler invokes it during a partial
 	// switch and only restores the thread when it reports true. The check
@@ -145,8 +153,20 @@ func (t *TCB) Priority() int { return t.prio }
 // SetPriority changes the thread's priority. Taking effect at the next
 // scheduling decision, it implements the paper's server-thread boost: "the
 // server thread assumes a higher scheduling priority ... ensuring that it
-// is scheduled at the next context switch point".
-func (t *TCB) SetPriority(p int) { t.prio = p }
+// is scheduled at the next context switch point". If the thread is sitting
+// in the ready queue, it is relocated to its new priority's deque at its
+// enqueue-order rank, so the next pick sees the change exactly as the old
+// pick-time linear scan did.
+func (t *TCB) SetPriority(p int) {
+	if p == t.prio {
+		return
+	}
+	old := t.prio
+	t.prio = p
+	if t.inReady && t.sched != nil {
+		t.sched.ready.move(t, old, p)
+	}
+}
 
 // Daemon reports whether the thread is a daemon (the scheduler does not
 // wait for daemons; they are reaped when all regular threads finish).
