@@ -15,7 +15,10 @@
 //
 // chantbench -json runs the hot-path A/B benchmarks (indexed ready queue,
 // bucketed matching, pooled ping-pong) and emits machine-readable JSON;
-// redirect it to BENCH_hotpath.json.
+// redirect it to BENCH_hotpath.json. chantbench -exp parallel -json runs
+// the parallel-kernel scaling sweep instead (sequential vs parallel wall
+// clock on a 32-PE workload across GOMAXPROCS); redirect it to
+// BENCH_parallel.json.
 package main
 
 import (
@@ -39,7 +42,13 @@ func main() {
 	flag.Parse()
 
 	if *asJSON {
-		out, err := json.MarshalIndent(experiments.RunHotPath(), "", "  ")
+		var payload any
+		if *exp == "parallel" {
+			payload = experiments.RunParallel()
+		} else {
+			payload = experiments.RunHotPath()
+		}
+		out, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
 			os.Exit(1)
@@ -104,6 +113,19 @@ func main() {
 		case "ablation-scaling":
 			fmt.Println("Ablation E: polling cost vs thread population")
 			fmt.Print(experiments.FormatScaling(experiments.RunScaling(nil), *md))
+		case "parallel":
+			fmt.Println("Parallel kernel: 32-PE workload, sequential vs sharded (wall clock)")
+			r := experiments.RunParallel()
+			fmt.Printf("  sequential: %8.1f ms  (%d PEs, %d workers/PE, %d host cores)\n",
+				r.SeqWallMS, r.PEs, r.Workers, r.HostCores)
+			for _, row := range r.Rows {
+				ok := "identical"
+				if !row.Identical {
+					ok = "DIVERGED"
+				}
+				fmt.Printf("  GOMAXPROCS=%d shards=%d: %8.1f ms  %.2fx  %s\n",
+					row.GOMAXPROCS, row.Shards, row.WallMS, row.Speedup, ok)
+			}
 		case "hotpath":
 			fmt.Println("Hot paths: constant-time structures vs the seed's linear scans (wall clock)")
 			r := experiments.RunHotPath()

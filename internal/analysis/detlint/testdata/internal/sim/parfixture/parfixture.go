@@ -1,0 +1,57 @@
+// Package parfixture seeds the shard-worker shapes of the parallel
+// conservative kernel for the detlint analyzer: unsanctioned goroutine and
+// channel use inside simulation-critical shard code must be flagged, while
+// the kernel's sanctioned worker-pool pattern — annotated spawn, one
+// blocking receive per loop — must stay silent.
+package parfixture
+
+type windowKey struct{ at, seq uint64 }
+
+type shard struct {
+	work chan windowKey
+	done chan struct{}
+}
+
+// badWorkerPool spawns shard workers without the sanctioned annotation:
+// a raw goroutine inside the kernel is exactly what detlint exists to
+// catch, because an unsynchronized worker could interleave event
+// execution nondeterministically.
+func badWorkerPool(shards []shard, run func(int, windowKey)) {
+	for i := range shards {
+		i := i
+		go func() { // want `raw go statement in simulation-critical package`
+			for k := range shards[i].work {
+				run(i, k)
+			}
+		}()
+	}
+}
+
+// badDrain merges shard completions through a two-way select: which shard
+// reports first depends on the host scheduler, so ordering results this
+// way is nondeterministic.
+func badDrain(a, b chan windowKey) windowKey {
+	select { // want `select with 2 communication cases in simulation-critical package`
+	case k := <-a:
+		return k
+	case k := <-b:
+		return k
+	}
+}
+
+// goodWorkerPool is the sanctioned kernel shape: the spawn carries an
+// allow-nondet justification (the barrier protocol makes the interleaving
+// invisible), and each worker's loop is a single blocking receive — no
+// select, no racing channels — exactly the ParKernel worker.
+func goodWorkerPool(shards []shard, run func(int, windowKey)) {
+	for i := range shards {
+		i := i
+		//chant:allow-nondet fixture: barrier-synchronized shard worker; window results are merged deterministically
+		go func() {
+			for k := range shards[i].work {
+				run(i, k)
+				shards[i].done <- struct{}{}
+			}
+		}()
+	}
+}

@@ -5,10 +5,20 @@
 // always send time plus a positive latency, and the kernel executes events
 // in global virtual-time order, no message can arrive in a receiver's past
 // — the conservative-simulation property the runtime relies on.
+//
+// The same property makes the network the natural shard boundary for the
+// parallel kernel: cross-process latency is at least Model.NetBase, so a
+// delivery scheduled from one shard always lands at or beyond the parallel
+// kernel's lookahead horizon. Deliveries are scheduled against the sending
+// process's own shard kernel (Kernel.AtOn routes them cross-shard through
+// the barrier), and order-sensitive fault-plane effects are journaled so
+// they replay in the merged global order.
 package simnet
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"chant/internal/comm"
 	"chant/internal/faults"
@@ -18,11 +28,19 @@ import (
 )
 
 // Network is a simulated interconnect joining the endpoints of one
-// simulation kernel.
+// simulation kernel (sequential or parallel).
 type Network struct {
 	kernel *sim.Kernel
 	model  *machine.Model
-	eps    map[comm.Addr]*comm.Endpoint
+
+	// mu guards eps and procs: under the parallel kernel, endpoints attach
+	// concurrently from shard workers during the start window, and senders
+	// read the maps while others attach. Map contents are identical across
+	// runs; only the (unobserved) mutation interleaving varies.
+	//chant:allow-nondet registry lock only; protects map access, never event order
+	mu    sync.RWMutex
+	eps   map[comm.Addr]*comm.Endpoint
+	procs map[comm.Addr]*sim.Proc
 
 	// MeshWidth, when positive, arranges processing elements in a 2D mesh
 	// of that width (the Paragon's topology): pe i sits at (i mod width,
@@ -38,92 +56,135 @@ type Network struct {
 	// faulted — there is no wire to fail.
 	Faults *faults.Plan
 
-	// Delivered counts messages handed to destination endpoints.
-	Delivered uint64
+	delivered atomic.Uint64
 }
 
 // New creates a network delivering through kernel with model's latency.
+// kernel may be nil when every attached host exposes its own simulation
+// process (the parallel kernel's shards); it is the fallback scheduler for
+// endpoints on hosts that do not.
 func New(kernel *sim.Kernel, model *machine.Model) *Network {
 	return &Network{
 		kernel: kernel,
 		model:  model,
 		eps:    make(map[comm.Addr]*comm.Endpoint),
+		procs:  make(map[comm.Addr]*sim.Proc),
 	}
 }
 
+// Delivered counts messages handed to destination endpoints.
+func (n *Network) Delivered() uint64 { return n.delivered.Load() }
+
 // NewEndpoint attaches process addr to the network, executing on host and
 // counting into ctrs. Attaching the same address twice panics: it would
-// make delivery ambiguous.
+// make delivery ambiguous. Hosts that expose their simulation process (the
+// simulated host does) get deliveries scheduled against that process's own
+// kernel, which is what routes traffic between shards of a parallel run.
 func (n *Network) NewEndpoint(addr comm.Addr, host machine.Host, ctrs *trace.Counters) *comm.Endpoint {
+	ep := comm.NewEndpoint(addr, host, ctrs, n)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, dup := n.eps[addr]; dup {
 		panic(fmt.Sprintf("simnet: duplicate endpoint %v", addr))
 	}
-	ep := comm.NewEndpoint(addr, host, ctrs, n)
 	n.eps[addr] = ep
+	if hp, ok := host.(interface{ Proc() *sim.Proc }); ok {
+		if p := hp.Proc(); p != nil {
+			n.procs[addr] = p
+		}
+	}
 	return ep
 }
 
 // Endpoint looks up the endpoint registered for addr, or nil.
-func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint { return n.eps[addr] }
+func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.eps[addr]
+}
 
 // Deliver implements comm.Transport: it schedules the message's arrival at
 // its destination after the modeled wire latency. Sending to an address
 // with no endpoint panics — simulated experiments construct their full
 // topology up front, so this is always a harness bug.
 func (n *Network) Deliver(msg *comm.Message) {
-	dst := msg.Hdr.Dst()
+	src, dst := msg.Hdr.Src(), msg.Hdr.Dst()
+	n.mu.RLock()
 	ep := n.eps[dst]
+	sp, dp := n.procs[src], n.procs[dst]
+	srcEp := n.eps[src]
+	n.mu.RUnlock()
 	if ep == nil {
 		panic(fmt.Sprintf("simnet: send to unknown process %v", dst))
 	}
-	var latency sim.Duration
-	if dst == msg.Hdr.Src() {
-		latency = n.model.Loopback + n.model.CopyCost(len(msg.Data))
-	} else {
-		latency = n.model.MsgLatency(len(msg.Data))
-		if hops := n.hops(msg.Hdr.SrcPE, dst.PE); hops > 1 {
-			latency += n.model.NetPerHop.Scale(float64(hops - 1))
+	// Schedule against the sending process's shard kernel; fall back to the
+	// network-wide kernel for hosts with no simulation process.
+	k := n.kernel
+	if sp != nil {
+		k = sp.Kernel()
+	}
+	if k == nil {
+		panic(fmt.Sprintf("simnet: no kernel to deliver %v -> %v through", src, dst))
+	}
+	if dst == src {
+		latency := n.model.Loopback + n.model.CopyCost(len(msg.Data))
+		n.schedule(k, dp, latency, ep, msg)
+		return
+	}
+	latency := n.model.MsgLatency(len(msg.Data))
+	if hops := n.hops(msg.Hdr.SrcPE, dst.PE); hops > 1 {
+		latency += n.model.NetPerHop.Scale(float64(hops - 1))
+	}
+	if n.Faults != nil {
+		// Decide now (per-link RNG streams are only ever drawn from the
+		// sending side, so draw order is deterministic per link), but
+		// journal the event-stream records: the witness log is global and
+		// order-sensitive, so it must be appended in merged event order.
+		d, evs := n.Faults.DecideDeferred(k.Now(), src, dst, len(msg.Data))
+		if len(evs) > 0 {
+			plan := n.Faults
+			k.Journal(func() { plan.Commit(evs) })
 		}
-		if n.Faults != nil {
-			d := n.Faults.Decide(n.kernel.Now(), msg.Hdr.Src(), dst, len(msg.Data))
-			ctrs := n.srcCounters(msg.Hdr.Src())
-			if d.Drop {
-				if ctrs != nil {
-					ctrs.FaultDrops.Add(1)
-				}
-				return
+		var ctrs *trace.Counters
+		if srcEp != nil {
+			ctrs = srcEp.Counters()
+		}
+		if d.Drop {
+			if ctrs != nil {
+				ctrs.FaultDrops.Add(1)
 			}
-			if d.Delay > 0 {
-				if ctrs != nil {
-					ctrs.FaultDelays.Add(1)
-				}
-				latency += d.Delay
+			return
+		}
+		if d.Delay > 0 {
+			if ctrs != nil {
+				ctrs.FaultDelays.Add(1)
 			}
-			if d.Duplicate {
-				if ctrs != nil {
-					ctrs.FaultDups.Add(1)
-				}
-				dup := &comm.Message{Hdr: msg.Hdr, Data: msg.Data, SentAt: msg.SentAt}
-				n.kernel.After(latency+d.DupDelay, func() {
-					n.Delivered++
-					ep.DeliverLocal(dup)
-				})
+			latency += d.Delay
+		}
+		if d.Duplicate {
+			if ctrs != nil {
+				ctrs.FaultDups.Add(1)
 			}
+			dup := &comm.Message{Hdr: msg.Hdr, Data: msg.Data, SentAt: msg.SentAt}
+			n.schedule(k, dp, latency+d.DupDelay, ep, dup)
 		}
 	}
-	n.kernel.After(latency, func() {
-		n.Delivered++
-		ep.DeliverLocal(msg)
-	})
+	n.schedule(k, dp, latency, ep, msg)
 }
 
-// srcCounters reports the sending endpoint's counters (nil for a source not
-// attached here), so injected faults are charged where they originate.
-func (n *Network) srcCounters(src comm.Addr) *trace.Counters {
-	if sep := n.eps[src]; sep != nil {
-		return sep.Counters()
+// schedule books one delivery at now+latency on the sending-side kernel k,
+// routed to the destination's process (and thereby its shard) when known.
+func (n *Network) schedule(k *sim.Kernel, dp *sim.Proc, latency sim.Duration, ep *comm.Endpoint, msg *comm.Message) {
+	at := k.Now().Add(latency)
+	fn := func() {
+		n.delivered.Add(1)
+		ep.DeliverLocal(msg)
 	}
-	return nil
+	if dp != nil {
+		k.AtOn(dp, at, fn)
+		return
+	}
+	k.At(at, fn)
 }
 
 // hops reports the Manhattan distance between two PEs on the configured

@@ -16,6 +16,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chant/internal/comm"
@@ -96,6 +97,12 @@ type sender struct {
 	mu sync.Mutex
 	c  net.Conn
 	w  *bufio.Writer
+
+	// pending counts writers that have announced a frame but not yet
+	// written it (group commit): whoever drains the burst last flushes
+	// once, so back-to-back sends share a syscall instead of paying one
+	// flush per frame.
+	pending atomic.Int32
 }
 
 // regMsg is the rendezvous control-plane message.
@@ -421,18 +428,32 @@ func (n *Node) senderFor(addr string) (*sender, error) {
 	return s, nil
 }
 
-// writeFrame encodes and flushes one message.
+// writeFrame encodes one message and flushes with group commit: the frame
+// is announced (pending) before taking the write lock, and after writing,
+// the flush is skipped when another writer is already queued behind us —
+// that writer (or the last of the burst) will flush for everyone. A burst
+// of back-to-back sends thus coalesces into one syscall. The wire contract
+// is lossy (peers heartbeat and retry), so deferring a flush to the next
+// writer on its error path loses nothing that matters.
 func (s *sender) writeFrame(msg *comm.Message) error {
+	s.pending.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var hdr [4 + wireHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(wireHeaderLen+len(msg.Data)))
 	putHeader(hdr[4:], msg.Hdr)
 	if _, err := s.w.Write(hdr[:]); err != nil {
+		s.pending.Add(-1)
 		return err
 	}
 	if _, err := s.w.Write(msg.Data); err != nil {
+		s.pending.Add(-1)
 		return err
+	}
+	if s.pending.Add(-1) > 0 {
+		// Another frame is queued right behind this one; let its writer
+		// flush the shared buffer once for the whole burst.
+		return nil
 	}
 	return s.w.Flush()
 }

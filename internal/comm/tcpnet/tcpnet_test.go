@@ -17,7 +17,7 @@ import (
 // freeRendezvous picks an ephemeral rendezvous address by binding and
 // immediately releasing a port. (A race with other processes is possible
 // in principle; these tests run alone in CI.)
-func freeRendezvous(t *testing.T) string {
+func freeRendezvous(t testing.TB) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -30,7 +30,7 @@ func freeRendezvous(t *testing.T) string {
 
 // bootMachine starts procs nodes joined at one rendezvous, with one
 // endpoint each, and returns them with a cleanup.
-func bootMachine(t *testing.T, procs int) ([]*Node, []*comm.Endpoint) {
+func bootMachine(t testing.TB, procs int) ([]*Node, []*comm.Endpoint) {
 	t.Helper()
 	rendezvous := freeRendezvous(t)
 	nodes := make([]*Node, procs)

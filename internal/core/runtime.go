@@ -343,19 +343,48 @@ func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
 	}
 }
 
+// simKernel is the simulator surface runSim drives. Both the sequential
+// reference kernel and the parallel conservative kernel implement it; the
+// parallel one reproduces the sequential event stream bit for bit, so the
+// choice is purely a wall-clock matter.
+type simKernel interface {
+	Spawn(name string, fn func(*sim.Proc)) *sim.Proc
+	At(t sim.Time, fn func())
+	Run(deadline sim.Time) error
+	Now() sim.Time
+}
+
 // runSim executes the machine on the discrete-event simulator. Processes
 // first register their endpoints (so no send can target a missing
-// endpoint), rendezvous at virtual time zero, then run their mains.
+// endpoint), rendezvous at virtual time zero, then run their mains. With
+// Config.SimShards ≥ 2 the simulation runs on the parallel conservative
+// kernel, one simulated PE process per shard slot, with Model.NetBase as
+// the lookahead window.
 func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
-	kernel := sim.NewKernel()
-	net := simnet.New(kernel, rt.model)
+	var kernel simKernel
+	var net *simnet.Network
+	if n := rt.cfg.SimShards; n > 1 {
+		if rt.model.NetBase <= 0 {
+			return nil, fmt.Errorf("core: SimShards=%d needs Model.NetBase > 0: the network base latency is the parallel kernel's conservative lookahead", n)
+		}
+		kernel = sim.NewParKernel(n, rt.model.NetBase)
+		// Every simulated host exposes its own shard process; the network
+		// needs no fallback kernel.
+		net = simnet.New(nil, rt.model)
+	} else {
+		k := sim.NewKernel()
+		kernel = k
+		net = simnet.New(k, rt.model)
+	}
 	net.MeshWidth = rt.cfg.MeshWidth
 	addrs := rt.topo.Addrs()
 
-	var perr []error
+	// One error slot per process: mains may finish concurrently on shard
+	// workers, so each writes only its own index.
+	perr := make([]error, len(addrs))
 	var ready []*sim.Proc
-	for _, addr := range addrs {
-		addr := addr
+	for i, addr := range addrs {
+		i, addr := i, addr
 		sp := kernel.Spawn(addr.String(), func(p *sim.Proc) {
 			host := machine.NewSimHost(p, rt.model)
 			ctrs := &trace.Counters{}
@@ -366,7 +395,7 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 			rt.mu.Unlock()
 			p.WaitSignal() // rendezvous: all endpoints registered
 			if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
-				perr = append(perr, fmt.Errorf("%v: %w", addr, err))
+				perr[i] = fmt.Errorf("%v: %w", addr, err)
 			}
 		})
 		ready = append(ready, sp)

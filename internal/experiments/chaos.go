@@ -44,11 +44,23 @@ type ChaosConfig struct {
 
 	Policy core.PolicyKind
 	Model  *machine.Model
+
+	// Pairs replicates the two-PE soak across independent PE pairs (PE 2p
+	// calls PE 2p+1 and back), scaling the topology to 2*Pairs simulated
+	// PEs. Default 1: the standard two-PE soak.
+	Pairs int
+	// Shards, when at least 2, runs the soak on the parallel conservative
+	// kernel with that many shards (core.Config.SimShards). Zero keeps the
+	// sequential reference kernel.
+	Shards int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Workers == 0 {
 		c.Workers = 6
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 1
 	}
 	if c.Iters == 0 {
 		c.Iters = 20
@@ -121,7 +133,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		},
 	}, cfg.FaultSeed)
 
-	topo := core.Topology{PEs: 2, ProcsPerPE: 1}
+	topo := core.Topology{PEs: 2 * cfg.Pairs, ProcsPerPE: 1}
 	rt := core.NewSimRuntime(topo, core.Config{
 		Policy:        cfg.Policy,
 		Delivery:      core.DeliverCtx,
@@ -132,6 +144,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		TermGrace:     cfg.TermGrace,
 		MaxUnexpected: 1024,
 		Faults:        plan,
+		SimShards:     cfg.Shards,
 	}, cfg.Model)
 	rt.RegisterHandler(chaosEchoHandler, func(ctx *core.RSRContext) ([]byte, error) {
 		return ctx.Req, nil
@@ -140,7 +153,8 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	workers := cfg.Workers
 	mk := func(pe int32) core.MainFunc {
 		return func(t *core.Thread) {
-			peer := comm.Addr{PE: 1 - pe, Proc: 0}
+			// The peer is the pair partner: PE 2p+1 for 2p and vice versa.
+			peer := comm.Addr{PE: pe ^ 1, Proc: 0}
 			var ws []*core.Thread
 			for w := 0; w < workers; w++ {
 				w := w
@@ -170,10 +184,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			}
 		}
 	}
-	res, err := rt.Run(map[comm.Addr]core.MainFunc{
-		{PE: 0, Proc: 0}: mk(0),
-		{PE: 1, Proc: 0}: mk(1),
-	})
+	mains := make(map[comm.Addr]core.MainFunc, 2*cfg.Pairs)
+	for pe := int32(0); pe < int32(2*cfg.Pairs); pe++ {
+		mains[comm.Addr{PE: pe, Proc: 0}] = mk(pe)
+	}
+	res, err := rt.Run(mains)
 	if err != nil {
 		return ChaosResult{}, err
 	}

@@ -1,0 +1,110 @@
+// Parallel-kernel scaling measurements: the same ≥32-PE workload (replicated
+// Table 3 polling pairs) run on the sequential reference kernel and on the
+// parallel conservative kernel across GOMAXPROCS levels. Like the hot-path
+// suite these are wall-clock numbers measuring the implementation, not the
+// simulated machine — the simulated results are asserted bit-identical
+// between the two kernels, here and in the invariance tests.
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"chant/internal/core"
+)
+
+// ParallelRow is one GOMAXPROCS level of the scaling sweep.
+type ParallelRow struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	WallMS     float64 `json:"wall_ms"`
+	// Speedup is sequential wall time over this row's wall time.
+	Speedup float64 `json:"speedup_vs_sequential"`
+	// Identical reports whether the row's simulated results (all counters
+	// and the virtual end time) matched the sequential run bit for bit.
+	Identical bool `json:"identical"`
+}
+
+// ParallelResult is the BENCH_parallel.json payload.
+type ParallelResult struct {
+	PEs       int     `json:"pes"`
+	Workers   int     `json:"workers_per_pe"`
+	Iters     int     `json:"iters"`
+	Shards    int     `json:"shards"`
+	HostCores int     `json:"host_cores"`
+	SeqWallMS float64 `json:"sequential_wall_ms"`
+	Rows      []ParallelRow `json:"rows"`
+	// BestSpeedup is the best parallel speedup across the sweep (what the
+	// ≥1.5x-on-≥4-cores acceptance figure reads).
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+// parallelBenchBase is the benchmark workload: 32 simulated PEs (16
+// replicated Table 3 pairs) of polling workers.
+func parallelBenchBase() PollingConfig {
+	return PollingConfig{
+		Workers: 8, Iters: 60, MsgSize: 1024, Shift: 1,
+		Alpha: 1000, Beta: 100, Pairs: 16,
+		Policy: core.SchedulerPollsWQ,
+	}
+}
+
+// timePolling runs cfg reps times and reports the fastest wall clock along
+// with the (identical across reps — the kernels are deterministic) row.
+func timePolling(cfg PollingConfig, reps int) (PollingRow, float64) {
+	var row PollingRow
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		//chant:allow-nondet wall-clock benchmark timing
+		start := time.Now()
+		row = RunPolling(cfg)
+		//chant:allow-nondet wall-clock benchmark timing
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		if r == 0 || wall < best {
+			best = wall
+		}
+	}
+	return row, best
+}
+
+// ParallelBenchGOMAXPROCS are the host-parallelism levels the sweep times.
+var ParallelBenchGOMAXPROCS = []int{1, 2, 4, 8}
+
+// RunParallel produces the BENCH_parallel.json measurements: sequential vs
+// parallel wall clock on the 32-PE workload across GOMAXPROCS, asserting
+// result identity as it goes.
+func RunParallel() ParallelResult {
+	const reps = 3
+	const shards = 8
+	base := parallelBenchBase()
+	res := ParallelResult{
+		PEs:       2 * base.Pairs,
+		Workers:   base.Workers,
+		Iters:     base.Iters,
+		Shards:    shards,
+		HostCores: runtime.NumCPU(),
+	}
+	seqRow, seqWall := timePolling(base, reps)
+	res.SeqWallMS = seqWall
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, gmp := range ParallelBenchGOMAXPROCS {
+		runtime.GOMAXPROCS(gmp)
+		cfg := base
+		cfg.Shards = shards
+		row, wall := timePolling(cfg, reps)
+		speedup := seqWall / wall
+		res.Rows = append(res.Rows, ParallelRow{
+			GOMAXPROCS: gmp,
+			Shards:     shards,
+			WallMS:     wall,
+			Speedup:    speedup,
+			Identical:  row == seqRow,
+		})
+		if gmp <= res.HostCores && speedup > res.BestSpeedup {
+			res.BestSpeedup = speedup
+		}
+	}
+	return res
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelBench smoke-tests the scaling sweep: every row must be
+// bit-identical to the sequential run regardless of host size, and on hosts
+// with at least four cores the best parallel configuration must actually be
+// faster (the BENCH_parallel.json acceptance figure is ≥1.5x; the test
+// keeps a noise margin). Smaller hosts skip the speedup assertion — a
+// one-core machine cannot exhibit parallel speedup by construction.
+func TestParallelBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark; skipped in short mode")
+	}
+	r := RunParallel()
+	for _, row := range r.Rows {
+		if !row.Identical {
+			t.Errorf("GOMAXPROCS=%d shards=%d: parallel results diverged from sequential", row.GOMAXPROCS, row.Shards)
+		}
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d cores; the speedup assertion needs at least 4", runtime.NumCPU())
+	}
+	if r.BestSpeedup < 1.2 {
+		t.Errorf("best parallel speedup %.2fx on a %d-core host; expected clear speedup (artifact target ≥1.5x)", r.BestSpeedup, r.HostCores)
+	}
+}

@@ -260,26 +260,44 @@ func (p *Plan) Crashes() []Crash {
 }
 
 // Decide answers what happens to a message from src to dst of the given
-// size at virtual time now. Exactly three random draws are consumed per
-// stochastic decision regardless of outcome, so a link's stream stays
-// aligned whatever earlier messages suffered.
+// size at virtual time now, recording the fault events immediately. Exactly
+// three random draws are consumed per stochastic decision regardless of
+// outcome, so a link's stream stays aligned whatever earlier messages
+// suffered.
 func (p *Plan) Decide(now sim.Time, src, dst comm.Addr, size int) Decision {
+	d, evs := p.DecideDeferred(now, src, dst, size)
+	p.Commit(evs)
+	return d
+}
+
+// DecideDeferred is Decide split from its event-stream side effect: it makes
+// the (per-link deterministic) decision now but returns the would-be fault
+// events unsequenced instead of recording them. The caller passes them to
+// Commit in global event order — under the parallel simulation kernel that
+// means through Kernel.Journal, so the witness stream is appended in the
+// merged order and stays bit-identical to a sequential run. Stats update
+// immediately; they are order-independent sums.
+func (p *Plan) DecideDeferred(now sim.Time, src, dst comm.Addr, size int) (Decision, []Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Messages++
+
+	var evs []Event
+	note := func(k Kind, delay sim.Duration) {
+		evs = append(evs, Event{At: now, Src: src, Dst: dst, Kind: k, Delay: delay})
+	}
 
 	// Deterministic schedule faults take priority over stochastic ones and
 	// consume no randomness.
 	if p.DeadAt(src.PE, now) || p.DeadAt(dst.PE, now) {
 		p.stats.CrashDrops++
-		d := Decision{Drop: true, Kind: KindCrash}
-		p.record(now, src, dst, KindCrash, 0)
-		return d
+		note(KindCrash, 0)
+		return Decision{Drop: true, Kind: KindCrash}, evs
 	}
 	if p.CutAt(src.PE, dst.PE, now) {
 		p.stats.PartitionDrops++
-		p.record(now, src, dst, KindPartition, 0)
-		return Decision{Drop: true, Kind: KindPartition}
+		note(KindPartition, 0)
+		return Decision{Drop: true, Kind: KindPartition}, evs
 	}
 
 	var d Decision
@@ -294,7 +312,7 @@ func (p *Plan) Decide(now sim.Time, src, dst comm.Addr, size int) Decision {
 	if d.Delay > 0 {
 		d.Kind = KindStall
 		p.stats.StallDelays++
-		p.record(now, src, dst, KindStall, d.Delay)
+		note(KindStall, d.Delay)
 	}
 
 	r := p.rates(Link{SrcPE: src.PE, DstPE: dst.PE})
@@ -305,8 +323,8 @@ func (p *Plan) Decide(now sim.Time, src, dst comm.Addr, size int) Decision {
 
 	if r.DropProb > 0 && uDrop < r.DropProb {
 		p.stats.Drops++
-		p.record(now, src, dst, KindDrop, 0)
-		return Decision{Drop: true, Kind: KindDrop}
+		note(KindDrop, 0)
+		return Decision{Drop: true, Kind: KindDrop}, evs
 	}
 	if r.DupProb > 0 && uDup < r.DupProb {
 		d.Duplicate = true
@@ -314,7 +332,7 @@ func (p *Plan) Decide(now sim.Time, src, dst comm.Addr, size int) Decision {
 		// DelayMax, floored at one nanosecond so the copies never tie.
 		d.DupDelay = sim.Duration(float64(max64(int64(r.DelayMax), 1))*uDelay) + 1
 		p.stats.Dups++
-		p.record(now, src, dst, KindDup, d.DupDelay)
+		note(KindDup, d.DupDelay)
 	}
 	if r.DelayProb > 0 && r.DelayMax > 0 && uDelay < r.DelayProb {
 		extra := sim.Duration(float64(r.DelayMax)*uDrop) + 1
@@ -323,17 +341,24 @@ func (p *Plan) Decide(now sim.Time, src, dst comm.Addr, size int) Decision {
 			d.Kind = KindDelay
 		}
 		p.stats.Delays++
-		p.record(now, src, dst, KindDelay, extra)
+		note(KindDelay, extra)
 	}
-	return d
+	return d, evs
 }
 
-// record appends one fault event to the stream.
-func (p *Plan) record(now sim.Time, src, dst comm.Addr, k Kind, delay sim.Duration) {
-	p.seq++
-	p.events = append(p.events, Event{
-		Seq: p.seq, At: now, Src: src, Dst: dst, Kind: k, Delay: delay,
-	})
+// Commit appends events returned by DecideDeferred to the witness stream,
+// assigning their global sequence numbers. Call it in global event order.
+func (p *Plan) Commit(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range evs {
+		p.seq++
+		e.Seq = p.seq
+		p.events = append(p.events, e)
+	}
 }
 
 // Events snapshots the recorded fault event stream.

@@ -43,6 +43,15 @@ type Host interface {
 // Charge advances the PE's virtual clock, Idle parks the sim process, and
 // Interrupt signals it. All methods except Interrupt must be invoked from
 // the (single) goroutine currently animating the PE's sim process.
+//
+// Under the parallel kernel (sim.ParKernel) the PE's process belongs to one
+// shard, and "the goroutine animating it" is that shard's worker for the
+// duration of a window — still exactly one goroutine at a time, so the
+// contract is unchanged. Now reads the shard-local clock while a window
+// runs and the kernel-global clock between windows; Interrupt delegates to
+// Proc.Signal, whose wake is scheduled through the owning kernel and thus
+// lands in the deterministic merged event order regardless of which shard
+// (or the controller) raised it.
 type SimHost struct {
 	proc  *sim.Proc
 	model *Model

@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"chant/internal/check"
+)
+
+// The parallel conservative kernel.
+//
+// ParKernel partitions processes across several shard Kernels and executes
+// them concurrently in bounded-lag windows. The cost model makes this safe:
+// every cross-PE interaction crosses the simulated wire with latency at
+// least Model.NetBase (alpha), so within a window [T, T+alpha) nothing one
+// shard does can take effect on another — a conservative lookahead in the
+// Chandy-Misra-Bryant sense, applied to the simulator itself.
+//
+// The hard requirement is bit-identical replay of the sequential kernel,
+// which breaks time ties by *global insertion order* (the seq counter).
+// Shards executing concurrently cannot know their global insertion numbers,
+// so the kernel reconstructs them:
+//
+//   - In-window insertions get a provisional key provBase|n from a per-shard
+//     counter. provBase exceeds every true sequence number, which is correct
+//     locally: an event inserted during the window has a larger true seq
+//     than every event that predates the window.
+//   - Each shard logs the events it executed, in order, with the insertions
+//     each one performed. A shard's log order equals the sequential global
+//     order restricted to that shard (induction: insertions are performed by
+//     executing events, and within one shard provisional counters grow in
+//     exactly the order the sequential kernel would have assigned seqs).
+//   - At the barrier the controller k-way merges the shard logs by resolved
+//     (time, seq) key, assigning true global seqs to every insertion in
+//     merged order — reconstructing precisely the sequence the sequential
+//     kernel's single seq counter would have produced. A provisional head is
+//     always resolvable: its inserter is an earlier record of the same
+//     shard's log, hence already merged.
+//   - Cross-shard insertions (simnet deliveries) are pushed into the target
+//     shard's heap with their true seqs; any such event inside the closing
+//     window is a lookahead violation and panics. Journaled side effects
+//     (fault-plane event records) replay in merged order. Finally the
+//     remaining provisional keys in shard heaps are rewritten to their true
+//     seqs and the heaps re-heapified.
+//
+// Controller callbacks (ParKernel.At: the time-0 rendezvous, scheduled
+// crashes) run single-threaded between windows; a pending callback's
+// (time, seq) key caps the window bound so callbacks interleave with shard
+// events exactly as sequentially, even mid-instant.
+const provBase uint64 = 1 << 63
+
+// insEntry records one insertion performed by an in-window event.
+type insEntry struct {
+	tk   *Kernel // destination shard kernel
+	at   Time
+	prov uint64 // provisional key when the insertion was shard-local, else 0
+	fn   func()
+	proc *Proc
+}
+
+// execRecord logs one event a shard executed during the current window.
+type execRecord struct {
+	at  Time
+	seq uint64 // key the shard executed under: true seq or provisional key
+	ins []insEntry
+	jrn []func()
+}
+
+// shardState is the per-shard window bookkeeping hanging off a shard Kernel.
+type shardState struct {
+	pk      *ParKernel
+	id      int
+	active  bool // true while the shard's worker executes a window
+	provSeq uint64
+	log     []execRecord
+	resolve []uint64 // provisional counter (1-based) -> true global seq
+}
+
+func (sh *shardState) cur() *execRecord { return &sh.log[len(sh.log)-1] }
+
+// insertLocal handles an insertion into the shard's own heap.
+func (sh *shardState) insertLocal(k *Kernel, t Time, fn func(), p *Proc) {
+	if !sh.active {
+		// Controller phase: the global order is known immediately.
+		k.heap.push(event{at: t, seq: sh.pk.nextSeq(), fn: fn, proc: p})
+		return
+	}
+	sh.provSeq++
+	key := provBase | sh.provSeq
+	k.heap.push(event{at: t, seq: key, fn: fn, proc: p})
+	r := sh.cur()
+	r.ins = append(r.ins, insEntry{tk: k, at: t, prov: key, fn: fn, proc: p})
+}
+
+// insertRemote handles an insertion aimed at another shard's heap.
+func (sh *shardState) insertRemote(tk *Kernel, t Time, fn func(), p *Proc) {
+	if !sh.active {
+		tk.heap.push(event{at: t, seq: sh.pk.nextSeq(), fn: fn, proc: p})
+		return
+	}
+	r := sh.cur()
+	r.ins = append(r.ins, insEntry{tk: tk, at: t, fn: fn, proc: p})
+}
+
+// ParKernel drives a set of shard Kernels through bounded-lag windows. It
+// implements the same Spawn/At/Run/Now surface as Kernel, so the runtime can
+// use either interchangeably.
+type ParKernel struct {
+	alpha  Duration
+	now    Time
+	gseq   uint64
+	shards []*Kernel
+	procs  []*Proc // global spawn order, for the deadlock report
+	cbs    eventHeap
+	next   int // round-robin spawn cursor
+
+	running bool
+	stopped atomic.Bool // latched from any shard; read between windows
+
+	work []chan eventKey
+	done chan struct{}
+
+	// Events counts every event dispatched across all shards plus controller
+	// callbacks, for diagnostics. Matches the sequential kernel's count.
+	Events uint64
+
+	// Windows counts barrier-synchronized execution windows, for diagnostics.
+	Windows uint64
+}
+
+// NewParKernel returns a parallel kernel with nshards shard kernels and the
+// given conservative lookahead. alpha must be positive: it is the promise
+// that no in-window action affects another shard sooner than alpha, which
+// for Chant is the network base latency Model.NetBase.
+func NewParKernel(nshards int, alpha Duration) *ParKernel {
+	if nshards < 1 {
+		panic("sim: NewParKernel needs at least one shard")
+	}
+	if alpha <= 0 {
+		panic("sim: NewParKernel needs a positive lookahead")
+	}
+	pk := &ParKernel{alpha: alpha, shards: make([]*Kernel, nshards)}
+	for i := range pk.shards {
+		k := NewKernel()
+		k.shard = &shardState{pk: pk, id: i}
+		pk.shards[i] = k
+	}
+	return pk
+}
+
+// Shards reports the number of shard kernels.
+func (pk *ParKernel) Shards() int { return len(pk.shards) }
+
+// Now reports the current global virtual time.
+func (pk *ParKernel) Now() Time { return pk.now }
+
+// nextSeq allocates the next true global sequence number. Sequence numbers
+// start at 1, exactly like the sequential kernel's.
+func (pk *ParKernel) nextSeq() uint64 {
+	pk.gseq++
+	return pk.gseq
+}
+
+// Spawn creates a process on the next shard (round-robin), scheduled to
+// start at the current virtual time.
+func (pk *ParKernel) Spawn(name string, fn func(*Proc)) *Proc {
+	return pk.SpawnAt(pk.now, name, fn)
+}
+
+// SpawnAt creates a process on the next shard (round-robin), starting at
+// virtual time t. Spawning is a controller-phase operation: call it before
+// Run or from a controller callback, never from inside a running process.
+func (pk *ParKernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	k := pk.shards[pk.next%len(pk.shards)]
+	pk.next++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		fn:     fn,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	pk.procs = append(pk.procs, p)
+	k.scheduleProc(p, t)
+	return p
+}
+
+// At schedules a controller callback at virtual time t. Controller callbacks
+// run single-threaded between windows, in global (time, seq) order relative
+// to every shard event — they are for simulation control (the start
+// rendezvous, scheduled crashes), not for per-process work.
+func (pk *ParKernel) At(t Time, fn func()) {
+	if t < pk.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, pk.now))
+	}
+	pk.cbs.push(event{at: t, seq: pk.nextSeq(), fn: fn})
+}
+
+// Stop halts the run loop at the next window barrier.
+func (pk *ParKernel) Stop() { pk.stopped.Store(true) }
+
+// Run executes events until none remain, the deadline passes, or Stop is
+// called, mirroring Kernel.Run including its deadline and deadlock
+// semantics. A deadline of 0 means no deadline.
+func (pk *ParKernel) Run(deadline Time) error {
+	if pk.running {
+		panic("sim: ParKernel.Run called reentrantly")
+	}
+	pk.running = true
+	pk.stopped.Store(false)
+	defer func() { pk.running = false }()
+
+	// One persistent worker per shard. All synchronization is strict channel
+	// handoff: the controller owns every shard's state between windows, a
+	// worker owns its shard's state while executing one, and the work/done
+	// sends order those regimes. Nondeterministic interleaving never touches
+	// simulation state — divergence would trip the differential goldens.
+	pk.work = make([]chan eventKey, len(pk.shards))
+	pk.done = make(chan struct{}, len(pk.shards))
+	for i := range pk.shards {
+		pk.work[i] = make(chan eventKey, 1)
+		//chant:allow-nondet shard worker pool: strict window handoff over work/done channels, joined at a deterministic barrier
+		go pk.worker(i)
+	}
+	defer func() {
+		for _, w := range pk.work {
+			close(w)
+		}
+	}()
+
+	for !pk.stopped.Load() {
+		// Find the globally earliest pending work: shard events vs
+		// controller callbacks.
+		have := false
+		var min eventKey
+		for _, s := range pk.shards {
+			if s.heap.Len() == 0 {
+				continue
+			}
+			if k := s.heap.peekKey(); !have || k.less(min) {
+				min, have = k, true
+			}
+		}
+		if pk.cbs.Len() > 0 {
+			if ck := pk.cbs.peekKey(); !have || ck.less(min) {
+				// A controller callback is globally next: run it inline.
+				if deadline != 0 && ck.at > deadline {
+					pk.now = deadline
+					return nil
+				}
+				e := pk.cbs.pop()
+				pk.now = e.at
+				pk.Events++
+				e.fn()
+				continue
+			}
+		}
+		if !have {
+			break
+		}
+		if deadline != 0 && min.at > deadline {
+			pk.now = deadline
+			return nil
+		}
+
+		// The window executes every event with key strictly below bound:
+		// the lookahead horizon, capped by the next controller callback
+		// (seq and all, so same-instant interleaving matches the sequential
+		// kernel) and by the deadline.
+		bound := eventKey{at: min.at.Add(pk.alpha)}
+		if pk.cbs.Len() > 0 {
+			if ck := pk.cbs.peekKey(); ck.less(bound) {
+				bound = ck
+			}
+		}
+		if deadline != 0 {
+			if dk := (eventKey{at: deadline.Add(1)}); dk.less(bound) {
+				bound = dk
+			}
+		}
+
+		pk.Windows++
+		for i := range pk.shards {
+			pk.work[i] <- bound
+		}
+		for range pk.shards {
+			<-pk.done
+		}
+		pk.merge(bound)
+	}
+	if pk.stopped.Load() {
+		return nil
+	}
+	for _, p := range pk.procs {
+		if p.state != procDone {
+			return fmt.Errorf("%w (process %q is %s at %v)", ErrDeadlock, p.name, p.state, pk.now)
+		}
+	}
+	return nil
+}
+
+// worker executes windows for shard i until the work channel closes.
+func (pk *ParKernel) worker(i int) {
+	k := pk.shards[i]
+	for bound := range pk.work[i] {
+		k.runShardWindow(bound)
+		pk.done <- struct{}{}
+	}
+}
+
+// runShardWindow executes this shard's events with key strictly below bound.
+// Runs on the shard's worker goroutine; the window log it appends to is read
+// back by the controller after the barrier.
+func (k *Kernel) runShardWindow(bound eventKey) {
+	sh := k.shard
+	sh.active = true
+	for k.heap.Len() > 0 {
+		if !k.heap.peekKey().less(bound) {
+			break
+		}
+		e := k.heap.pop()
+		if check.Enabled && e.at < k.now {
+			check.Failf("sim: shard %d event heap went backwards: popped event at %v with the clock already at %v", sh.id, e.at, k.now)
+		}
+		k.now = e.at
+		sh.log = append(sh.log, execRecord{at: e.at, seq: e.seq})
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		e.proc.run()
+	}
+	sh.active = false
+}
+
+// merge is the window barrier: it k-way merges the shard execution logs into
+// the global sequential order, assigns true sequence numbers to every
+// in-window insertion in that order, applies cross-shard insertions, replays
+// journaled side effects, rewrites provisional heap keys, and advances the
+// global clock. Runs single-threaded on the controller.
+func (pk *ParKernel) merge(bound eventKey) {
+	shards := pk.shards
+	ptr := make([]int, len(shards))
+	total := 0
+	for _, s := range shards {
+		total += len(s.shard.log)
+	}
+
+	for merged := 0; merged < total; merged++ {
+		best := -1
+		var bestKey eventKey
+		for si, s := range shards {
+			sh := s.shard
+			if ptr[si] >= len(sh.log) {
+				continue
+			}
+			r := &sh.log[ptr[si]]
+			seq := r.seq
+			if seq >= provBase {
+				n := seq &^ provBase
+				if n > uint64(len(sh.resolve)) || sh.resolve[n-1] == 0 {
+					// Unreachable: the inserter is an earlier record of this
+					// same log, so the head is always resolved. Kept as a
+					// defensive guard; skipping an unresolved head can only
+					// stall if the invariant is broken, caught below.
+					continue
+				}
+				seq = sh.resolve[n-1]
+			}
+			k := eventKey{r.at, seq}
+			if best < 0 || k.less(bestKey) {
+				best, bestKey = si, k
+			}
+		}
+		if best < 0 {
+			panic("sim: parallel barrier merge stalled on an unresolved provisional event; shard log order invariant broken")
+		}
+		sh := shards[best].shard
+		r := &sh.log[ptr[best]]
+		ptr[best]++
+		for i := range r.ins {
+			ins := &r.ins[i]
+			g := pk.nextSeq()
+			if ins.prov != 0 {
+				n := ins.prov &^ provBase
+				for uint64(len(sh.resolve)) < n {
+					sh.resolve = append(sh.resolve, 0)
+				}
+				sh.resolve[n-1] = g
+				continue
+			}
+			if ins.at < bound.at {
+				panic(fmt.Sprintf("sim: lookahead violation: cross-shard event at %v lands inside the window ending at %v; cross-shard effects must pay at least alpha=%v", ins.at, bound.at, pk.alpha))
+			}
+			ins.tk.heap.push(event{at: ins.at, seq: g, fn: ins.fn, proc: ins.proc})
+		}
+		for _, fn := range r.jrn {
+			fn()
+		}
+		r.ins, r.jrn = nil, nil
+	}
+	pk.Events += uint64(total)
+
+	// Rewrite provisional keys left in shard heaps (events inserted this
+	// window that execute in a later one) to their true sequence numbers,
+	// then restore each heap invariant and reset the window state.
+	for _, s := range shards {
+		sh := s.shard
+		changed := false
+		for i := range s.heap.ev {
+			if seq := s.heap.ev[i].seq; seq >= provBase {
+				n := seq &^ provBase
+				if n > uint64(len(sh.resolve)) || sh.resolve[n-1] == 0 {
+					panic("sim: provisional event key survived the barrier unresolved")
+				}
+				s.heap.ev[i].seq = sh.resolve[n-1]
+				changed = true
+			}
+		}
+		if changed {
+			s.heap.heapify()
+		}
+		sh.log = sh.log[:0]
+		sh.provSeq = 0
+		sh.resolve = sh.resolve[:0]
+		if s.now > pk.now {
+			pk.now = s.now
+		}
+	}
+}

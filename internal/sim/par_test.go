@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testKernel is the common surface of Kernel and ParKernel the differential
+// workloads drive.
+type testKernel interface {
+	Spawn(name string, fn func(*Proc)) *Proc
+	At(t Time, fn func())
+	Run(deadline Time) error
+	Now() Time
+}
+
+// kernelEvents reports the dispatched-event count for either kernel kind.
+func kernelEvents(k testKernel) uint64 {
+	switch k := k.(type) {
+	case *Kernel:
+		return k.Events
+	case *ParKernel:
+		return k.Events
+	}
+	return 0
+}
+
+// ringResult is everything observable a ring workload produces: per-proc
+// event logs (each proc's log is only ever appended from its own shard, so
+// recording is race-free under the parallel kernel), controller callback
+// log, final virtual time, dispatched events, and Run's error.
+type ringResult struct {
+	logs  []string // per proc, joined
+	ctrl  string
+	now   Time
+	evs   uint64
+	err   string
+}
+
+// runRing drives a ring of nprocs processes for iters steps: jittered
+// advances force plenty of same-instant ties, every step sends a delivery
+// callback to the right neighbor at least alpha in the future (crossing
+// shards under the parallel kernel), and every third step parks awaiting a
+// signal. A few controller callbacks land mid-run.
+func runRing(k testKernel, nprocs, iters int, alpha Duration, deadline Time) ringResult {
+	logs := make([][]string, nprocs)
+	rx := make([]int, nprocs) // deliveries received; only touched on proc i's shard
+	procs := make([]*Proc, nprocs)
+	for i := range procs {
+		i := i
+		procs[i] = k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			rng := NewRNG(uint64(i)*0x9E3779B9 + 1)
+			for it := 0; it < iters; it++ {
+				p.Advance(Duration(rng.Intn(4)) * 5) // often 0: same-instant ties
+				logs[i] = append(logs[i], fmt.Sprintf("it%d@%v", it, p.Now()))
+				j := (i + 1) % nprocs
+				dst := procs[j]
+				at := p.Now().Add(alpha + Duration(rng.Intn(3))*5)
+				src := i
+				p.Kernel().AtOn(dst, at, func() {
+					rx[j]++
+					logs[j] = append(logs[j], fmt.Sprintf("rx%d@%v", src, dst.Now()))
+					dst.Signal()
+				})
+				if it%3 == 2 {
+					// Wait until the left neighbor's it-th send has arrived.
+					// Signals coalesce, so recheck the counter per wake; the
+					// ring pipeline guarantees the send is eventually in
+					// flight, so this never starves.
+					for rx[i] <= it {
+						p.WaitSignal()
+					}
+					logs[i] = append(logs[i], fmt.Sprintf("wake@%v", p.Now()))
+				}
+			}
+		})
+	}
+	var ctrl []string
+	for _, t := range []Time{0, 37, 115} {
+		t := t
+		k.At(t, func() {
+			ctrl = append(ctrl, fmt.Sprintf("cb@%v/%v", t, k.Now()))
+		})
+	}
+	res := ringResult{}
+	if err := k.Run(deadline); err != nil {
+		res.err = err.Error()
+	}
+	for _, l := range logs {
+		res.logs = append(res.logs, strings.Join(l, " "))
+	}
+	res.ctrl = strings.Join(ctrl, " ")
+	res.now = k.Now()
+	res.evs = kernelEvents(k)
+	return res
+}
+
+// TestParKernelMatchesSequential checks the parallel kernel reproduces the
+// sequential kernel's behavior exactly — per-proc event sequences with
+// times, controller callback interleaving, final clock, and total event
+// count — across shard counts, including shard counts that do not divide
+// the process count.
+func TestParKernelMatchesSequential(t *testing.T) {
+	const nprocs, iters = 8, 60
+	const alpha = Duration(20)
+	want := runRing(NewKernel(), nprocs, iters, alpha, 0)
+	if want.err != "" {
+		t.Fatalf("sequential ring errored: %v", want.err)
+	}
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		pk := NewParKernel(shards, alpha)
+		got := runRing(pk, nprocs, iters, alpha, 0)
+		if got.err != "" {
+			t.Fatalf("shards=%d: parallel ring errored: %v", shards, got.err)
+		}
+		if got.now != want.now {
+			t.Errorf("shards=%d: final time %v, sequential %v", shards, got.now, want.now)
+		}
+		if got.evs != want.evs {
+			t.Errorf("shards=%d: %d events dispatched, sequential %d", shards, got.evs, want.evs)
+		}
+		if got.ctrl != want.ctrl {
+			t.Errorf("shards=%d: controller log\n got %s\nwant %s", shards, got.ctrl, want.ctrl)
+		}
+		for i := range want.logs {
+			if got.logs[i] != want.logs[i] {
+				t.Errorf("shards=%d: proc %d log diverged\n got %s\nwant %s", shards, i, got.logs[i], want.logs[i])
+			}
+		}
+		if pk.Windows == 0 && shards > 1 {
+			t.Errorf("shards=%d: no windows executed; workload never reached the parallel path", shards)
+		}
+	}
+}
+
+// TestParKernelDeadline checks deadline semantics match: the run halts with
+// the clock pinned at the deadline and no error, mid-workload.
+func TestParKernelDeadline(t *testing.T) {
+	const alpha = Duration(20)
+	const deadline = Time(150)
+	want := runRing(NewKernel(), 6, 100, alpha, deadline)
+	got := runRing(NewParKernel(3, alpha), 6, 100, alpha, deadline)
+	if want.now != deadline {
+		t.Fatalf("sequential run ended at %v, want the deadline %v", want.now, deadline)
+	}
+	if got.now != want.now || got.evs != want.evs || got.err != want.err {
+		t.Errorf("deadline run diverged: got (now %v, evs %d, err %q), want (now %v, evs %d, err %q)",
+			got.now, got.evs, got.err, want.now, want.evs, want.err)
+	}
+	for i := range want.logs {
+		if got.logs[i] != want.logs[i] {
+			t.Errorf("proc %d log diverged\n got %s\nwant %s", i, got.logs[i], want.logs[i])
+		}
+	}
+}
+
+// TestParKernelDeadlockReport checks a stuck simulation reports the same
+// deadlock, naming the same process at the same time, under both kernels.
+func TestParKernelDeadlockReport(t *testing.T) {
+	build := func(k testKernel) {
+		k.Spawn("worker", func(p *Proc) {
+			p.Advance(10)
+		})
+		k.Spawn("stuck", func(p *Proc) {
+			p.Advance(25)
+			p.WaitSignal() // nobody will ever signal
+		})
+	}
+	sk := NewKernel()
+	build(sk)
+	serr := sk.Run(0)
+	pk := NewParKernel(2, 20)
+	build(pk)
+	perr := pk.Run(0)
+	if serr == nil || perr == nil {
+		t.Fatalf("expected deadlock from both kernels, got sequential=%v parallel=%v", serr, perr)
+	}
+	if serr.Error() != perr.Error() {
+		t.Errorf("deadlock reports differ:\n sequential %v\n parallel   %v", serr, perr)
+	}
+}
+
+// TestParKernelLookaheadViolation checks that a cross-shard event scheduled
+// inside the current window — a broken lookahead promise — panics loudly at
+// the barrier instead of silently corrupting the event order.
+func TestParKernelLookaheadViolation(t *testing.T) {
+	pk := NewParKernel(2, 100)
+	procs := make([]*Proc, 2)
+	procs[0] = pk.Spawn("a", func(p *Proc) {
+		// Arrival at now+1 is far inside the [now, now+100) window.
+		p.Kernel().AtOn(procs[1], p.Now().Add(1), func() {})
+		p.Advance(5)
+	})
+	procs[1] = pk.Spawn("b", func(p *Proc) {
+		p.Advance(5)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a lookahead-violation panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	pk.Run(0)
+}
+
+// TestParKernelStop checks Stop latched from inside a shard halts the run at
+// the next barrier without a deadlock report.
+func TestParKernelStop(t *testing.T) {
+	pk := NewParKernel(2, 50)
+	pk.Spawn("stopper", func(p *Proc) {
+		p.Advance(10)
+		p.Kernel().Stop()
+		p.Advance(10)
+	})
+	pk.Spawn("other", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Advance(5)
+		}
+	})
+	if err := pk.Run(0); err != nil {
+		t.Fatalf("stopped run reported %v, want nil", err)
+	}
+	if pk.Now() >= 500 {
+		t.Fatalf("run did not stop early: clock at %v", pk.Now())
+	}
+}

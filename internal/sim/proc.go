@@ -50,6 +50,9 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 
 // SpawnAt creates a process that starts at virtual time t.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	if k.shard != nil {
+		panic("sim: SpawnAt on a shard kernel; spawn through the ParKernel")
+	}
 	p := &Proc{
 		k:      k,
 		name:   name,
@@ -138,7 +141,10 @@ func (p *Proc) Signal() {
 	switch p.state {
 	case procParked:
 		p.state = procReady
-		p.k.scheduleProc(p, p.k.now)
+		// schedNow, not now: between parallel windows the controller signals
+		// procs whose shard clock lags the global clock; the wake must land
+		// at the controller's time, exactly as it would sequentially.
+		p.k.scheduleProc(p, p.k.schedNow())
 	case procDone:
 		// Nothing to wake.
 	default:

@@ -40,6 +40,9 @@ type Counters struct {
 	RSRRequests atomic.Uint64 // requests served by this process's server thread
 	RSRSent     atomic.Uint64 // requests issued from this process
 
+	// Conservative simulation (the pdes null-message protocol).
+	NullsSent atomic.Uint64 // CMB null messages emitted by LPs on this process
+
 	// Robustness events (fault injection, failure detection, recovery).
 	FaultDrops        atomic.Uint64 // outbound messages dropped by the fault plane
 	FaultDups         atomic.Uint64 // outbound messages duplicated by the fault plane
@@ -155,6 +158,7 @@ type Snapshot struct {
 	Sends, Recvs, RecvImmediate, EarlyArrivals, BytesSent              uint64
 	MsgTestCalls, MsgTestFails, TestAnyCalls, TestAnyScanned           uint64
 	RSRRequests, RSRSent                                               uint64
+	NullsSent                                                          uint64
 	FaultDrops, FaultDups, FaultDelays, UnexpectedDropped              uint64
 	RecvTimeouts, PeerDeadRecvs, PeersDead                             uint64
 	RSRRetries, RSRTimeouts, RSRDupsServed                             uint64
@@ -183,6 +187,7 @@ func (c *Counters) Snap(end sim.Time) Snapshot {
 		TestAnyScanned:    c.TestAnyScanned.Load(),
 		RSRRequests:       c.RSRRequests.Load(),
 		RSRSent:           c.RSRSent.Load(),
+		NullsSent:         c.NullsSent.Load(),
 		FaultDrops:        c.FaultDrops.Load(),
 		FaultDups:         c.FaultDups.Load(),
 		FaultDelays:       c.FaultDelays.Load(),
@@ -219,6 +224,7 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.TestAnyScanned += other.TestAnyScanned
 	s.RSRRequests += other.RSRRequests
 	s.RSRSent += other.RSRSent
+	s.NullsSent += other.NullsSent
 	s.FaultDrops += other.FaultDrops
 	s.FaultDups += other.FaultDups
 	s.FaultDelays += other.FaultDelays

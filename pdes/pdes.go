@@ -153,8 +153,17 @@ type Ctx struct {
 	outNames []string
 	ended    bool
 	emitted  uint64
-	lastNull Time // highest null promise already sent
+	nulls    uint64 // null messages sent (protocol overhead, see Stats.NullsSent)
+	lastNull Time   // highest null promise already sent
 	sentNull bool
+}
+
+// countNull records one null message leaving this LP, both in the per-LP
+// stats and in the process-wide trace counter (so chantbench reports can
+// show protocol overhead next to sends/recvs).
+func (c *Ctx) countNull() {
+	c.nulls++
+	c.Thread.Process().Counters().NullsSent.Add(1)
 }
 
 // Now reports the LP's current safe virtual time.
@@ -209,6 +218,7 @@ func (c *Ctx) sendNulls() error {
 		if err := c.outs[name].SendUnflowed(encodeMsg(0, promise, promise, nil)); err != nil {
 			return err
 		}
+		c.countNull()
 	}
 	return nil
 }
@@ -225,6 +235,7 @@ func (c *Ctx) finish() error {
 		if err := c.outs[name].SendUnflowed(encodeMsg(0, endOfTime, endOfTime, nil)); err != nil {
 			return err
 		}
+		c.countNull()
 	}
 	return nil
 }
@@ -241,6 +252,12 @@ type inEdge struct {
 type Stats struct {
 	Processed uint64
 	Emitted   uint64
+	// NullsSent counts the CMB null messages this LP emitted — the
+	// protocol's overhead traffic. Null volume is damped: an LP only
+	// re-promises when its bound actually advances past the last promise,
+	// so cyclic graphs exchange a bounded number of nulls per real event
+	// instead of flooding on every safe-time recomputation.
+	NullsSent uint64
 	FinalTime Time
 }
 
@@ -432,6 +449,7 @@ func runLP(me *chant.Thread, s *Simulation, lp *LPSpec, descs []chant.Channel, s
 		st.Processed = processed
 		st.FinalTime = ctx.now
 		st.Emitted = ctx.emitted
+		st.NullsSent = ctx.nulls
 	}()
 
 	if lp.Source != nil {
