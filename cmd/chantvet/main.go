@@ -1,17 +1,26 @@
 // Command chantvet checks the Chant codebase against the runtime's unwritten
 // contracts: scheduler-context-only calls (schedctx), determinism of the
-// simulation-critical packages (detlint), and instrumentation/lock
-// discipline (ctrlock). See each analyzer's package documentation for what
-// it reports and DESIGN.md's "Correctness tooling" section for the
-// conventions (including the //chant:allow-nondet suppression comment).
+// simulation-critical packages (detlint), instrumentation/lock discipline
+// (ctrlock), nondeterminism reachable from simulation-critical roots
+// (ndtaint, interprocedural via facts and the call graph), and must-release
+// of pooled messages and receive handles (handleleak). See each analyzer's
+// package documentation for what it reports and DESIGN.md's "Correctness
+// tooling" section for the conventions (including the //chant:allow-nondet
+// and //chant:allow-leak suppression comments).
 //
 // Two ways to run it:
 //
-//	go vet -vettool=$(which chantvet) ./...   # unit-at-a-time, via the go command
-//	chantvet ./...                            # standalone, loads packages itself
+//	go vet -vettool=$(which chantvet) ./...   # unit-at-a-time, facts compose via .vetx files
+//	chantvet ./...                            # standalone, whole-program
 //
-// Both report `file:line:col: analyzer: message` and exit nonzero when any
-// diagnostic is found.
+// Standalone mode accepts output and rewrite flags:
+//
+//	-json       emit findings as a JSON array instead of text
+//	-sarif      emit a SARIF 2.1.0 log (for CI code-scanning upload)
+//	-fix        apply the analyzers' suggested fixes to the source files
+//
+// Both modes report findings (text mode as `file:line:col: analyzer:
+// message`) and exit 2 when any diagnostic is found.
 package main
 
 import (
@@ -26,14 +35,15 @@ import (
 	"chant/internal/analysis"
 	"chant/internal/analysis/load"
 	"chant/internal/analysis/registry"
+	"chant/internal/analysis/render"
 	"chant/internal/analysis/unitcheck"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	// The go command probes its vet tool before first use: `-V=full` must
 	// print an identification line used as a cache key, and `-flags` must
 	// dump the supported flags as JSON.
@@ -50,7 +60,7 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("chantvet", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: chantvet [packages]            (standalone)\n")
+		fmt.Fprintf(fs.Output(), "usage: chantvet [-json|-sarif] [-fix] [packages]   (standalone)\n")
 		fmt.Fprintf(fs.Output(), "       go vet -vettool=chantvet [packages]\n\nAnalyzers:\n")
 		for _, a := range registry.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
@@ -61,8 +71,9 @@ func run(args []string) int {
 		fs.Bool(a.Name, false, a.Doc)
 		isAnalyzer[a.Name] = true
 	}
-	jsonOut := fs.Bool("json", false, "accepted for vet compatibility (output is always plain text)")
-	_ = jsonOut
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,9 +88,9 @@ func run(args []string) int {
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		// go vet unit mode: one JSON config describing a single package.
-		n, err := unitcheck.Run(os.Stderr, rest[0], analyzers)
+		n, err := unitcheck.Run(stderr, rest[0], analyzers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "chantvet: %v\n", err)
+			fmt.Fprintf(stderr, "chantvet: %v\n", err)
 			return 1
 		}
 		if n > 0 {
@@ -88,32 +99,74 @@ func run(args []string) int {
 		return 0
 	}
 
-	// Standalone mode: load the named packages (default ./...) ourselves.
+	// Standalone mode: load the named packages (default ./...) ourselves and
+	// analyze them as one program.
 	patterns := rest
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := load.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chantvet: %v\n", err)
+		fmt.Fprintf(stderr, "chantvet: %v\n", err)
 		return 1
 	}
-	found := 0
-	for _, pkg := range pkgs {
-		diags, err := registry.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chantvet: %s: %v\n", pkg.PkgPath, err)
+	findings, err := registry.RunAll(pkgs, analyzers, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "chantvet: %v\n", err)
+		return 1
+	}
+
+	switch {
+	case *jsonOut:
+		err = render.JSON(stdout, findings)
+	case *sarifOut:
+		err = render.SARIF(stdout, findings, analyzers)
+	default:
+		err = render.Text(stderr, findings)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "chantvet: %v\n", err)
+		return 1
+	}
+
+	if *fix {
+		if err := applyFixes(stderr, findings); err != nil {
+			fmt.Fprintf(stderr, "chantvet: %v\n", err)
 			return 1
 		}
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-		}
-		found += len(diags)
 	}
-	if found > 0 {
+	if len(findings) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// applyFixes rewrites the source files with every suggested fix carried by
+// the findings, reporting each touched file.
+func applyFixes(stderr io.Writer, findings []registry.Finding) error {
+	var diags []analysis.Diagnostic
+	nfixes := 0
+	for _, f := range findings {
+		if len(f.SuggestedFixes) > 0 {
+			diags = append(diags, f.Diagnostic)
+			nfixes += len(f.SuggestedFixes)
+		}
+	}
+	if nfixes == 0 {
+		return nil
+	}
+	fixed, err := analysis.ApplyFixes(findings[0].Fset, diags, os.ReadFile)
+	if err != nil {
+		return err
+	}
+	for name, content := range fixed {
+		if err := os.WriteFile(name, content, 0o666); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "chantvet: fixed %s\n", name)
+	}
+	fmt.Fprintf(stderr, "chantvet: applied %d suggested fixes to %d files\n", nfixes, len(fixed))
+	return nil
 }
 
 type flagSet map[string]bool
@@ -167,7 +220,7 @@ func printFlags() {
 	for _, a := range registry.Analyzers() {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
 	}
-	flags = append(flags, jsonFlag{Name: "json", Bool: true, Usage: "accepted for vet compatibility"})
+	flags = append(flags, jsonFlag{Name: "json", Bool: true, Usage: "emit findings as JSON"})
 	data, err := json.Marshal(flags)
 	if err != nil {
 		panic(err)

@@ -5,6 +5,14 @@
 // package at a time through a Pass and reports Diagnostics; drivers — the
 // standalone runner in cmd/chantvet, the go vet -vettool protocol shim, and
 // the analysistest harness — supply the Pass.
+//
+// Beyond the per-package model, the framework carries two interprocedural
+// mechanisms: serializable per-object Facts (see FactStore) that let a pass
+// over one package export conclusions its dependents import, and a shared
+// type-informed call graph (see the callgraph package) that drivers build
+// over every loaded package and hand to each Pass. Analyzers that need a
+// whole-program view after every package has been visited install a Finish
+// hook.
 package analysis
 
 import (
@@ -14,6 +22,9 @@ import (
 	"go/types"
 	"regexp"
 	"strings"
+
+	"chant/internal/analysis/callgraph"
+	"chant/internal/analysis/typeutil"
 )
 
 // An Analyzer describes one chantvet check.
@@ -24,6 +35,15 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Finish, if non-nil, runs once after every loaded package has been
+	// visited, receiving the passes in dependency order. Whole-program
+	// analyzers (ndtaint) do their propagation and reporting here, when the
+	// fact store and call graph cover everything the driver loaded.
+	Finish func(passes []*Pass) error
+	// Marker overrides the suppression comment this analyzer honors;
+	// empty means the default "allow-nondet". handleleak, whose findings
+	// are resource leaks rather than nondeterminism, uses "allow-leak".
+	Marker string
 }
 
 // A Pass presents one type-checked package to an Analyzer.
@@ -34,11 +54,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the path of the module declaring the package, empty for
+	// packages outside any module. Under `go vet -vettool` the analyzers
+	// also run over dependency units (the standard library included) to
+	// produce facts; analyzers whose verdicts must not depend on how much
+	// of the build graph the driver happened to load gate on Module so
+	// both drivers reach the same conclusions.
+	Module string
+
+	// Facts is the run's shared fact store; nil when the driver provides no
+	// fact plumbing (facts exported then are silently dropped).
+	Facts *FactStore
+
+	// Graph is the call graph over every package the driver loaded — the
+	// whole program for standalone runs, the single unit under the go vet
+	// protocol. Nil when the driver builds none.
+	Graph *callgraph.Graph
+
 	// Report receives each diagnostic. Drivers install it; analyzers call
 	// Reportf instead.
 	Report func(Diagnostic)
 
-	suppress map[string]map[int]bool // filename -> line -> allow-nondet present
+	suppress map[string]map[string]map[int]bool // marker -> filename -> line
 }
 
 // A Diagnostic is one finding, attached to a source position.
@@ -46,46 +83,105 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuggestedFixes carries mechanical rewrites that would resolve the
+	// diagnostic, applied by chantvet -fix and verified against .golden
+	// files by the analysistest harness.
+	SuggestedFixes []SuggestedFix
 }
 
-// Reportf reports a diagnostic at pos unless an allow-nondet suppression
-// comment covers it.
+// A SuggestedFix is one self-contained mechanical rewrite.
+type SuggestedFix struct {
+	// Message describes the rewrite ("insert defer e.ReleaseHandle(h)").
+	Message string
+	// TextEdits are the replacements; they must not overlap.
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText. An insertion
+// has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Reportf reports a diagnostic at pos unless a suppression comment with the
+// analyzer's marker covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix is Reportf carrying suggested fixes.
+func (p *Pass) ReportfFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	if p.Suppressed(pos) {
 		return
 	}
-	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+	p.Report(Diagnostic{
+		Pos:            pos,
+		Message:        fmt.Sprintf(format, args...),
+		Analyzer:       p.Analyzer.Name,
+		SuggestedFixes: fixes,
+	})
 }
 
-// allowRe matches a well-formed suppression comment: the marker must carry a
-// non-empty reason, so silenced diagnostics stay explained.
-var allowRe = regexp.MustCompile(`^//chant:allow-nondet\s+\S`)
+// DefaultMarker is the suppression marker analyzers honor unless they set
+// Analyzer.Marker: //chant:allow-nondet <reason>.
+const DefaultMarker = "allow-nondet"
 
-// Suppressed reports whether pos is covered by a //chant:allow-nondet
-// comment with a reason, either trailing on the same line or alone on the
-// line immediately above.
+// marker reports the suppression marker in force for this pass.
+func (p *Pass) marker() string {
+	if p.Analyzer != nil && p.Analyzer.Marker != "" {
+		return p.Analyzer.Marker
+	}
+	return DefaultMarker
+}
+
+// Suppressed reports whether pos is covered by the analyzer's suppression
+// comment (//chant:<marker> <reason>) — with a non-empty reason, so silenced
+// diagnostics stay explained — either trailing on the same line or alone on
+// the line immediately above.
 func (p *Pass) Suppressed(pos token.Pos) bool {
+	return p.SuppressedBy(pos, p.marker())
+}
+
+// SuppressedBy is Suppressed for an explicit marker, for analyzers that
+// consult a marker other than their reporting default (ndtaint checks
+// allow-nondet at taint sources while reporting elsewhere).
+func (p *Pass) SuppressedBy(pos token.Pos, marker string) bool {
+	lines := p.markerLines(marker)
+	position := p.Fset.Position(pos)
+	fileLines := lines[position.Filename]
+	return fileLines[position.Line] || fileLines[position.Line-1]
+}
+
+// markerLines lazily indexes, per file, the lines carrying a well-formed
+// suppression comment for marker.
+func (p *Pass) markerLines(marker string) map[string]map[int]bool {
 	if p.suppress == nil {
-		p.suppress = make(map[string]map[int]bool)
-		for _, f := range p.Files {
-			tf := p.Fset.File(f.Pos())
-			if tf == nil {
-				continue
-			}
-			lines := make(map[int]bool)
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					if allowRe.MatchString(c.Text) {
-						lines[p.Fset.Position(c.Pos()).Line] = true
-					}
+		p.suppress = make(map[string]map[string]map[int]bool)
+	}
+	if m, ok := p.suppress[marker]; ok {
+		return m
+	}
+	re := regexp.MustCompile(`^//chant:` + regexp.QuoteMeta(marker) + `\s+\S`)
+	byFile := make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if re.MatchString(c.Text) {
+					lines[p.Fset.Position(c.Pos()).Line] = true
 				}
 			}
-			p.suppress[tf.Name()] = lines
 		}
+		byFile[tf.Name()] = lines
 	}
-	position := p.Fset.Position(pos)
-	lines := p.suppress[position.Filename]
-	return lines[position.Line] || lines[position.Line-1]
+	p.suppress[marker] = byFile
+	return byFile
 }
 
 // IsTest reports whether file is a _test.go file. Chantvet's contracts bind
@@ -114,30 +210,11 @@ func PathContains(pkgPath, want string) bool {
 // calls through non-selector expressions, function-typed values, and
 // built-ins.
 func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	case *ast.Ident:
-		id = fun
-	default:
-		return nil
-	}
-	fn, _ := info.Uses[id].(*types.Func)
-	return fn
+	return typeutil.CalleeFunc(info, call)
 }
 
 // RecvNamed reports the receiver's named type for a method, unwrapping any
 // pointer, or nil for plain functions.
 func RecvNamed(fn *types.Func) *types.Named {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
-	}
-	t := sig.Recv().Type()
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, _ := t.(*types.Named)
-	return named
+	return typeutil.RecvNamed(fn)
 }

@@ -4,11 +4,20 @@
 // library). Fixtures live under a testdata directory containing a complete
 // module — by convention `module chant` with stub internal packages — so
 // import paths in fixtures resolve exactly like the real repository's.
+//
+// Packages named by one Run call are analyzed together, the way the
+// standalone chantvet driver analyzes a tree: one call graph, one fact
+// store, Finish hooks after all packages. Cross-package fixtures (ndtaint's
+// fact propagation) rely on this.
+//
+// RunWithSuggestedFixes additionally applies every suggested fix in memory
+// and compares each rewritten file against a sibling `.golden` file.
 package analysistest
 
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -31,9 +40,10 @@ type expectation struct {
 }
 
 // Run loads the packages matching patterns from the fixture module rooted at
-// dir, applies the analyzer, and reports any mismatch between diagnostics
-// and `// want` comments as test errors.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+// dir, applies the analyzer to them as one program, and reports any mismatch
+// between diagnostics and `// want` comments as test errors. It returns the
+// findings for callers with further assertions to make.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) []registry.Finding {
 	t.Helper()
 	pkgs, err := load.Load(dir, patterns...)
 	if err != nil {
@@ -42,30 +52,68 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("fixture %s matched no packages", dir)
 	}
-	for _, pkg := range pkgs {
-		diags, err := registry.Run(pkg, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+	findings, err := registry.RunAll(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, dir, err)
+	}
+	check(t, pkgs, findings)
+	return findings
+}
+
+// RunWithSuggestedFixes is Run followed by a golden-file check: every
+// suggested fix is applied in memory and each rewritten file must equal its
+// `.golden` sibling byte for byte.
+func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	findings := Run(t, dir, a, patterns...)
+	var diags []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, f := range findings {
+		if len(f.SuggestedFixes) > 0 {
+			diags = append(diags, f.Diagnostic)
+			fset = f.Fset
 		}
-		checkPackage(t, pkg, diags)
+	}
+	if len(diags) == 0 {
+		t.Fatalf("RunWithSuggestedFixes: no diagnostic of %s carried a fix", a.Name)
+	}
+	fixed, err := analysis.ApplyFixes(fset, diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("applying suggested fixes: %v", err)
+	}
+	for name, content := range fixed {
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Errorf("suggested fix rewrote %s but no golden file: %v", name, err)
+			continue
+		}
+		if string(content) != string(golden) {
+			t.Errorf("suggested fixes for %s do not match %s.golden:\n-- got --\n%s\n-- want --\n%s",
+				name, name, content, golden)
+		}
 	}
 }
 
-func checkPackage(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+// check matches findings against the union of every package's `// want`
+// comments.
+func check(t *testing.T, pkgs []*load.Package, findings []registry.Finding) {
 	t.Helper()
-	wants := collectWants(t, pkg)
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	for _, f := range findings {
+		pos := f.Position()
 		matched := false
 		for _, w := range wants {
-			if w.file == pos.Filename && w.line == pos.Line && !w.matched && w.pattern.MatchString(d.Message) {
+			if w.file == pos.Filename && w.line == pos.Line && !w.matched && w.pattern.MatchString(f.Message) {
 				w.matched = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s", pos, f.Message)
 		}
 	}
 	for _, w := range wants {

@@ -1,0 +1,383 @@
+// Package cfg builds a control-flow graph of basic blocks from a function
+// body, for chantvet's path-sensitive analyses (handleleak's must-release
+// proof). The graph is intentionally modest: it models the structured
+// control flow Go programs are written with — if/else, for, range, switch,
+// type switch, select, return, break, continue (labeled or not), defer, and
+// terminating panic calls. Functions using goto, or a label the builder
+// cannot pair with its loop or switch, are rejected; callers skip such
+// functions rather than analyze them wrongly.
+package cfg
+
+import (
+	"errors"
+	"go/ast"
+)
+
+// A Block is a maximal straight-line run of statements. Succs lists the
+// blocks control may reach next; a block with no successors either returns
+// (Returns non-nil), panics unconditionally, or is the function's virtual
+// exit.
+type Block struct {
+	Index int
+	// Nodes are the statements and control expressions executed in order.
+	Nodes []ast.Node
+	Succs []*Block
+	// Returns is the return statement ending the block, if any.
+	Returns *ast.ReturnStmt
+}
+
+// A Graph is the CFG of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the virtual block reached by every return and by falling off
+	// the end of the body.
+	Exit *Block
+}
+
+// ErrUnsupported reports a body whose control flow the builder does not
+// model (goto, or an unresolvable labeled branch).
+var ErrUnsupported = errors.New("cfg: unsupported control flow")
+
+// New builds the CFG for body.
+func New(body *ast.BlockStmt) (*Graph, error) {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	cur := b.g.Entry
+	cur, err := b.stmts(cur, body.List)
+	if err != nil {
+		return nil, err
+	}
+	b.edge(cur, b.g.Exit)
+	return b.g, nil
+}
+
+type loopFrame struct {
+	label            string
+	breakTo, contTo  *Block
+	isSwitchOrSelect bool
+}
+
+type builder struct {
+	g     *Graph
+	loops []loopFrame
+	// pendingLabel holds a label naming the next loop/switch statement.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds an edge from -> to unless from is nil (unreachable code) or
+// already terminated.
+func (b *builder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block live at
+// the end (nil when control cannot fall through).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) (*Block, error) {
+	var err error
+	for _, s := range list {
+		cur, err = b.stmt(cur, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// terminates reports whether an expression statement unconditionally stops
+// ordinary control flow: a call to the panic builtin.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) (*Block, error) {
+	if cur == nil {
+		// Unreachable statement after a return or break: no flow to model.
+		return nil, nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			return b.stmt(cur, s.Stmt)
+		default:
+			// A plain labeled statement exists only as a goto target.
+			return nil, ErrUnsupported
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenBlk := b.newBlock()
+		b.edge(cur, thenBlk)
+		thenEnd, err := b.stmts(thenBlk, s.Body.List)
+		if err != nil {
+			return nil, err
+		}
+		var elseEnd *Block
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cur, elseBlk)
+			elseEnd, err = b.stmt(elseBlk, s.Else)
+			if err != nil {
+				return nil, err
+			}
+			if thenEnd == nil && elseEnd == nil {
+				return nil, nil
+			}
+			join := b.newBlock()
+			b.edge(thenEnd, join)
+			b.edge(elseEnd, join)
+			return join, nil
+		}
+		join := b.newBlock()
+		b.edge(cur, join)
+		b.edge(thenEnd, join)
+		return join, nil
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: exit, contTo: post})
+		bodyEnd, err := b.stmts(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if err != nil {
+			return nil, err
+		}
+		b.edge(bodyEnd, post)
+		return exit, nil
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(cur, head)
+		exit := b.newBlock()
+		b.edge(head, exit)
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Key != nil || s.Value != nil {
+			// The per-iteration assignment of key/value happens at the top of
+			// the body; represent it with the range statement itself.
+			body.Nodes = append(body.Nodes, s)
+		}
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: exit, contTo: head})
+		bodyEnd, err := b.stmts(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if err != nil {
+			return nil, err
+		}
+		b.edge(bodyEnd, head)
+		return exit, nil
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.branching(cur, s)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.Returns = s
+		b.edge(cur, b.g.Exit)
+		return nil, nil
+
+	case *ast.BranchStmt:
+		return b.branch(cur, s)
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if terminates(s) {
+			return nil, nil
+		}
+		return cur, nil
+
+	default:
+		// Straight-line statements: assignments, declarations, sends, defer,
+		// go, incdec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur, nil
+	}
+}
+
+// takeLabel consumes the label pending for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// branch handles break/continue/fallthrough/goto.
+func (b *builder) branch(cur *Block, s *ast.BranchStmt) (*Block, error) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if label == "" || f.label == label {
+				b.edge(cur, f.breakTo)
+				return nil, nil
+			}
+		}
+		return nil, ErrUnsupported
+	case "continue":
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			f := b.loops[i]
+			if f.isSwitchOrSelect {
+				continue
+			}
+			if label == "" || f.label == label {
+				b.edge(cur, f.contTo)
+				return nil, nil
+			}
+		}
+		return nil, ErrUnsupported
+	case "fallthrough":
+		// Handled structurally by branching(); reaching here means a
+		// fallthrough outside a switch clause tail — reject.
+		return nil, ErrUnsupported
+	default: // goto
+		return nil, ErrUnsupported
+	}
+}
+
+// branching builds switch, type switch, and select statements: a head block
+// evaluating the subject, one block per clause, all joining at a common
+// exit. Switches without a default also edge head -> join (no clause may
+// match); selects without a default block until some clause runs, so no
+// such edge is added.
+func (b *builder) branching(cur *Block, s ast.Stmt) (*Block, error) {
+	label := b.takeLabel()
+	var clauses []ast.Stmt
+	hasDefault := false
+	isSelect := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		isSelect = true
+	}
+	join := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: join, isSwitchOrSelect: true})
+	defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+
+	// Build clause bodies; for switches, record each clause's entry block so
+	// fallthrough can jump to the next clause's body.
+	type clauseInfo struct {
+		entry *Block
+		body  []ast.Stmt
+		comm  ast.Stmt
+	}
+	var infos []clauseInfo
+	for _, c := range clauses {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			infos = append(infos, clauseInfo{entry: b.newBlock(), body: c.Body})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			infos = append(infos, clauseInfo{entry: b.newBlock(), body: c.Body, comm: c.Comm})
+		}
+	}
+	for i, info := range infos {
+		b.edge(cur, info.entry)
+		entry := info.entry
+		if info.comm != nil {
+			var err error
+			entry, err = b.stmt(entry, info.comm)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Split a trailing fallthrough off the body; it redirects the clause
+		// end into the next clause's entry.
+		body := info.body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				body = body[:n-1]
+				fallsThrough = true
+			}
+		}
+		end, err := b.stmts(entry, body)
+		if err != nil {
+			return nil, err
+		}
+		if fallsThrough {
+			if i+1 >= len(infos) {
+				return nil, ErrUnsupported
+			}
+			b.edge(end, infos[i+1].entry)
+		} else {
+			b.edge(end, join)
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(cur, join)
+	}
+	if isSelect && len(infos) == 0 {
+		// Empty select blocks forever.
+		return nil, nil
+	}
+	return join, nil
+}

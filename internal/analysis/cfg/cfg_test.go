@@ -1,0 +1,152 @@
+package cfg_test
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"chant/internal/analysis/cfg"
+)
+
+// build parses a single function body and builds its CFG.
+func build(t *testing.T, body string) (*cfg.Graph, error) {
+	t.Helper()
+	src := "package p\nfunc f() int {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body)
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *cfg.Block) bool {
+	seen := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestStraightLine(t *testing.T) {
+	g, err := build(t, "x := 1\nreturn x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable in straight-line function")
+	}
+	if g.Entry.Returns == nil {
+		t.Error("return statement not recorded on its block")
+	}
+}
+
+func TestBranchJoin(t *testing.T) {
+	g, err := build(t, "x := 1\nif x > 0 {\n\tx++\n} else {\n\tx--\n}\nreturn x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if-header block has %d successors, want 2", len(g.Entry.Succs))
+	}
+	for i, s := range g.Entry.Succs {
+		if !reaches(s, g.Exit) {
+			t.Errorf("branch %d does not rejoin and reach exit", i)
+		}
+	}
+}
+
+func TestEarlyReturnSkipsTail(t *testing.T) {
+	g, err := build(t, "x := 1\nif x > 0 {\n\treturn x\n}\nreturn 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both returns flow to exit; the then-branch must go there directly.
+	var thenBlk *cfg.Block
+	for _, s := range g.Entry.Succs {
+		if s.Returns != nil {
+			thenBlk = s
+		}
+	}
+	if thenBlk == nil {
+		t.Fatal("no successor holds the early return")
+	}
+	if len(thenBlk.Succs) != 1 || thenBlk.Succs[0] != g.Exit {
+		t.Error("early-return block must flow straight to exit")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, err := build(t, "x := 1\nif x > 0 {\n\tpanic(\"boom\")\n}\nreturn x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The panic block ends the path: no successors, and it is not the exit.
+	var panicBlk *cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if c, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlk = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("panic block not found")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Error("panic block must have no successors")
+	}
+	if panicBlk == g.Exit {
+		t.Error("panic block must not be the exit block")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g, err := build(t, "x := 0\nfor i := 0; i < 3; i++ {\n\tx += i\n}\nreturn x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some block must reach itself through a cycle.
+	cyclic := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if reaches(s, b) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Error("for loop produced no back edge")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("loop exit path missing")
+	}
+}
+
+func TestGotoUnsupported(t *testing.T) {
+	_, err := build(t, "x := 1\ngoto done\ndone:\nreturn x")
+	if !errors.Is(err, cfg.ErrUnsupported) {
+		t.Errorf("goto built without ErrUnsupported: %v", err)
+	}
+}

@@ -6,13 +6,19 @@
 // multi-case selects, or raw goroutines. The few legitimate wall-clock and
 // goroutine sites (the real-mode host, the TCP transport, Table 1's genuine
 // microbenchmark timing) carry a `//chant:allow-nondet <reason>` comment.
+//
+// Detection lives in the shared nondet package (ndtaint seeds its
+// interprocedural taint from the same scanner); detlint contributes the
+// scope — which packages the contract binds — and, for wall-clock reads
+// with an identifiable scheduler clock in scope, a suggested fix rewriting
+// time.Now() to that clock's Now().
 package detlint
 
 import (
 	"go/ast"
-	"go/types"
 
 	"chant/internal/analysis"
+	"chant/internal/analysis/nondet"
 )
 
 // Analyzer flags nondeterminism sources in simulation-critical packages.
@@ -48,14 +54,6 @@ func InScope(pkgPath string) bool {
 	return false
 }
 
-// wallClock lists the time-package functions whose results differ run to
-// run (or that schedule against the wall clock).
-var wallClock = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTicker": true, "NewTimer": true,
-}
-
 func run(pass *analysis.Pass) error {
 	if !InScope(pass.Pkg.Path()) {
 		return nil
@@ -64,122 +62,29 @@ func run(pass *analysis.Pass) error {
 		if pass.IsTest(file) {
 			continue
 		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkCall(pass, n)
-			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "raw go statement in simulation-critical package %s: goroutine interleaving is nondeterministic", pass.Pkg.Path())
-			case *ast.RangeStmt:
-				checkRange(pass, n)
-			case *ast.SelectStmt:
-				checkSelect(pass, n)
-			}
-			return true
-		})
+		for _, decl := range file.Decls {
+			report(pass, decl, enclosingFunc(decl))
+		}
 	}
 	return nil
 }
 
-// checkCall flags wall-clock reads, global math/rand draws, and sync.Pool
-// traffic.
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	fn := analysis.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil {
-		return
-	}
-	if named := analysis.RecvNamed(fn); named != nil {
-		checkPoolMethod(pass, call, fn.Name(), named)
-		return
-	}
-	switch fn.Pkg().Path() {
-	case "time":
-		if wallClock[fn.Name()] {
-			pass.Reportf(call.Pos(), "time.%s in simulation-critical package %s: the wall clock is nondeterministic; use the Host/sim clock", fn.Name(), pass.Pkg.Path())
-		}
-	case "math/rand", "math/rand/v2":
-		pass.Reportf(call.Pos(), "global %s.%s in simulation-critical package %s: shared PRNG state is order-dependent; use sim.RNG with an explicit seed", fn.Pkg().Name(), fn.Name(), pass.Pkg.Path())
-	}
+// enclosingFunc returns decl as a *ast.FuncDecl when it is one (the clock
+// fix needs the receiver and parameter lists); nil for var/const/type decls.
+func enclosingFunc(decl ast.Decl) *ast.FuncDecl {
+	fd, _ := decl.(*ast.FuncDecl)
+	return fd
 }
 
-// checkPoolMethod flags Get and Put on sync.Pool: the pool hands objects
-// back in a scheduler- and GC-dependent order, so any observable reuse (a
-// recycled buffer's identity, a per-P cache hit vs a fresh allocation)
-// varies run to run. Deterministic code wants a plain LIFO freelist;
-// real-transport paths gate pooling behind Host.Deterministic() and carry
-// the annotation.
-func checkPoolMethod(pass *analysis.Pass, call *ast.CallExpr, method string, named *types.Named) {
-	if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
-		return
-	}
-	if method != "Get" && method != "Put" {
-		return
-	}
-	pass.Reportf(call.Pos(), "sync.Pool.%s in simulation-critical package %s: pool reuse order is scheduler- and GC-dependent; use a plain freelist, or gate behind Host.Deterministic()", method, pass.Pkg.Path())
-}
-
-// checkRange flags iteration over a map whose body has side effects beyond
-// plain reads and builtin calls: Go randomizes map order, so any
-// order-sensitive effect (emitting events, sends, non-builtin calls)
-// diverges between runs.
-func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
-	tv, ok := pass.TypesInfo.Types[rng.X]
-	if !ok {
-		return
-	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
-	}
-	var effect ast.Node
-	ast.Inspect(rng.Body, func(n ast.Node) bool {
-		if effect != nil {
-			return false
+// report emits one diagnostic per unsanctioned source under decl, attaching
+// the scheduler-clock rewrite where one is derivable.
+func report(pass *analysis.Pass, decl ast.Decl, fd *ast.FuncDecl) {
+	for _, src := range nondet.Scan(pass, decl) {
+		var fixes []analysis.SuggestedFix
+		if fix := nondet.ClockFix(pass, src, fd); fix != nil {
+			fixes = append(fixes, *fix)
 		}
-		switch n := n.(type) {
-		case *ast.SendStmt:
-			effect = n
-		case *ast.CallExpr:
-			if !isPureBuiltin(pass, n) {
-				effect = n
-			}
-		}
-		return true
-	})
-	if effect != nil {
-		pass.Reportf(rng.Pos(), "range over map with order-sensitive effects in simulation-critical package %s: map iteration order is randomized; sort the keys first", pass.Pkg.Path())
-	}
-}
-
-// isPureBuiltin reports whether a call is one of the builtins whose use in a
-// map loop cannot observe iteration order externally (append into a slice
-// that is presumably sorted afterwards, len, cap, delete, copy, make, min,
-// max). Conversions also qualify.
-func isPureBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok {
-		// Selector or literal call: a conversion like sim.Time(x) is fine.
-		tv, isConv := pass.TypesInfo.Types[call.Fun]
-		return isConv && tv.IsType()
-	}
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		return true
-	}
-	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
-		return true
-	}
-	return false
-}
-
-// checkSelect flags selects that choose among multiple ready communications:
-// the runtime picks uniformly at random.
-func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
-	comm := 0
-	for _, clause := range sel.Body.List {
-		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
-			comm++
-		}
-	}
-	if comm >= 2 {
-		pass.Reportf(sel.Pos(), "select with %d communication cases in simulation-critical package %s: case choice is randomized when several are ready", comm, pass.Pkg.Path())
+		pass.ReportfFix(src.Pos, fixes, "%s in simulation-critical package %s: %s",
+			src.What, pass.Pkg.Path(), src.Why)
 	}
 }

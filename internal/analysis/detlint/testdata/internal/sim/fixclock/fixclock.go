@@ -1,0 +1,24 @@
+// Package fixclock exercises detlint's scheduler-clock suggested fix: a
+// wall-clock read in a function with an identifiable clock — a parameter
+// with a Now method, or a receiver carrying a host field — is rewritten to
+// read that clock instead. Applied in memory, the fixes must reproduce
+// fixclock.go.golden byte for byte.
+package fixclock
+
+import "time"
+
+type host struct{}
+
+func (host) Now() time.Time { return time.Time{} }
+
+type proc struct{ host host }
+
+// step has the clock as a parameter.
+func step(h host) int64 {
+	return time.Now().UnixNano() // want `time\.Now in simulation-critical package`
+}
+
+// tick reaches the clock through the receiver's host field.
+func (p *proc) tick() time.Time {
+	return time.Now() // want `time\.Now in simulation-critical package`
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+
+	"chant/internal/analysis/typeutil"
+)
+
+// A Fact is a serializable datum an analyzer attaches to a package-level
+// object (a function, usually) so that passes over dependent packages can
+// import it. This is the mechanism that makes chantvet interprocedural
+// across package boundaries: a pass over chant/internal/util can record
+// "WallNow is tainted by time.Now", and the later pass over internal/sim —
+// which only sees util through export data — imports that fact when it
+// resolves a call to util.WallNow.
+//
+// Facts must marshal to JSON; the concrete type (always a pointer to a
+// struct) identifies the fact kind.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact()
+}
+
+// factKey names one fact: the object's package path, its package-relative
+// key (typeutil.ObjectKey), and the fact's type name.
+type factKey struct {
+	pkg, obj, typ string
+}
+
+// A FactStore accumulates facts across the passes of one chantvet run. The
+// standalone driver shares one in-memory store across all loaded packages;
+// the go vet unit driver serializes the store to the unit's .vetx output and
+// seeds it from the dependencies' .vetx files, so modular runs compose the
+// same way a whole-program run does.
+//
+// Facts are stored in their serialized form: keying is by (package path,
+// object key) strings, so facts attached to a source-checked object are
+// found when the same object is reached through export data.
+type FactStore struct {
+	facts map[factKey]json.RawMessage
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey]json.RawMessage)}
+}
+
+// factTypeName names a fact's concrete type, e.g. "ndtaint.Tainted".
+func factTypeName(f Fact) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", f), "*")
+}
+
+// Export records fact for the object named (pkgPath, objKey), replacing any
+// previous fact of the same type.
+func (s *FactStore) Export(pkgPath, objKey string, f Fact) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("facts: marshaling %s for %s.%s: %w", factTypeName(f), pkgPath, objKey, err)
+	}
+	s.facts[factKey{pkgPath, objKey, factTypeName(f)}] = data
+	return nil
+}
+
+// Import looks up a fact of f's type for the object named (pkgPath, objKey)
+// and, when present, unmarshals it into f and reports true.
+func (s *FactStore) Import(pkgPath, objKey string, f Fact) bool {
+	data, ok := s.facts[factKey{pkgPath, objKey, factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, f) == nil
+}
+
+// vetxFact is the serialized form of one fact in a .vetx file.
+type vetxFact struct {
+	Pkg    string          `json:"pkg"`
+	Object string          `json:"object"`
+	Type   string          `json:"type"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// vetxFile is the JSON shape chantvet writes for the go command's facts
+// output. Like x/tools facts files, it carries the whole accumulated store
+// (own package plus re-exported dependency facts), so a unit's single .vetx
+// input chain is enough to see through any depth of imports.
+type vetxFile struct {
+	Version int        `json:"chantvet_facts"`
+	Facts   []vetxFact `json:"facts"`
+}
+
+// Encode serializes the entire store deterministically: facts are sorted by
+// (package, object, type), so identical stores produce identical bytes.
+func (s *FactStore) Encode() ([]byte, error) {
+	out := vetxFile{Version: 1, Facts: make([]vetxFact, 0, len(s.facts))}
+	for k, data := range s.facts {
+		out.Facts = append(out.Facts, vetxFact{Pkg: k.pkg, Object: k.obj, Type: k.typ, Data: data})
+	}
+	sort.Slice(out.Facts, func(i, j int) bool {
+		a, b := out.Facts[i], out.Facts[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(out)
+}
+
+// Decode merges the facts serialized in data into the store. Inputs that are
+// not chantvet fact files (for example the placeholder bytes written by
+// older chantvet builds, or another tool's vetx format) are ignored rather
+// than treated as errors: a missing fact only makes the analysis less
+// complete, never wrong.
+func (s *FactStore) Decode(data []byte) {
+	var in vetxFile
+	if err := json.Unmarshal(data, &in); err != nil || in.Version != 1 {
+		return
+	}
+	for _, f := range in.Facts {
+		s.facts[factKey{f.Pkg, f.Object, f.Type}] = f.Data
+	}
+}
+
+// ExportObjectFact records fact for obj in the pass's fact store. Analyzers
+// call it on objects declared in the pass's own package.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Export errors indicate an unmarshalable fact type — a programming
+	// error in the analyzer, surfaced loudly.
+	if err := p.Facts.Export(obj.Pkg().Path(), typeutil.ObjectKey(obj), f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportObjectFact looks up a fact of f's concrete type previously exported
+// for obj — typically by a pass over the dependency package that declares
+// obj — and fills f in, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.Facts.Import(obj.Pkg().Path(), typeutil.ObjectKey(obj), f)
+}

@@ -1,0 +1,97 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"chant/internal/analysis"
+)
+
+type fakeFact struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func (*fakeFact) AFact() {}
+
+type otherFact struct {
+	OK bool `json:"ok"`
+}
+
+func (*otherFact) AFact() {}
+
+// TestFactRoundTrip exports, serializes, decodes into a fresh store, and
+// imports back.
+func TestFactRoundTrip(t *testing.T) {
+	s := analysis.NewFactStore()
+	if err := s.Export("chant/internal/util", "WallNow", &fakeFact{N: 7, S: "time.Now"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Export("chant/internal/util", "WallNow", &otherFact{OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := analysis.NewFactStore()
+	next.Decode(data)
+	var f fakeFact
+	if !next.Import("chant/internal/util", "WallNow", &f) {
+		t.Fatal("fact lost in round trip")
+	}
+	if f.N != 7 || f.S != "time.Now" {
+		t.Errorf("fact = %+v, want {7 time.Now}", f)
+	}
+	var o otherFact
+	if !next.Import("chant/internal/util", "WallNow", &o) || !o.OK {
+		t.Error("second fact type lost: facts of different types must coexist on one object")
+	}
+	if next.Import("chant/internal/util", "Other", &f) {
+		t.Error("import matched an object that was never exported")
+	}
+}
+
+// TestEncodeDeterministic asserts insertion order does not leak into the
+// serialized bytes: the vetx files must be byte-stable for the go command's
+// content-based caching.
+func TestEncodeDeterministic(t *testing.T) {
+	a := analysis.NewFactStore()
+	b := analysis.NewFactStore()
+	type entry struct{ pkg, obj string }
+	entries := []entry{{"p1", "A"}, {"p2", "B"}, {"p1", "C"}, {"p3", "D"}}
+	for i, e := range entries {
+		if err := a.Export(e.pkg, e.obj, &fakeFact{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if err := b.Export(entries[i].pkg, entries[i].obj, &fakeFact{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Errorf("encodings differ by insertion order:\n%s\n%s", ea, eb)
+	}
+}
+
+// TestDecodeForeignInput asserts non-chantvet vetx content (the placeholder
+// older builds wrote, or another tool's format) is ignored, not fatal.
+func TestDecodeForeignInput(t *testing.T) {
+	s := analysis.NewFactStore()
+	s.Decode([]byte("chantvet: no facts\n"))
+	s.Decode([]byte(`{"some_other_tool": true}`))
+	var f fakeFact
+	if s.Import("p", "O", &f) {
+		t.Error("foreign input produced facts")
+	}
+}

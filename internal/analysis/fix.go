@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// flatEdit is a TextEdit resolved to byte offsets within one file.
+type flatEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the named
+// files' contents and returns the rewritten files, keyed by filename. read
+// supplies each file's original bytes (os.ReadFile for the chantvet -fix
+// driver; the analysistest harness reads fixture sources the same way).
+// Overlapping edits are rejected — chantvet's fixes are independent
+// insertions and replacements, so overlap indicates an analyzer bug.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	byFile := make(map[string][]flatEdit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				pos, end := fset.Position(e.Pos), fset.Position(e.End)
+				if pos.Filename == "" || pos.Filename != end.Filename {
+					return nil, fmt.Errorf("applyfixes: edit spans files (%s .. %s)", pos, end)
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], flatEdit{
+					start:   pos.Offset,
+					end:     end.Offset,
+					newText: e.NewText,
+				})
+			}
+		}
+	}
+	out := make(map[string][]byte, len(byFile))
+	for name, edits := range byFile {
+		src, err := read(name)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("applyfixes: %s: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src back to front so earlier offsets stay
+// valid.
+func applyEdits(src []byte, edits []flatEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start > edits[j].start
+		}
+		return edits[i].end > edits[j].end
+	})
+	prevStart := len(src) + 1
+	for _, e := range edits {
+		if e.start < 0 || e.end < e.start || e.end > len(src) {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds (%d bytes)", e.start, e.end, len(src))
+		}
+		if e.end > prevStart {
+			return nil, fmt.Errorf("overlapping edits at offset %d", e.start)
+		}
+		prevStart = e.start
+		src = append(src[:e.start], append([]byte(e.newText), src[e.end:]...)...)
+	}
+	return src, nil
+}

@@ -1,0 +1,18 @@
+package handleleak_test
+
+import (
+	"testing"
+
+	"chant/internal/analysis/analysistest"
+	"chant/internal/analysis/handleleak"
+)
+
+func TestHandleleak(t *testing.T) {
+	analysistest.Run(t, "testdata", handleleak.Analyzer, "./internal/comm/leakfix")
+}
+
+// TestSuggestedFixes applies the deferred-release fixes in memory and
+// compares against the .golden file.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", handleleak.Analyzer, "./internal/comm/fixgolden")
+}

@@ -1,0 +1,18 @@
+// Package fixgolden exercises handleleak's suggested fix: the inserted
+// deferred release, applied in memory, must reproduce fixgolden.go.golden
+// byte for byte.
+package fixgolden
+
+import "chant/internal/comm/leakfix"
+
+// leakHandle's fix releases through the acquiring receiver.
+func leakHandle(e *leakfix.Endpoint, buf []byte) bool {
+	h := e.Irecv(buf) // want `receive handle h acquired from Irecv is not released on every path`
+	return e.Test(h)
+}
+
+// leakMessage's fix preserves the acquirer's package qualifier.
+func leakMessage(n int) int {
+	m := leakfix.GetPooledMessage(n) // want `pooled message m acquired from GetPooledMessage is not released on every path`
+	return len(m.Data)
+}

@@ -1,0 +1,165 @@
+// Package leakfix seeds acquisition/release shapes for the handleleak
+// analyzer: pooled messages and receive handles that leak on some path must
+// be flagged at the acquisition; releases, ownership transfers, and escapes
+// on every path must stay silent.
+package leakfix
+
+import "errors"
+
+var errTimeout = errors.New("timeout")
+
+// Message and RecvHandle mirror the comm package's pooled resources.
+type Message struct{ Data []byte }
+
+type RecvHandle struct{ done bool }
+
+// Endpoint mirrors comm.Endpoint's acquire/release surface.
+type Endpoint struct{ handles []*RecvHandle }
+
+func GetPooledMessage(n int) *Message              { return &Message{Data: make([]byte, n)} }
+func ReleaseMessage(m *Message)                    {}
+func Deliver(m *Message)                           {}
+func (e *Endpoint) Irecv(buf []byte) *RecvHandle   { return &RecvHandle{} }
+func (e *Endpoint) ReleaseHandle(h *RecvHandle)    {}
+func (e *Endpoint) Test(h *RecvHandle) bool        { return h.done }
+func (e *Endpoint) CancelRecv(h *RecvHandle) bool  { return true }
+func process(m *Message)                           {}
+
+// leakOnError releases on the happy path only: the early return leaks.
+func leakOnError(e *Endpoint, buf []byte) error {
+	h := e.Irecv(buf) // want `receive handle h acquired from Irecv is not released on every path`
+	if !e.Test(h) {
+		return errTimeout
+	}
+	e.ReleaseHandle(h)
+	return nil
+}
+
+// releasedAll releases unconditionally.
+func releasedAll(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf)
+	e.ReleaseHandle(h)
+}
+
+// deferRelease registers the release up front: every exit past the defer is
+// covered.
+func deferRelease(e *Endpoint, buf []byte) error {
+	h := e.Irecv(buf)
+	defer e.ReleaseHandle(h)
+	if !e.Test(h) {
+		return errTimeout
+	}
+	return nil
+}
+
+// returnsHandle transfers ownership to the caller.
+func returnsHandle(e *Endpoint, buf []byte) *RecvHandle {
+	h := e.Irecv(buf)
+	return h
+}
+
+// storesHandle moves the handle into the endpoint's own bookkeeping.
+func storesHandle(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf)
+	e.handles = append(e.handles, h)
+}
+
+// suppressed is sanctioned: the annotation must silence the report.
+func suppressed(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf) //chant:allow-leak fixture: held until endpoint close
+	_ = h
+}
+
+// branchRelease covers both arms.
+func branchRelease(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf)
+	if e.Test(h) {
+		e.ReleaseHandle(h)
+	} else {
+		e.CancelRecv(h)
+		e.ReleaseHandle(h)
+	}
+}
+
+// branchLeak covers only one arm: the else path falls to the exit owning h.
+func branchLeak(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf) // want `receive handle h acquired from Irecv is not released on every path \(leaks at the function exit\)`
+	if e.Test(h) {
+		e.ReleaseHandle(h)
+	}
+}
+
+// panicPath panics while owning the handle: panic tears the process down,
+// so the unreleased arm is not a leak.
+func panicPath(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf)
+	if !e.Test(h) {
+		panic("not done")
+	}
+	e.ReleaseHandle(h)
+}
+
+// loopRepost releases at the bottom of every iteration.
+func loopRepost(e *Endpoint, buf []byte, rounds int) {
+	for i := 0; i < rounds; i++ {
+		h := e.Irecv(buf)
+		e.Test(h)
+		e.ReleaseHandle(h)
+	}
+}
+
+// loopSkip leaks through the continue, which skips the release.
+func loopSkip(e *Endpoint, buf []byte, rounds int) {
+	for i := 0; i < rounds; i++ {
+		h := e.Irecv(buf) // want `receive handle h acquired from Irecv is not released on every path`
+		if !e.Test(h) {
+			continue
+		}
+		e.ReleaseHandle(h)
+	}
+}
+
+// leakMsg drops a pooled message on the floor.
+func leakMsg(n int) int {
+	m := GetPooledMessage(n) // want `pooled message m acquired from GetPooledMessage is not released on every path \(leaks at the return on line \d+\)`
+	return len(m.Data)
+}
+
+// delivered transfers ownership to the mailbox.
+func delivered(n int) {
+	m := GetPooledMessage(n)
+	Deliver(m)
+}
+
+// sentToChan transfers ownership through a channel.
+func sentToChan(ch chan *Message, n int) {
+	m := GetPooledMessage(n)
+	ch <- m
+}
+
+// goHandoff transfers ownership to a goroutine.
+func goHandoff(n int) {
+	m := GetPooledMessage(n)
+	go process(m)
+}
+
+// earlyReturnMsg releases late and returns early: the first return leaks.
+func earlyReturnMsg(n int) error {
+	m := GetPooledMessage(n) // want `pooled message m acquired from GetPooledMessage is not released on every path \(leaks at the return on line \d+\)`
+	if n == 0 {
+		return errTimeout
+	}
+	ReleaseMessage(m)
+	return nil
+}
+
+// gotoSkipped uses control flow the CFG builder rejects: the function is
+// skipped rather than analyzed wrongly, even though it leaks.
+func gotoSkipped(e *Endpoint, buf []byte) {
+	h := e.Irecv(buf)
+	if e.Test(h) {
+		goto out
+	}
+	e.ReleaseHandle(h)
+out:
+}

@@ -18,12 +18,23 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // Package is one type-checked target package.
 type Package struct {
-	PkgPath   string
-	Dir       string
+	PkgPath string
+	Dir     string
+	// Imports are the package's direct imports (canonical paths), used by
+	// drivers to schedule passes in dependency order so facts exported by a
+	// dependency's pass are in the store before any dependent's pass runs.
+	Imports []string
+	// Module is the path of the module declaring the package, empty for
+	// packages outside any module (the standard library, under the vet
+	// protocol). Analyzers whose conclusions must not depend on how much
+	// of the build graph a driver loads (ndtaint's nondeterminism-source
+	// seeding) gate on it.
+	Module    string
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Types     *types.Package
@@ -36,6 +47,8 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
@@ -73,16 +86,58 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
 		}
-		out = append(out, &Package{
+		p := &Package{
 			PkgPath:   lp.ImportPath,
 			Dir:       lp.Dir,
+			Imports:   lp.Imports,
 			Fset:      fset,
 			Files:     files,
 			Types:     tpkg,
 			TypesInfo: info,
-		})
+		}
+		if lp.Module != nil {
+			p.Module = lp.Module.Path
+		}
+		out = append(out, p)
 	}
-	return out, nil
+	return TopoSort(out), nil
+}
+
+// TopoSort orders packages so every package follows the packages it imports
+// (considering only imports within the slice), with import-path order
+// breaking ties. The result is deterministic for a given input set, which
+// keeps multi-package diagnostic output byte-stable across runs.
+func TopoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.PkgPath)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || state[path] != 0 {
+			return // external, already emitted, or a cycle (impossible in Go)
+		}
+		state[path] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			visit(dep)
+		}
+		state[path] = 2
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // goList runs the go command twice: once without -deps to learn which

@@ -1,0 +1,214 @@
+// Package ndtaint defines chantvet's interprocedural nondeterminism-taint
+// analyzer. detlint sees only what a simulation-critical package does
+// syntactically; ndtaint sees what it *reaches*: every loaded function is
+// scanned for nondeterminism sources (the shared nondet scanner — wall
+// clock, global math/rand, raw goroutine spawn, order-sensitive map
+// iteration, unordered multi-case select), taint is propagated backward over
+// the call graph — through static calls and through the method sets of the
+// module's small interfaces — and every call site in a simulation-critical
+// root package (internal/sim, internal/faults, internal/comm/simnet) whose
+// callee is tainted is reported with the full call chain down to the source.
+//
+// A //chant:allow-nondet <reason> comment at the source site sanctions the
+// source and stops the taint before it starts; the same comment at a root
+// call site sanctions that one edge.
+//
+// Cross-package propagation composes through object facts: the pass over a
+// dependency exports a Tainted fact per tainted function, and passes over
+// dependent packages import them — so modular `go vet -vettool` runs reach
+// the same verdicts as the standalone whole-program run, save for interface
+// implementations living in packages outside the unit's import closure.
+package ndtaint
+
+import (
+	"go/token"
+	"strings"
+
+	"chant/internal/analysis"
+	"chant/internal/analysis/callgraph"
+	"chant/internal/analysis/nondet"
+)
+
+// Analyzer reports nondeterminism transitively reachable from
+// simulation-critical roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "ndtaint",
+	Doc: "report calls in simulation-critical root packages (internal/sim, " +
+		"internal/faults, internal/comm/simnet) whose callees transitively " +
+		"reach a nondeterminism source; the call chain is traced across " +
+		"packages via facts and through interface method sets",
+	Run:    func(*analysis.Pass) error { return nil },
+	Finish: finish,
+}
+
+// roots lists the package trees whose reachable call graph must be
+// deterministic: the simulation kernel, the fault-injection plane, and the
+// simulated transport. (The broader detlint scope covers direct sources;
+// the roots are where *reachability* matters — a tainted function two hops
+// away corrupts the event stream just as surely.)
+var roots = []string{
+	"internal/sim",
+	"internal/faults",
+	"internal/comm/simnet",
+}
+
+// IsRoot reports whether a package path is a simulation-critical root.
+func IsRoot(pkgPath string) bool {
+	for _, r := range roots {
+		if analysis.PathContains(pkgPath, r) || analysis.PathMatches(pkgPath, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tainted is the object fact exported for every function that reaches a
+// nondeterminism source. Chain holds the call chain of function IDs from
+// the fact's own function (first) down to the function containing the
+// source (last); Source describes the source itself ("time.Now").
+type Tainted struct {
+	Source string   `json:"source"`
+	Chain  []string `json:"chain"`
+}
+
+// AFact marks Tainted as a fact.
+func (*Tainted) AFact() {}
+
+// taint is the in-flight propagation record for one call-graph node.
+type taint struct {
+	source string
+	chain  []string
+}
+
+// finish runs once after every package's pass: it seeds direct sources,
+// propagates taint to a fixpoint over the shared call graph (importing
+// facts for callees outside the loaded set), exports facts for every
+// tainted declared function, and reports tainted call sites in root
+// packages.
+func finish(passes []*analysis.Pass) error {
+	if len(passes) == 0 || passes[0].Graph == nil {
+		return nil
+	}
+	graph := passes[0].Graph
+	facts := passes[0].Facts
+
+	taints := make(map[string]*taint)
+
+	// Seed: direct sources per declared function, honoring source-site
+	// suppression through each package's own pass. Only module packages
+	// seed: the standalone driver never loads the standard library, and
+	// under go vet — where stdlib units do pass through to produce facts —
+	// scanning them would taint half of the stdlib (fmt's printer pool is a
+	// sync.Pool) and diverge from the standalone verdicts.
+	for _, pass := range passes {
+		if pass.Module == "" {
+			continue
+		}
+		for _, node := range graph.PackageNodes(pass.Pkg.Path()) {
+			srcs := nondet.Scan(pass, node.Decl)
+			if len(srcs) == 0 {
+				continue
+			}
+			taints[node.ID] = &taint{source: srcs[0].What, chain: []string{node.ID}}
+		}
+	}
+
+	// Propagate to a fixpoint, visiting packages in dependency order and
+	// functions in source order so the chosen chains are deterministic.
+	lookup := func(e callgraph.Edge) *taint {
+		if t, ok := taints[e.Callee.ID]; ok {
+			return t
+		}
+		if e.Callee.Decl == nil && facts != nil {
+			var fact Tainted
+			if facts.Import(e.Callee.PkgPath, e.Callee.Key, &fact) {
+				t := &taint{source: fact.Source, chain: fact.Chain}
+				taints[e.Callee.ID] = t
+				return t
+			}
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pass := range passes {
+			for _, node := range graph.PackageNodes(pass.Pkg.Path()) {
+				if _, done := taints[node.ID]; done {
+					continue
+				}
+				for _, edge := range node.Edges {
+					t := lookup(edge)
+					if t == nil {
+						continue
+					}
+					taints[node.ID] = &taint{
+						source: t.source,
+						chain:  append([]string{node.ID}, t.chain...),
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export facts for every tainted declared function, so dependent units
+	// in modular (go vet) runs import the conclusion instead of the code.
+	if facts != nil {
+		for _, pass := range passes {
+			for _, node := range graph.PackageNodes(pass.Pkg.Path()) {
+				if t, ok := taints[node.ID]; ok {
+					if err := facts.Export(node.PkgPath, node.Key, &Tainted{Source: t.source, Chain: t.chain}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	// Report: every call site in a root package whose callee is tainted.
+	// Interface calls fan one site into several edges; report each site
+	// once, for its first tainted resolution.
+	for _, pass := range passes {
+		if !IsRoot(pass.Pkg.Path()) {
+			continue
+		}
+		for _, node := range graph.PackageNodes(pass.Pkg.Path()) {
+			reported := make(map[token.Pos]bool)
+			// Skip call sites inside the function when the function itself
+			// is directly tainted at that exact construct: direct sources
+			// are detlint's report, not ndtaint's.
+			for _, edge := range node.Edges {
+				if reported[edge.Site] {
+					continue
+				}
+				t := lookup(edge)
+				if t == nil {
+					continue
+				}
+				reported[edge.Site] = true
+				pass.Reportf(edge.Site,
+					"call into tainted %s: %s reaches %s, which is nondeterministic and transitively reachable from simulation-critical package %s; fix the source or annotate it with //chant:allow-nondet <reason>",
+					shortID(edge.Callee.ID), chainString(t), t.source, pass.Pkg.Path())
+			}
+		}
+	}
+
+	return nil
+}
+
+// chainString renders a taint chain for a diagnostic: short function names
+// joined by arrows.
+func chainString(t *taint) string {
+	parts := make([]string, len(t.chain))
+	for i, id := range t.chain {
+		parts[i] = shortID(id)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortID compresses "chant/internal/util.WallNow" to "util.WallNow".
+func shortID(id string) string {
+	slash := strings.LastIndex(id, "/")
+	return id[slash+1:]
+}

@@ -1,0 +1,3 @@
+module chant
+
+go 1.22

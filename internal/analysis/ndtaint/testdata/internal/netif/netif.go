@@ -1,0 +1,8 @@
+// Package netif declares the fixture's transport interface. Calls through
+// it are resolved against every implementation in the loaded packages.
+package netif
+
+// Transport is a minimal stand-in for comm.Transport.
+type Transport interface {
+	Send(b []byte)
+}

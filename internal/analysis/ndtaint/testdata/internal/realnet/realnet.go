@@ -1,0 +1,22 @@
+// Package realnet implements netif.Transport with a tainted method: the
+// raw goroutine inside Send taints every interface call site that may
+// dispatch to it.
+package realnet
+
+// TCP is a real-network transport stand-in.
+type TCP struct{}
+
+// Send flushes asynchronously: the raw go statement is a nondeterminism
+// source.
+func (TCP) Send(b []byte) {
+	go flush(b)
+}
+
+func flush([]byte) {}
+
+// Quiet implements nothing nondeterministic.
+type Quiet struct{}
+
+// Send on Quiet is deterministic; it must not taint interface dispatch by
+// itself.
+func (Quiet) Send(b []byte) {}

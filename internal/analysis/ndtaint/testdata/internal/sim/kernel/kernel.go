@@ -1,0 +1,61 @@
+// Package kernel sits under internal/sim: a simulation-critical root whose
+// reachable call graph must be free of nondeterminism. Direct sources here
+// would be detlint's report; ndtaint flags the calls whose *callees* reach
+// one.
+package kernel
+
+import (
+	"chant/internal/netif"
+	"chant/internal/realnet"
+	"chant/internal/util"
+)
+
+// Step reaches the wall clock two hops away.
+func Step() int64 {
+	return util.Indirect() // want `call into tainted util\.Indirect: util\.Indirect → util\.WallNow reaches time\.Now`
+}
+
+// Direct reaches it one hop away.
+func Direct() int64 {
+	return util.WallNow() // want `call into tainted util\.WallNow: util\.WallNow reaches time\.Now`
+}
+
+// OK calls only deterministic code.
+func OK() int {
+	return util.Clean()
+}
+
+// OKSanctioned calls a function whose source carries an allow-nondet
+// marker: the taint never starts, so this call is clean.
+func OKSanctioned() int64 {
+	return util.Sanctioned()
+}
+
+// Allowed sanctions the call edge itself.
+func Allowed() int64 {
+	return util.WallNow() //chant:allow-nondet fixture: sanctioned call edge
+}
+
+// Drive dispatches through the Transport interface: the call resolves
+// against every loaded implementation, and realnet.TCP's Send spawns a raw
+// goroutine.
+func Drive(t netif.Transport) {
+	t.Send(nil) // want `call into tainted realnet\.TCP\.Send: realnet\.TCP\.Send reaches raw go statement`
+}
+
+// DriveQuiet calls the deterministic implementation statically: no
+// interface dispatch, no taint.
+func DriveQuiet() {
+	var q realnet.Quiet
+	q.Send(nil)
+}
+
+// localHelper is tainted through a package-local chain.
+func localHelper() int64 {
+	return util.WallNow() // want `call into tainted util\.WallNow: util\.WallNow reaches time\.Now`
+}
+
+// UseLocal shows the chain growing within the root package.
+func UseLocal() int64 {
+	return localHelper() // want `call into tainted kernel\.localHelper: kernel\.localHelper → util\.WallNow reaches time\.Now`
+}

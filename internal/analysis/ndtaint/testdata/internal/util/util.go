@@ -1,0 +1,23 @@
+// Package util is outside both the simulation-critical roots and the
+// detlint scope: its nondeterminism sources produce no diagnostics here.
+// They seed ndtaint's taint, which surfaces only at call sites in root
+// packages.
+package util
+
+import "time"
+
+// WallNow reads the wall clock: a direct nondeterminism source.
+func WallNow() int64 { return time.Now().UnixNano() }
+
+// Indirect is tainted transitively, through WallNow.
+func Indirect() int64 { return WallNow() }
+
+// Clean is deterministic.
+func Clean() int { return 42 }
+
+// Sanctioned reads the wall clock under an allow-nondet marker: the
+// suppression stops the taint at its source, so callers stay clean.
+func Sanctioned() int64 {
+	t := time.Now() //chant:allow-nondet fixture: sanctioned wall-clock read
+	return t.UnixNano()
+}

@@ -1,16 +1,23 @@
 // Package registry enumerates chantvet's analyzers and runs them over
 // loaded packages. It sits between the analyzers and the drivers (the
-// chantvet command and the analysistest harness) so each driver shares one
-// definition of "all checks".
+// chantvet command, the go vet unit shim, and the analysistest harness) so
+// each driver shares one definition of "all checks" and one execution
+// discipline: packages visited in dependency order (facts flow forward),
+// a call graph built over everything loaded, and Finish hooks run once at
+// the end for whole-program analyzers.
 package registry
 
 import (
+	"go/token"
 	"sort"
 
 	"chant/internal/analysis"
+	"chant/internal/analysis/callgraph"
 	"chant/internal/analysis/ctrlock"
 	"chant/internal/analysis/detlint"
+	"chant/internal/analysis/handleleak"
 	"chant/internal/analysis/load"
+	"chant/internal/analysis/ndtaint"
 	"chant/internal/analysis/schedctx"
 )
 
@@ -20,35 +27,101 @@ func Analyzers() []*analysis.Analyzer {
 		schedctx.Analyzer,
 		detlint.Analyzer,
 		ctrlock.Analyzer,
+		ndtaint.Analyzer,
+		handleleak.Analyzer,
 	}
 }
 
-// Run applies the given analyzers to one loaded package and returns the
-// diagnostics sorted by position.
-func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, err
+// A Finding is one diagnostic with the file set that interprets its
+// positions, so drivers can render findings from several loaded packages
+// uniformly.
+type Finding struct {
+	Fset *token.FileSet
+	analysis.Diagnostic
+}
+
+// Position resolves the finding's location.
+func (f Finding) Position() token.Position { return f.Fset.Position(f.Pos) }
+
+// RunAll applies the analyzers to every package: packages are visited in
+// dependency order (load.Load already topo-sorts; other callers should), a
+// call graph is built over the whole set, each per-package pass shares the
+// given fact store (nil for a private throwaway store), and each analyzer's
+// Finish hook runs once after all packages. Findings come back sorted by
+// (file, line, column, analyzer, message) — a total, deterministic order.
+func RunAll(pkgs []*load.Package, analyzers []*analysis.Analyzer, facts *analysis.FactStore) ([]Finding, error) {
+	if facts == nil {
+		facts = analysis.NewFactStore()
+	}
+	graph := callgraph.Build(pkgs)
+
+	var findings []Finding
+	passes := make(map[*analysis.Analyzer][]*analysis.Pass)
+	for _, pkg := range pkgs {
+		fset := pkg.Fset
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Module:    pkg.Module,
+				Facts:     facts,
+				Graph:     graph,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{Fset: fset, Diagnostic: d})
+				},
+			}
+			passes[a] = append(passes[a], pass)
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
 		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			if err := a.Finish(passes[a]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	Sort(findings)
+	return findings, nil
+}
+
+// Sort orders findings by position, then analyzer, then message: a total
+// order, so equal runs produce byte-identical output.
+func Sort(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := findings[i].Position(), findings[j].Position()
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
+		}
+		return findings[i].Message < findings[j].Message
 	})
+}
+
+// Run applies the analyzers to one package with a private fact store and no
+// cross-package context, returning bare diagnostics sorted by position. It
+// remains for single-package callers (fixture tests over one package).
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	findings, err := RunAll([]*load.Package{pkg}, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	diags := make([]analysis.Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = f.Diagnostic
+	}
 	return diags, nil
 }

@@ -1,0 +1,68 @@
+// Package typeutil holds the small go/types helpers shared by the analysis
+// framework and the callgraph builder. It is a leaf package (no other
+// analysis package imports flow into it) so that callgraph and the framework
+// proper can both use one definition of callee resolution and object keying
+// without an import cycle.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through non-selector expressions, function-typed values, and
+// built-ins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RecvNamed reports the receiver's named type for a method, unwrapping any
+// pointer, or nil for plain functions.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// ObjectKey is the package-relative key facts and call-graph nodes use to
+// name an object: "Func" for package-level functions, "Type.Method" for
+// methods (pointerness of the receiver is irrelevant for identity). Keys are
+// stable across loads — the same function type-checked from source and
+// imported from export data produces the same key.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if named := RecvNamed(fn); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return obj.Name()
+}
+
+// FuncID is the load-stable global name of a function: "pkgpath.Key". Two
+// *types.Func values for the same function — one from source, one from
+// export data — map to the same ID.
+func FuncID(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	return pkg + "." + ObjectKey(fn)
+}

@@ -2,10 +2,14 @@
 // golang.org/x/tools/go/analysis/unitchecker speaks) on the standard
 // library, so chantvet can run under `go vet -vettool=$(which chantvet)
 // ./...`. The go command invokes the tool once per package with a JSON
-// config file naming the sources, the import map, and export-data files for
-// every dependency; the tool type-checks the unit, runs its analyzers,
-// prints findings to stderr, writes the (empty — chantvet exchanges no
-// facts) .vetx output, and exits 2 when it found anything.
+// config file naming the sources, the import map, export-data files for
+// every dependency, and — the facts plumbing — the dependencies' .vetx
+// fact files plus the path to write this unit's own. The tool type-checks
+// the unit, seeds a fact store from the dependency .vetx files, runs its
+// analyzers (whole-program Finish hooks run over the single unit, importing
+// cross-package conclusions from the store), writes the accumulated store to
+// the .vetx output so dependents compose, prints findings to stderr, and
+// exits 2 when it found anything.
 package unitcheck
 
 import (
@@ -17,6 +21,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 
 	"chant/internal/analysis"
 	"chant/internal/analysis/load"
@@ -30,6 +35,7 @@ type Config struct {
 	Compiler                  string
 	Dir                       string
 	ImportPath                string
+	ModulePath                string
 	GoFiles                   []string
 	NonGoFiles                []string
 	ImportMap                 map[string]string
@@ -54,15 +60,27 @@ func Run(w io.Writer, cfgPath string, analyzers []*analysis.Analyzer) (int, erro
 		return 0, fmt.Errorf("unitcheck: parsing %s: %w", cfgPath, err)
 	}
 
-	// The go command requires the facts output to exist even for tools that
-	// exchange none; write it first so every exit path satisfies that.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("chantvet: no facts\n"), 0o666); err != nil {
-			return 0, err
+	// Seed the fact store from the dependencies' fact files. Order does not
+	// matter (the store is keyed), but iterate sorted for reproducibility of
+	// any error behaviour. Unreadable or foreign files are skipped: a
+	// missing fact makes the analysis less complete, never wrong.
+	facts := analysis.NewFactStore()
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		if b, err := os.ReadFile(cfg.PackageVetx[dep]); err == nil {
+			facts.Decode(b)
 		}
 	}
-	if cfg.VetxOnly {
-		return 0, nil
+
+	// The go command requires the facts output to exist on every exit path;
+	// write the (possibly still dependency-only) store now and again after
+	// the analyzers have contributed their own facts.
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		return 0, err
 	}
 
 	fset := token.NewFileSet()
@@ -94,13 +112,35 @@ func Run(w io.Writer, cfgPath string, analyzers []*analysis.Analyzer) (int, erro
 		return 0, fmt.Errorf("unitcheck: type-checking %s: %w", cfg.ImportPath, err)
 	}
 
-	pkg := &load.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
-	diags, err := registry.Run(pkg, analyzers)
+	pkg := &load.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Module: cfg.ModulePath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	findings, err := registry.RunAll([]*load.Package{pkg}, analyzers, facts)
 	if err != nil {
 		return 0, err
 	}
-	for _, d := range diags {
-		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		return 0, err
 	}
-	return len(diags), nil
+	if cfg.VetxOnly {
+		// The go command only wanted this unit's facts for a dependent's
+		// sake; diagnostics are not printed and do not fail the build here —
+		// they reappear when the package is vetted in its own right.
+		return 0, nil
+	}
+	for _, d := range findings {
+		fmt.Fprintf(w, "%s: %s: %s\n", d.Position(), d.Analyzer, d.Message)
+	}
+	return len(findings), nil
+}
+
+// writeVetx serializes the fact store to the go command's requested output
+// path (a no-op when the config names none).
+func writeVetx(path string, facts *analysis.FactStore) error {
+	if path == "" {
+		return nil
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }

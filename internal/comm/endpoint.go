@@ -204,7 +204,11 @@ func (e *Endpoint) Recv(spec MatchSpec, buf []byte) (int, Header, error) {
 		e.host.Idle()
 	}
 	e.observeCompletion(h)
-	return h.n, h.hdr, h.err
+	n, hdr, err := h.n, h.hdr, h.err
+	// The handle never left this function: recycle it (Reset clears the
+	// fields, hence the copies above).
+	e.ReleaseHandle(h)
+	return n, hdr, err
 }
 
 // Wait parks the processor until the given handle completes, without

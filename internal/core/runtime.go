@@ -276,9 +276,14 @@ func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
 			h := p.ep.Irecv(spec, buf[:])
 			if err := p.send(t.gid.Thread, coordID, tagDone, nil); err != nil {
 				p.ep.CancelRecv(h)
+				p.ep.ReleaseHandle(h)
 				return
 			}
 			werr := p.waitDeadline(h, host.Now().Add(grace))
+			// waitDeadline leaves the handle terminal on every path
+			// (completed, or withdrawn by TimeoutRecv), and it never left
+			// this function: recycle it.
+			p.ep.ReleaseHandle(h)
 			if werr == nil || errors.Is(werr, comm.ErrPeerDead) {
 				return // released, or the coordinator died: shut down
 			}
@@ -304,7 +309,9 @@ func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
 			panic("core: internal recv spec: " + err.Error())
 		}
 		h := p.ep.Irecv(spec, buf[:])
-		if p.waitDeadline(h, host.Now().Add(grace)) != nil {
+		werr := p.waitDeadline(h, host.Now().Add(grace))
+		if werr != nil {
+			p.ep.ReleaseHandle(h)
 			// Empty window: excuse peers meanwhile declared dead, count the
 			// round toward giving up on silent survivors.
 			for _, a := range others {
@@ -318,6 +325,7 @@ func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
 		}
 		idle = 0
 		hdr := h.Header()
+		p.ep.ReleaseHandle(h)
 		from := comm.Addr{PE: hdr.SrcPE, Proc: hdr.SrcProc}
 		if !seen[from] {
 			seen[from] = true
@@ -336,9 +344,11 @@ func (rt *Runtime) gracefulHandshake(addr comm.Addr, t *Thread) {
 		}
 		h := p.ep.Irecv(spec, buf[:])
 		if p.waitDeadline(h, host.Now().Add(grace)) != nil {
+			p.ep.ReleaseHandle(h)
 			return
 		}
 		hdr := h.Header()
+		p.ep.ReleaseHandle(h)
 		_ = p.send(t.gid.Thread, GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: 0}, tagRelease, nil)
 	}
 }
