@@ -4,6 +4,7 @@ import (
 	"chant/internal/comm"
 	"chant/internal/core"
 	"chant/internal/machine"
+	"chant/internal/recovery"
 	"chant/internal/ult"
 )
 
@@ -75,6 +76,12 @@ type (
 	// Model is a machine cost model for simulated runs.
 	Model = machine.Model
 
+	// CheckpointStore archives versioned, byte-deterministic process
+	// checkpoints for crash recovery; set Config.CheckpointStore (one
+	// store shared by all processes) to enable Thread.Checkpoint and
+	// restart-from-checkpoint (see DESIGN.md's "Recovery" section).
+	CheckpointStore = recovery.Store
+
 	// TCB is the local lightweight thread beneath a chanter
 	// (pthread_chanter_pthread's result); purely-local operations —
 	// priorities, thread-local data — are performed on it.
@@ -124,6 +131,16 @@ const (
 	OpMin = core.OpMin
 	OpMax = core.OpMax
 )
+
+// NewMemCheckpointStore returns an in-memory checkpoint store, the usual
+// choice for simulated machines (every process shares the one store).
+func NewMemCheckpointStore() CheckpointStore { return recovery.NewMemStore() }
+
+// NewDirCheckpointStore returns a checkpoint store persisting each archive
+// as a file under dir, for real (multi-OS-process) machines.
+func NewDirCheckpointStore(dir string) (CheckpointStore, error) {
+	return recovery.NewDirStore(dir)
+}
 
 // NewGroup builds a collective group over members; every member constructs
 // its own handle with the identical member list and tag base.

@@ -18,7 +18,9 @@
 // redirect it to BENCH_hotpath.json. chantbench -exp parallel -json runs
 // the parallel-kernel scaling sweep instead (sequential vs parallel wall
 // clock on a 32-PE workload across GOMAXPROCS); redirect it to
-// BENCH_parallel.json.
+// BENCH_parallel.json. chantbench -exp recovery -json measures the crash
+// recovery subsystem (checkpoint capture cost, marker overhead, restart-to-
+// rejoin latency); redirect it to BENCH_recovery.json.
 package main
 
 import (
@@ -33,19 +35,22 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see package comment)")
-		md      = flag.Bool("md", false, "render Markdown instead of terminal tables")
-		report  = flag.Bool("report", false, "run everything and emit the full report")
-		rounds  = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
-		asJSON  = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
+		exp    = flag.String("exp", "all", "experiment to run (see package comment)")
+		md     = flag.Bool("md", false, "render Markdown instead of terminal tables")
+		report = flag.Bool("report", false, "run everything and emit the full report")
+		rounds = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
+		asJSON = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
 	)
 	flag.Parse()
 
 	if *asJSON {
 		var payload any
-		if *exp == "parallel" {
+		switch *exp {
+		case "parallel":
 			payload = experiments.RunParallel()
-		} else {
+		case "recovery":
+			payload = experiments.RunRecovery()
+		default:
 			payload = experiments.RunHotPath()
 		}
 		out, err := json.MarshalIndent(payload, "", "  ")
@@ -126,6 +131,17 @@ func main() {
 				fmt.Printf("  GOMAXPROCS=%d shards=%d: %8.1f ms  %.2fx  %s\n",
 					row.GOMAXPROCS, row.Shards, row.WallMS, row.Speedup, ok)
 			}
+		case "recovery":
+			fmt.Println("Crash recovery: checkpoint capture, marker overhead, rejoin latency")
+			r := experiments.RunRecovery()
+			fmt.Printf("  baseline run:            %10.3f ms virtual\n", r.BaselineVirtualMS)
+			fmt.Printf("  with one checkpoint:     %10.3f ms virtual  (+%.3f%% marker overhead)\n",
+				r.CheckpointVirtualMS, r.MarkerOverheadPct)
+			fmt.Printf("  capture (initiator):     %10.1f us virtual  (%d + %d checkpoint bytes)\n",
+				r.CaptureVirtualUS, r.CheckpointBytesPE0, r.CheckpointBytesPE1)
+			fmt.Printf("  encode:                  %10.1f ns/snapshot wall\n", r.EncodeNsPerSnapshot)
+			fmt.Printf("  restart-to-rejoin:       %10.1f us virtual  (epoch %d, crash run %.3f ms)\n",
+				r.RejoinLatencyVirtualUS, r.RestartEpoch, r.CrashRunVirtualMS)
 		case "hotpath":
 			fmt.Println("Hot paths: constant-time structures vs the seed's linear scans (wall clock)")
 			r := experiments.RunHotPath()

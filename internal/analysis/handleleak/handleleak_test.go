@@ -11,6 +11,13 @@ func TestHandleleak(t *testing.T) {
 	analysistest.Run(t, "testdata", handleleak.Analyzer, "./internal/comm/leakfix")
 }
 
+// TestCheckpointFixture covers the coordinated-snapshot capture shapes:
+// pooled messages held in a checkpoint's in-flight log are ownership
+// transfers, not leaks; bailing out of the capture while owning one is.
+func TestCheckpointFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", handleleak.Analyzer, "./internal/comm/ckptfix")
+}
+
 // TestSuggestedFixes applies the deferred-release fixes in memory and
 // compares against the .golden file.
 func TestSuggestedFixes(t *testing.T) {

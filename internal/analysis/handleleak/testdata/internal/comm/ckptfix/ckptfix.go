@@ -1,0 +1,81 @@
+// Package ckptfix seeds the checkpoint-capture shapes for the handleleak
+// analyzer: the coordinated-snapshot recorder holds pooled messages in its
+// in-flight log (an ownership transfer, silent), or copies the payload and
+// returns the message to the pool (also silent) — but a capture path that
+// bails out while still owning the message must be flagged.
+package ckptfix
+
+import "errors"
+
+var errFull = errors.New("in-flight log full")
+
+// Message mirrors the comm package's pooled message.
+type Message struct{ Data []byte }
+
+func GetPooledMessage(n int) *Message { return &Message{Data: make([]byte, n)} }
+func ReleaseMessage(m *Message)       {}
+
+// Recorder mirrors the recovery package's in-flight recorder.
+type Recorder struct {
+	inflight []*Message
+	limit    int
+}
+
+// recordHeld moves the message into the checkpoint's in-flight log: the
+// append transfers ownership to the recorder for the checkpoint's lifetime.
+func (r *Recorder) recordHeld(n int) {
+	m := GetPooledMessage(n)
+	r.inflight = append(r.inflight, m)
+}
+
+// recordCopied snapshots the payload and returns the message to the pool:
+// the checkpoint owns a copy, never the pooled buffer.
+func (r *Recorder) recordCopied(n int) []byte {
+	m := GetPooledMessage(n)
+	data := make([]byte, len(m.Data))
+	copy(data, m.Data)
+	ReleaseMessage(m)
+	return data
+}
+
+// recordBounded leaks: the full-log early return drops the pooled message
+// without releasing it.
+func (r *Recorder) recordBounded(n int) error {
+	m := GetPooledMessage(n) // want `pooled message m acquired from GetPooledMessage is not released on every path`
+	if len(r.inflight) >= r.limit {
+		return errFull
+	}
+	r.inflight = append(r.inflight, m)
+	return nil
+}
+
+// recordBoundedFixed is the corrected shape: the rejected message goes back
+// to the pool before the error return.
+func (r *Recorder) recordBoundedFixed(n int) error {
+	m := GetPooledMessage(n)
+	if len(r.inflight) >= r.limit {
+		ReleaseMessage(m)
+		return errFull
+	}
+	r.inflight = append(r.inflight, m)
+	return nil
+}
+
+// drain releases every held message when the checkpoint is archived. The
+// messages were acquired elsewhere (the analyzer tracks acquisitions per
+// function), so this stays silent regardless.
+func (r *Recorder) drain() {
+	for _, m := range r.inflight {
+		ReleaseMessage(m)
+	}
+	r.inflight = nil
+}
+
+// captureLoop records a batch; the held annotation sanctions the one kept
+// past the loop for the checkpoint's lifetime.
+func (r *Recorder) captureLoop(rounds, n int) {
+	for i := 0; i < rounds; i++ {
+		m := GetPooledMessage(n) //chant:allow-leak checkpoint holds the message until archived
+		_ = m
+	}
+}

@@ -34,9 +34,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "ndtaint",
 	Doc: "report calls in simulation-critical root packages (internal/sim, " +
-		"internal/faults, internal/comm/simnet) whose callees transitively " +
-		"reach a nondeterminism source; the call chain is traced across " +
-		"packages via facts and through interface method sets",
+		"internal/faults, internal/comm/simnet, internal/recovery) whose " +
+		"callees transitively reach a nondeterminism source; the call chain " +
+		"is traced across packages via facts and through interface method sets",
 	Run:    func(*analysis.Pass) error { return nil },
 	Finish: finish,
 }
@@ -50,6 +50,10 @@ var roots = []string{
 	"internal/sim",
 	"internal/faults",
 	"internal/comm/simnet",
+	// The checkpoint codec and stores must be byte-deterministic: a
+	// nondeterministic encoding would give the same machine state two
+	// different archived forms, breaking restore-replay identity.
+	"internal/recovery",
 }
 
 // IsRoot reports whether a package path is a simulation-critical root.

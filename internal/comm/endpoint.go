@@ -68,6 +68,16 @@ func (e *Endpoint) SetUnexpectedCap(cap int) {
 // born failed. Safe to call from any context (failure detectors run on
 // transport goroutines or simulator events). Idempotent.
 func (e *Endpoint) MarkPeerDead(peer Addr) {
+	e.MarkPeerDeadAt(peer, e.host.Now())
+}
+
+// MarkPeerDeadAt is MarkPeerDead with an explicit failure instant stamped
+// into the failed receives. The simulator's crash events use it: the fan-out
+// runs at the kernel controller while shard clocks sit anywhere inside the
+// conservative window, so the observer's host.Now() would make the failure
+// timestamps — and the waiting-thread integral fed from them — depend on
+// which kernel ran the machine.
+func (e *Endpoint) MarkPeerDeadAt(peer Addr, at sim.Time) {
 	e.deadMu.Lock()
 	if e.dead[peer] {
 		e.deadMu.Unlock()
@@ -79,10 +89,29 @@ func (e *Endpoint) MarkPeerDead(peer Addr) {
 	e.dead[peer] = true
 	e.deadMu.Unlock()
 	e.ctrs.PeersDead.Add(1)
-	if failed := e.mb.failPeer(peer, e.host.Now()); failed > 0 {
+	if failed := e.mb.failPeer(peer, at); failed > 0 {
 		e.ctrs.PeerDeadRecvs.Add(uint64(failed))
 	}
 	e.host.Interrupt()
+}
+
+// MarkPeerAlive clears a peer's dead mark after its recovery (the rejoin
+// handshake, or a transport detecting the peer's new incarnation), so
+// pinned receives and retries reach it again. It reports whether the peer
+// had been marked dead; recoveries are counted in Counters.PeersRecovered.
+// Safe to call from any context. Idempotent.
+func (e *Endpoint) MarkPeerAlive(peer Addr) bool {
+	e.deadMu.Lock()
+	was := e.dead[peer]
+	if was {
+		delete(e.dead, peer)
+	}
+	e.deadMu.Unlock()
+	if was {
+		e.ctrs.PeersRecovered.Add(1)
+		e.host.Interrupt()
+	}
+	return was
 }
 
 // PeerDead reports whether peer has been declared dead.
@@ -297,6 +326,14 @@ func (e *Endpoint) CancelRecv(h *RecvHandle) bool {
 // QueueDepths reports the current posted-receive and unexpected-message
 // queue lengths, for tests and diagnostics.
 func (e *Endpoint) QueueDepths() (posted, unexpected int) { return e.mb.depths() }
+
+// UnexpectedSnapshot visits every unexpected message in arrival order
+// without consuming any — checkpoint capture records the pending queue
+// through this. The visitor must copy data it keeps (the buffers belong to
+// the mailbox) and must not re-enter the endpoint.
+func (e *Endpoint) UnexpectedSnapshot(visit func(hdr Header, data []byte, sentAt sim.Time)) {
+	e.mb.snapshotUnexpected(visit)
+}
 
 // observeCompletion charges the one-time receive overhead and counts the
 // receive, exactly once per handle.

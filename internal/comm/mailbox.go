@@ -321,6 +321,17 @@ func (mb *mailbox) findUnexpected(spec MatchSpec) (Header, bool) {
 	return Header{}, false
 }
 
+// snapshotUnexpected visits every unexpected message in arrival order (the
+// global list is the queue's deterministic order), consuming nothing. The
+// visitor runs under the mailbox lock and must not re-enter it.
+func (mb *mailbox) snapshotUnexpected(visit func(hdr Header, data []byte, sentAt sim.Time)) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for n := mb.umAll.head; n != nil; n = n.next[gLink] {
+		visit(n.msg.Hdr, n.msg.Data, n.msg.SentAt)
+	}
+}
+
 // depths reports queue lengths, for tests and diagnostics.
 func (mb *mailbox) depths() (posted, unexpected int) {
 	mb.mu.Lock()

@@ -82,6 +82,36 @@ func (n *Network) ClosePeer(addr comm.Addr) {
 	}
 }
 
+// ReopenPeer reverses ClosePeer once addr's process has restarted: its
+// messages flow again and every other endpoint clears its dead mark for it
+// (the rejoin handshake above re-synchronizes protocol state). Idempotent.
+func (n *Network) ReopenPeer(addr comm.Addr) {
+	n.mu.Lock()
+	if !n.closed[addr] {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.closed, addr)
+	others := make([]*comm.Endpoint, 0, len(n.eps))
+	for a, ep := range n.eps {
+		if a != addr {
+			others = append(others, ep)
+		}
+	}
+	n.mu.Unlock()
+	// Notify survivors in address order so recovery fan-out is deterministic.
+	sort.Slice(others, func(i, j int) bool {
+		ai, aj := others[i].Addr(), others[j].Addr()
+		if ai.PE != aj.PE {
+			return ai.PE < aj.PE
+		}
+		return ai.Proc < aj.Proc
+	})
+	for _, ep := range others {
+		ep.MarkPeerAlive(addr)
+	}
+}
+
 // peerClosed reports whether addr has been closed.
 func (n *Network) peerClosed(addr comm.Addr) bool {
 	n.mu.RLock()

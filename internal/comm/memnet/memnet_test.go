@@ -155,6 +155,47 @@ func TestMemnetClosePeerFailsPinnedRecvs(t *testing.T) {
 	}
 }
 
+func TestMemnetReopenPeerRevives(t *testing.T) {
+	net, a, b := newPairNet(t)
+	peer := comm.Addr{PE: 1, Proc: 0}
+	net.ClosePeer(peer)
+	if !a.PeerDead(peer) {
+		t.Fatal("ClosePeer did not mark the peer dead")
+	}
+	// While closed, a pinned receive is born failed.
+	h := a.Irecv(pinnedSpec(peer), make([]byte, 8))
+	if !a.Test(h) || !errors.Is(h.Err(), comm.ErrPeerDead) {
+		t.Fatalf("pinned recv against closed peer: done=%v err=%v", h.Done(), h.Err())
+	}
+	net.ReopenPeer(peer)
+	if a.PeerDead(peer) {
+		t.Fatal("ReopenPeer left the peer marked dead")
+	}
+	if got := a.Counters().PeersRecovered.Load(); got != 1 {
+		t.Errorf("PeersRecovered = %d, want 1", got)
+	}
+	// Traffic flows again in both directions.
+	buf := make([]byte, 16)
+	h2 := a.Irecv(pinnedSpec(peer), buf)
+	b.Send(comm.Addr{PE: 0, Proc: 0}, 0, 7, 0, []byte("back"))
+	if err := a.MsgwaitTimeout(h2, a.Host().Now().Add(sim.Second)); err != nil {
+		t.Fatalf("recv from reopened peer: %v", err)
+	}
+	if string(buf[:h2.Len()]) != "back" {
+		t.Errorf("got %q", buf[:h2.Len()])
+	}
+	drops := a.Counters().FaultDrops.Load()
+	a.Send(peer, 0, 1, 0, []byte("hello again"))
+	if got := a.Counters().FaultDrops.Load(); got != drops {
+		t.Error("send to reopened peer was still discarded")
+	}
+	// Reopening an already-open peer is a no-op.
+	net.ReopenPeer(peer)
+	if got := a.Counters().PeersRecovered.Load(); got != 1 {
+		t.Errorf("PeersRecovered after double reopen = %d, want 1", got)
+	}
+}
+
 func TestMemnetMsgwaitTimeout(t *testing.T) {
 	net, a, b := newPairNet(t)
 	h := a.Irecv(pinnedSpec(comm.Addr{PE: 1, Proc: 0}), make([]byte, 8))

@@ -96,6 +96,31 @@ func (n *Network) NewEndpoint(addr comm.Addr, host machine.Host, ctrs *trace.Cou
 	return ep
 }
 
+// Rebind replaces the endpoint for addr with a fresh one on host — the
+// restart path of crash recovery. The old endpoint stays valid for messages
+// already bound to it (simnet resolves the destination at send time, so
+// pre-crash in-flight traffic lands in the dead incarnation and is lost,
+// exactly like a real wire); sends decided after Rebind reach the new one.
+// Unlike NewEndpoint, rebinding requires the address to exist already.
+// Under the parallel kernel, call only from a controller callback: the
+// registry swap must not race a window's sends.
+func (n *Network) Rebind(addr comm.Addr, host machine.Host, ctrs *trace.Counters) *comm.Endpoint {
+	ep := comm.NewEndpoint(addr, host, ctrs, n)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[addr]; !ok {
+		panic(fmt.Sprintf("simnet: rebind of unknown process %v", addr))
+	}
+	n.eps[addr] = ep
+	delete(n.procs, addr)
+	if hp, ok := host.(interface{ Proc() *sim.Proc }); ok {
+		if p := hp.Proc(); p != nil {
+			n.procs[addr] = p
+		}
+	}
+	return ep
+}
+
 // Endpoint looks up the endpoint registered for addr, or nil.
 func (n *Network) Endpoint(addr comm.Addr) *comm.Endpoint {
 	n.mu.RLock()

@@ -55,6 +55,12 @@ type Options struct {
 	// heartbeatMisses intervals is declared dead — its pinned receives fail
 	// with ErrPeerDead instead of hanging. Zero disables detection.
 	Heartbeat time.Duration
+	// Epoch is this process's incarnation number, carried in every heartbeat
+	// frame: 0 for a first run, higher after a crash recovery. A heartbeat
+	// from a peer this node had declared dead proves the peer is back (same
+	// epoch: the detector was premature; higher epoch: the peer restarted),
+	// so the dead mark is cleared and its redial backoff reset.
+	Epoch uint32
 }
 
 func (o Options) withDefaults() Options {
@@ -78,14 +84,17 @@ type Node struct {
 	peers    map[comm.Addr]string // every process's data listen address
 	maxFrame uint32
 	hb       time.Duration
+	epoch    uint32
 
-	mu       sync.Mutex
-	eps      map[comm.Addr]*comm.Endpoint
-	conns    map[string]*sender
-	inbound  map[net.Conn]struct{}
-	lastSeen map[comm.Addr]time.Time
-	dead     map[comm.Addr]bool
-	closed   bool
+	mu         sync.Mutex
+	eps        map[comm.Addr]*comm.Endpoint
+	conns      map[string]*sender
+	inbound    map[net.Conn]struct{}
+	lastSeen   map[comm.Addr]time.Time
+	dead       map[comm.Addr]bool
+	backoffs   map[comm.Addr]*backoffState
+	peerEpochs map[comm.Addr]uint32
+	closed     bool
 
 	hbStop chan struct{}
 	wg     sync.WaitGroup
@@ -132,7 +141,35 @@ const heartbeatMisses = 3
 const (
 	maxRedials     = 4
 	redialBackoff0 = 5 * time.Millisecond
+	redialBackoffM = 500 * time.Millisecond
 )
+
+// backoffState is one peer's redial pacing. It persists across Deliver
+// calls — a peer that keeps failing is approached ever more slowly — and is
+// reset the moment the peer proves alive (any frame from it, heartbeat or
+// data), so a recovered peer is re-approached at full speed instead of at
+// whatever crawl the outage ratcheted the backoff up to.
+type backoffState struct {
+	cur, initial, max time.Duration
+}
+
+func newBackoffState() *backoffState {
+	return &backoffState{cur: redialBackoff0, initial: redialBackoff0, max: redialBackoffM}
+}
+
+// next reports the current pause and doubles it for the next failure,
+// saturating at max.
+func (b *backoffState) next() time.Duration {
+	d := b.cur
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// reset drops the pause back to its initial value.
+func (b *backoffState) reset() { b.cur = b.initial }
 
 // ErrFrameTooLarge reports a message exceeding Options.MaxFrameSize.
 var ErrFrameTooLarge = errors.New("tcpnet: frame exceeds MaxFrameSize")
@@ -146,16 +183,19 @@ func Bootstrap(o Options) (*Node, error) {
 		return nil, fmt.Errorf("tcpnet: data listen: %w", err)
 	}
 	n := &Node{
-		self:     o.Self,
-		ln:       ln,
-		maxFrame: uint32(o.MaxFrameSize),
-		hb:       o.Heartbeat,
-		eps:      make(map[comm.Addr]*comm.Endpoint),
-		conns:    make(map[string]*sender),
-		inbound:  make(map[net.Conn]struct{}),
-		lastSeen: make(map[comm.Addr]time.Time),
-		dead:     make(map[comm.Addr]bool),
-		hbStop:   make(chan struct{}),
+		self:       o.Self,
+		ln:         ln,
+		maxFrame:   uint32(o.MaxFrameSize),
+		hb:         o.Heartbeat,
+		epoch:      o.Epoch,
+		eps:        make(map[comm.Addr]*comm.Endpoint),
+		conns:      make(map[string]*sender),
+		inbound:    make(map[net.Conn]struct{}),
+		lastSeen:   make(map[comm.Addr]time.Time),
+		dead:       make(map[comm.Addr]bool),
+		backoffs:   make(map[comm.Addr]*backoffState),
+		peerEpochs: make(map[comm.Addr]uint32),
+		hbStop:     make(chan struct{}),
 	}
 	if o.Lead {
 		n.peers, err = lead(o, ln.Addr().String())
@@ -331,7 +371,6 @@ func (n *Node) Deliver(msg *comm.Message) {
 	if uint32(wireHeaderLen+len(msg.Data)) > n.maxFrame {
 		panic(fmt.Sprintf("tcpnet: send to %v: %v (%d bytes)", dst, ErrFrameTooLarge, len(msg.Data)))
 	}
-	backoff := redialBackoff0
 	for attempt := 0; ; attempt++ {
 		s, err := n.senderFor(addr)
 		if err == nil {
@@ -349,10 +388,24 @@ func (n *Node) Deliver(msg *comm.Message) {
 			return
 		}
 		// Pacing a redial against a real TCP peer is inherently wall-clock.
+		// The pause is per-peer state that keeps doubling across Deliver
+		// calls and only resets when the peer proves alive — see noteAlive.
 		//chant:allow-nondet real-time redial backoff
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(n.nextBackoff(dst))
 	}
+}
+
+// nextBackoff reports the peer's current redial pause and advances its
+// doubling schedule.
+func (n *Node) nextBackoff(peer comm.Addr) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b := n.backoffs[peer]
+	if b == nil {
+		b = newBackoffState()
+		n.backoffs[peer] = b
+	}
+	return b.next()
 }
 
 // isClosed reports whether Close has begun.
@@ -406,6 +459,49 @@ func (n *Node) PeerDead(peer comm.Addr) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dead[peer]
+}
+
+// PeerEpoch reports the highest incarnation number heard from peer in a
+// heartbeat (zero before any heartbeat arrives).
+func (n *Node) PeerEpoch(peer comm.Addr) uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerEpochs[peer]
+}
+
+// notePeerEpoch records a heartbeat's incarnation number and, when the peer
+// had been declared dead, revives it: a heartbeat is proof of life whatever
+// its epoch. Reviving clears the dead mark, resets the redial backoff, and
+// tells every local endpoint (failing-over receives resume matching).
+func (n *Node) notePeerEpoch(peer comm.Addr, epoch uint32) {
+	n.mu.Lock()
+	if epoch > n.peerEpochs[peer] {
+		n.peerEpochs[peer] = epoch
+	}
+	if !n.dead[peer] || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.dead, peer)
+	if b := n.backoffs[peer]; b != nil {
+		b.reset()
+	}
+	eps := make([]*comm.Endpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	// Notify local endpoints in address order so fan-out is deterministic.
+	sort.Slice(eps, func(i, j int) bool {
+		ai, aj := eps[i].Addr(), eps[j].Addr()
+		if ai.PE != aj.PE {
+			return ai.PE < aj.PE
+		}
+		return ai.Proc < aj.Proc
+	})
+	for _, ep := range eps {
+		ep.MarkPeerAlive(peer)
+	}
 }
 
 // senderFor returns (dialing if necessary) the outbound connection to a
@@ -540,6 +636,7 @@ func (n *Node) sendHeartbeat(peer comm.Addr) {
 	hb := &comm.Message{Hdr: comm.Header{
 		SrcPE: n.self.PE, SrcProc: n.self.Proc,
 		DstPE: peer.PE, DstProc: peer.Proc,
+		Ctx: int32(n.epoch), // incarnation travels in the control frame
 		Tag: hbTag,
 	}}
 	if err := s.writeFrame(hb); err != nil {
@@ -547,15 +644,21 @@ func (n *Node) sendHeartbeat(peer comm.Addr) {
 	}
 }
 
-// noteAlive refreshes a peer's silence clock.
+// noteAlive credits a frame from peer: its silence clock restarts and its
+// redial backoff resets. The reset is the other half of the persistent
+// backoff in Deliver — without it, one bad spell would ratchet a peer's
+// redial pause up to the cap forever, throttling sends to a peer that has
+// long since answered a heartbeat.
 func (n *Node) noteAlive(peer comm.Addr) {
-	if n.hb <= 0 {
-		return
-	}
 	//chant:allow-nondet wall-clock failure detection
 	now := time.Now()
 	n.mu.Lock()
-	n.lastSeen[peer] = now
+	if b := n.backoffs[peer]; b != nil {
+		b.reset()
+	}
+	if n.hb > 0 {
+		n.lastSeen[peer] = now
+	}
 	n.mu.Unlock()
 }
 
@@ -616,6 +719,11 @@ func (n *Node) readLoop(c net.Conn) {
 					return
 				}
 			}
+			// The heartbeat's Ctx field carries the sender's incarnation; a
+			// heartbeat from a peer this node declared dead is the rejoin
+			// signal (higher epoch: the peer restarted; same epoch: the
+			// detector was premature).
+			n.notePeerEpoch(hdr.Src(), uint32(hdr.Ctx))
 			continue // heartbeat control frame; liveness is its payload
 		}
 		// Inbound payloads come from the message pool: a steady-state

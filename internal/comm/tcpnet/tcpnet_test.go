@@ -327,6 +327,101 @@ func TestTCPHeartbeatKeepsLivePeerAlive(t *testing.T) {
 	}
 }
 
+func TestBackoffStateDoublesAndResets(t *testing.T) {
+	// Deterministic check of the redial pacing: the pause doubles per
+	// failure, saturates at the cap, and reset() — driven by noteAlive when
+	// the peer proves alive — drops it back to the initial value. The old
+	// behaviour (never resetting) meant one outage throttled a peer forever.
+	b := newBackoffState()
+	want := redialBackoff0
+	for i := 0; i < 12; i++ {
+		got := b.next()
+		if got != want {
+			t.Fatalf("pause %d = %v, want %v", i, got, want)
+		}
+		if want *= 2; want > redialBackoffM {
+			want = redialBackoffM
+		}
+	}
+	if b.cur != redialBackoffM {
+		t.Fatalf("backoff did not saturate: %v", b.cur)
+	}
+	b.reset()
+	if got := b.next(); got != redialBackoff0 {
+		t.Fatalf("pause after reset = %v, want %v", got, redialBackoff0)
+	}
+}
+
+func TestNoteAliveResetsBackoff(t *testing.T) {
+	nodes, _ := bootMachine(t, 2)
+	peer := comm.Addr{PE: 1, Proc: 0}
+	// Ratchet the peer's backoff up as a string of failed deliveries would.
+	for i := 0; i < 10; i++ {
+		nodes[0].nextBackoff(peer)
+	}
+	nodes[0].mu.Lock()
+	ratcheted := nodes[0].backoffs[peer].cur
+	nodes[0].mu.Unlock()
+	if ratcheted != redialBackoffM {
+		t.Fatalf("backoff after 10 failures = %v, want the %v cap", ratcheted, redialBackoffM)
+	}
+	nodes[0].noteAlive(peer)
+	if got := nodes[0].nextBackoff(peer); got != redialBackoff0 {
+		t.Fatalf("backoff after the peer proved alive = %v, want %v", got, redialBackoff0)
+	}
+}
+
+func TestTCPHeartbeatRejoinRevivesDeadPeer(t *testing.T) {
+	nodes, eps := bootWithOptions(t, 2, func(o *Options) {
+		o.Heartbeat = 20 * time.Millisecond
+		if o.Self.PE == 1 {
+			o.Epoch = 3 // the "restarted" incarnation
+		}
+	})
+	peer := comm.Addr{PE: 1, Proc: 0}
+	// Declare the peer dead locally (a premature or outdated verdict — the
+	// peer's process is in fact up and heartbeating).
+	nodes[0].markPeerDead(peer)
+	if !nodes[0].PeerDead(peer) || !eps[0].PeerDead(peer) {
+		t.Fatal("markPeerDead did not take")
+	}
+	// The peer's next heartbeat is the rejoin signal: the dead mark clears
+	// on node and endpoint, and its epoch is recorded.
+	deadline := time.Now().Add(10 * time.Second)
+	for nodes[0].PeerDead(peer) {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat from a live peer never cleared the dead mark")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if eps[0].PeerDead(peer) {
+		t.Error("endpoint dead mark survived the rejoin")
+	}
+	if got := eps[0].Counters().PeersRecovered.Load(); got != 1 {
+		t.Errorf("PeersRecovered = %d, want 1", got)
+	}
+	if got := nodes[0].PeerEpoch(peer); got != 3 {
+		t.Errorf("PeerEpoch = %d, want 3", got)
+	}
+	// Traffic flows again: a pinned receive completes normally.
+	done := make(chan error, 1)
+	go func() {
+		spec := comm.MatchSpec{SrcPE: 1, SrcProc: 0, SrcThread: comm.Any, Ctx: comm.Any, Tag: comm.Any}
+		h := eps[0].Irecv(spec, make([]byte, 8))
+		eps[0].Wait(h)
+		done <- h.Err()
+	}()
+	eps[1].Send(comm.Addr{PE: 0, Proc: 0}, 0, 1, 0, []byte("rejoined"))
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("recv from rejoined peer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("message from rejoined peer never arrived")
+	}
+}
+
 func TestTCPOversizeFramePanics(t *testing.T) {
 	_, eps := bootWithOptions(t, 2, func(o *Options) {
 		o.MaxFrameSize = 4096

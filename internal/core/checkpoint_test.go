@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/faults"
+	"chant/internal/machine"
+	"chant/internal/recovery"
+	"chant/internal/sim"
+)
+
+func TestAdmitRSR(t *testing.T) {
+	rec := &rsrDedup{epoch: 1, seq: 5}
+	cases := []struct {
+		name       string
+		rec        *rsrDedup
+		epoch, seq uint32
+		want       rsrVerdict
+	}{
+		{"no record", nil, 0, 1, rsrFresh},
+		{"same epoch, newer seq", rec, 1, 6, rsrFresh},
+		{"same epoch, same seq", rec, 1, 5, rsrDup},
+		{"same epoch, older seq", rec, 1, 4, rsrStale},
+		{"same epoch, seq wraparound", &rsrDedup{epoch: 1, seq: 1<<32 - 2}, 1, 3, rsrFresh},
+		{"same epoch, half-space ahead is behind", rec, 1, 5 + 1<<31 + 1, rsrStale},
+		// The restart cases: a restored client's sequence counter may
+		// re-cover old numbers, so the epoch dominates the comparison.
+		{"higher epoch, older seq", rec, 2, 1, rsrFresh},
+		{"higher epoch, same seq", rec, 2, 5, rsrFresh},
+		{"lower epoch, newer seq", rec, 0, 9, rsrStale},
+		{"lower epoch, same seq", rec, 0, 5, rsrStale},
+	}
+	for _, c := range cases {
+		if got := admitRSR(c.rec, c.epoch, c.seq); got != c.want {
+			t.Errorf("%s: admitRSR = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEpochDedupStraddlingRestart(t *testing.T) {
+	// The exactly-once scenario a restart must preserve: a client's retry of
+	// a request the server already answered (cached reply restored from the
+	// checkpoint) must be suppressed, while the client's post-restart epoch
+	// supersedes everything — even sequence numbers it already used.
+	rec := &rsrDedup{epoch: 0, seq: 9, replyTag: 1, reply: []byte("cached")}
+	if got := admitRSR(rec, 0, 9); got != rsrDup {
+		t.Errorf("duplicate retry straddling the server restart: %v, want rsrDup", got)
+	}
+	if got := admitRSR(rec, 0, 3); got != rsrStale {
+		t.Errorf("pre-checkpoint straggler: %v, want rsrStale", got)
+	}
+	if got := admitRSR(rec, 1, 9); got != rsrFresh {
+		t.Errorf("restarted client reusing a sequence: %v, want rsrFresh", got)
+	}
+}
+
+func TestCheckpointSingleProcess(t *testing.T) {
+	store := recovery.NewMemStore()
+	cfg := robustCfg()
+	cfg.CheckpointStore = store
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1}, cfg, machine.Paragon1994())
+	res, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			if cerr := th.Checkpoint(); cerr != nil {
+				t.Errorf("Checkpoint: %v", cerr)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d, want 1", res.Total.Checkpoints)
+	}
+	cp, v, lerr := store.Latest(comm.Addr{PE: 0, Proc: 0})
+	if lerr != nil || v != 1 {
+		t.Fatalf("Latest: version %d, err %v", v, lerr)
+	}
+	if cp.Epoch != 0 || len(cp.Handlers) == 0 {
+		t.Errorf("checkpoint epoch %d, %d handlers; want epoch 0 and builtin handlers", cp.Epoch, len(cp.Handlers))
+	}
+}
+
+func TestCheckpointWithoutStoreFails(t *testing.T) {
+	rt := NewSimRuntime(Topology{PEs: 1, ProcsPerPE: 1}, robustCfg(), machine.Paragon1994())
+	var cerr error
+	if _, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) { cerr = th.Checkpoint() },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(cerr, ErrNoCheckpointStore) {
+		t.Fatalf("Checkpoint without a store: %v, want ErrNoCheckpointStore", cerr)
+	}
+}
+
+func TestCrashRecoverRejoin(t *testing.T) {
+	// The full cycle: PE0 checkpoints the machine mid-workload, PE1 crashes
+	// and restarts from its checkpoint, rejoins, and every one of PE0's
+	// calls — including the ones straddling the outage — completes.
+	plan := faults.New(faults.Config{
+		Crashes: []faults.Crash{{
+			PE:           1,
+			At:           sim.Time(50 * sim.Millisecond),
+			RestartAfter: 20 * sim.Millisecond,
+		}},
+	}, 5)
+	store := recovery.NewMemStore()
+	cfg := robustCfg()
+	cfg.Faults = plan
+	cfg.CheckpointStore = store
+	cfg.RejoinWait = 200 * sim.Millisecond
+	rt := NewSimRuntime(Topology{PEs: 2, ProcsPerPE: 1}, cfg, machine.Paragon1994())
+	rt.RegisterHandler(7, func(ctx *RSRContext) ([]byte, error) {
+		return append([]byte("ok:"), ctx.Req...), nil
+	})
+	restarted := false
+	rt.OnRestart(comm.Addr{PE: 1, Proc: 0}, func(th *Thread) { restarted = true })
+
+	const calls = 30
+	callErrs := 0
+	res, err := rt.Run(map[comm.Addr]MainFunc{
+		{PE: 0, Proc: 0}: func(th *Thread) {
+			host := th.Process().Endpoint().Host()
+			buf := make([]byte, 16)
+			for i := 0; i < calls; i++ {
+				if i == 5 {
+					if cerr := th.Checkpoint(); cerr != nil {
+						t.Errorf("Checkpoint: %v", cerr)
+					}
+				}
+				if _, cerr := th.Call(comm.Addr{PE: 1, Proc: 0}, 7, []byte{byte(i)}, buf); cerr != nil {
+					t.Errorf("call %d: %v", i, cerr)
+					callErrs++
+				}
+				host.Charge(2 * sim.Millisecond)
+			}
+		},
+		{PE: 1, Proc: 0}: func(th *Thread) {
+			for { // serve until crashed; the restart main takes over after
+				th.Yield()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if callErrs != 0 {
+		t.Fatalf("%d of %d calls failed across the crash", callErrs, calls)
+	}
+	if !restarted {
+		t.Error("restart main never ran")
+	}
+	if res.Total.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", res.Total.Restarts)
+	}
+	if res.Total.Checkpoints == 0 {
+		t.Error("no checkpoint captured")
+	}
+	if res.Total.RejoinsServed == 0 {
+		t.Error("no rejoin served: the restarted PE never announced itself")
+	}
+	if res.Total.PeersRecovered == 0 {
+		t.Error("no peer recovery recorded at the survivors")
+	}
+	if st := plan.Stats(); st.Crashes != 1 || st.Recoveries != 1 {
+		t.Errorf("witness stats: %d crashes, %d recoveries; want 1 and 1", st.Crashes, st.Recoveries)
+	}
+	p1 := rt.Process(comm.Addr{PE: 1, Proc: 0})
+	if p1.Epoch() != 1 {
+		t.Errorf("restored PE1 epoch = %d, want 1", p1.Epoch())
+	}
+	if p1.RejoinedAt() == 0 {
+		t.Error("restored PE1 never recorded its rejoin time")
+	}
+	if _, v, lerr := store.Latest(comm.Addr{PE: 1, Proc: 0}); lerr != nil || v != 1 {
+		t.Errorf("PE1 checkpoint: version %d, err %v; want 1, nil", v, lerr)
+	}
+}

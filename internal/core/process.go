@@ -8,6 +8,7 @@ import (
 	"chant/internal/comm"
 	"chant/internal/faults"
 	"chant/internal/machine"
+	"chant/internal/recovery"
 	"chant/internal/sim"
 	"chant/internal/trace"
 	"chant/internal/ult"
@@ -85,6 +86,22 @@ type Config struct {
 	// transport applies to every wire and the runtime consults for
 	// scheduled PE crashes. Only simulated runtimes observe it.
 	Faults *faults.Plan
+
+	// --- Recovery (coordinated checkpoints and restart) ---
+
+	// CheckpointStore, when non-nil, enables coordinated checkpointing: it
+	// is where captured snapshots are archived and where a restarting
+	// process reads its latest checkpoint from. Simulated topologies share
+	// one recovery.NewMemStore() across all processes.
+	CheckpointStore recovery.Store
+	// RejoinWait, when positive, makes a timed-out Call wait out a dead
+	// peer for up to this long before surfacing comm.ErrPeerDead: each
+	// round charges one RSRTimeout of compute and resends the request with
+	// its original sequence, so a peer that crashes and rejoins within the
+	// window still serves the call exactly once (its restored epoch-aware
+	// dedup cache suppresses anything it already served). Zero fails Calls
+	// to dead peers immediately. Only meaningful with RSRTimeout set.
+	RejoinWait sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +136,18 @@ type Process struct {
 	shared   map[string]*sharedEntry
 	channels map[int32]*chanState
 	nextChan int32
+
+	// epoch is the process incarnation number carried in every RSR envelope:
+	// 0 for a first run, bumped on every restart from a checkpoint. Peers use
+	// it to order request streams across this process's restarts.
+	epoch uint32
+	// snap is the coordinated snapshot currently in progress, nil otherwise;
+	// snapCount numbers the snapshots this process initiated.
+	snap      *snapState
+	snapCount uint32
+	// rejoinedAt, on a restored process, is when the rejoin handshake
+	// finished (for recovery-latency measurements).
+	rejoinedAt sim.Time
 }
 
 // Thread is a chanter: a global thread handle combining the local TCB with
@@ -159,6 +188,7 @@ func newProcess(rt *Runtime, addr comm.Addr, host machine.Host, ctrs *trace.Coun
 	p.registerBuiltinHandlers()
 	p.registerSharedHandlers()
 	p.registerChannelHandlers()
+	p.registerRecoveryHandlers()
 	// Runtime-level handlers are installed before any main runs, so no Call
 	// can race a handler registration happening inside a remote main.
 	ids := make([]int32, 0, len(rt.handlers))

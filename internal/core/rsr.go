@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"chant/internal/comm"
+	"chant/internal/sim"
 	"chant/internal/ult"
 )
 
@@ -35,19 +36,57 @@ type RSRContext struct {
 	wantReply bool
 	replyTag  int32
 	seq       uint32
+	epoch     uint32
 	deferred  bool
 	replied   bool
 }
 
 // rsrDedup is the per-source idempotency record: the most recent request
-// sequence number seen from one client thread and, once sent, its reply.
+// (epoch, sequence) seen from one client thread and, once sent, its reply.
 // A retried request with the same sequence is answered from the cache
 // instead of re-running the handler — the property that makes timeouts plus
-// resends safe for non-idempotent handlers like create.
+// resends safe for non-idempotent handlers like create. The epoch orders
+// request streams across client restarts (a restarted client's sequence
+// counter may restart too).
 type rsrDedup struct {
+	epoch    uint32
 	seq      uint32
 	replyTag int32
 	reply    []byte // cached reply wire; nil while a deferred reply is pending
+}
+
+// rsrVerdict classifies an incoming call against its source's dedup record.
+type rsrVerdict int
+
+const (
+	rsrFresh rsrVerdict = iota // new request: record it and run the handler
+	rsrDup                     // retransmission of the latest request: replay the cache
+	rsrStale                   // older than the latest request: drop silently
+)
+
+// admitRSR is the epoch-aware dedup rule. A request from a higher epoch than
+// the record is always fresh — the client restarted, and its post-restart
+// stream supersedes everything before (even if its restored sequence counter
+// re-covers old numbers). One from a lower epoch is always stale. Within an
+// epoch, sequence comparison decides as before (serial-number arithmetic, so
+// wraparound is harmless).
+func admitRSR(rec *rsrDedup, epoch, seq uint32) rsrVerdict {
+	if rec == nil {
+		return rsrFresh
+	}
+	if epoch != rec.epoch {
+		if int32(epoch-rec.epoch) > 0 {
+			return rsrFresh
+		}
+		return rsrStale
+	}
+	switch {
+	case seq == rec.seq:
+		return rsrDup
+	case int32(seq-rec.seq) < 0:
+		return rsrStale
+	}
+	return rsrFresh
 }
 
 // DeferReply tells the server not to reply when the handler returns;
@@ -71,7 +110,7 @@ func (c *RSRContext) Reply(data []byte, err error) {
 	// Cache the reply for idempotent retry — but only while this request is
 	// still the source's latest (a deferred reply may land after the client
 	// has moved on).
-	if rec := c.Proc.rsrSeen[c.Src]; rec != nil && rec.seq == c.seq {
+	if rec := c.Proc.rsrSeen[c.Src]; rec != nil && rec.epoch == c.epoch && rec.seq == c.seq {
 		rec.reply = payload
 	}
 	srcThread := serverLocalID
@@ -107,8 +146,8 @@ var (
 )
 
 // rsrHeaderLen is the request envelope: handler id, flags, reply tag,
-// sequence number.
-const rsrHeaderLen = 13
+// sequence number, sender epoch.
+const rsrHeaderLen = 17
 
 // rsrReplyPrefix is the reply envelope before the status byte: the echoed
 // request sequence, which lets a client discard stale replies matched by a
@@ -163,6 +202,7 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 	} else {
 		host := p.ep.Host()
 		backoff := p.cfg.RSRBackoff
+		var rejoinDeadline sim.Time
 		for attempt := 0; ; {
 			werr := p.waitDeadline(h, host.Now().Add(p.cfg.RSRTimeout))
 			if werr == nil {
@@ -177,8 +217,35 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 				break
 			}
 			if errors.Is(werr, comm.ErrPeerDead) {
+				if p.cfg.RejoinWait <= 0 {
+					p.ep.ReleaseHandle(h)
+					return 0, werr
+				}
+				if rejoinDeadline == 0 {
+					rejoinDeadline = host.Now().Add(p.cfg.RejoinWait)
+				}
+				if host.Now() >= rejoinDeadline {
+					p.ep.ReleaseHandle(h)
+					return 0, werr
+				}
+				// The peer may be restarting (crash recovery): the born-failed
+				// handle completed instantly, so burn one timeout of compute to
+				// advance time, then repost and resend the same sequence — the
+				// rejoined peer's restored dedup cache keeps this exactly-once.
+				// Waiting out a rejoin does not consume the retry budget. The
+				// yield is essential: the peer's rejoin announcement arrives as
+				// a request to this process's server thread, which must get the
+				// processor to serve it and clear the dead mark.
+				host.Charge(p.cfg.RSRTimeout)
+				t.Yield()
 				p.ep.ReleaseHandle(h)
-				return 0, werr
+				h = p.ep.Irecv(spec, wire)
+				if err := p.sendRSR(t.gid.Thread, dst, handler, rsrFlagWantReply, replyTag, seq, req); err != nil {
+					p.ep.CancelRecv(h)
+					p.ep.ReleaseHandle(h)
+					return 0, err
+				}
+				continue
 			}
 			if attempt >= p.cfg.RSRRetries {
 				p.Counters().RSRTimeouts.Add(1)
@@ -239,6 +306,7 @@ func (p *Process) sendRSR(srcThread int32, dst comm.Addr, handler int32, flags b
 	payload[4] = flags
 	binary.LittleEndian.PutUint32(payload[5:], uint32(replyTag))
 	binary.LittleEndian.PutUint32(payload[9:], seq)
+	binary.LittleEndian.PutUint32(payload[13:], p.epoch)
 	copy(payload[rsrHeaderLen:], req)
 	return p.send(srcThread, GlobalID{PE: dst.PE, Proc: dst.Proc, Thread: serverLocalID}, tagRSRRequest, payload)
 }
@@ -284,6 +352,9 @@ func (p *Process) serveOne(hdr comm.Header, payload []byte) {
 	if len(payload) < rsrHeaderLen {
 		return // malformed; drop
 	}
+	// An open coordinated snapshot logs requests arriving on channels whose
+	// marker has not come yet — the channel's in-flight content.
+	p.recordInFlight(hdr, payload)
 	src := GlobalID{PE: hdr.SrcPE, Proc: hdr.SrcProc, Thread: hdr.SrcThread}
 	ctx := &RSRContext{
 		Proc:      p,
@@ -292,29 +363,29 @@ func (p *Process) serveOne(hdr comm.Header, payload []byte) {
 		wantReply: payload[4]&rsrFlagWantReply != 0,
 		replyTag:  int32(binary.LittleEndian.Uint32(payload[5:])),
 		seq:       binary.LittleEndian.Uint32(payload[9:]),
+		epoch:     binary.LittleEndian.Uint32(payload[13:]),
 	}
 	if ctx.wantReply && ctx.seq != 0 {
-		if rec := p.rsrSeen[src]; rec != nil {
-			switch {
-			case ctx.seq == rec.seq:
-				// Retransmission of the request being (or already) served:
-				// replay the cached reply rather than re-running the handler.
-				// If the reply is still pending (deferred), drop — the
-				// client's next resend will find the cache filled.
-				p.Counters().RSRDupsServed.Add(1)
-				if rec.reply != nil {
-					srcThread := serverLocalID
-					if cur := p.sched.Current(); cur != nil {
-						srcThread = cur.ID()
-					}
-					_ = p.send(srcThread, src, rec.replyTag, rec.reply)
+		rec := p.rsrSeen[src]
+		switch admitRSR(rec, ctx.epoch, ctx.seq) {
+		case rsrDup:
+			// Retransmission of the request being (or already) served:
+			// replay the cached reply rather than re-running the handler.
+			// If the reply is still pending (deferred), drop — the
+			// client's next resend will find the cache filled.
+			p.Counters().RSRDupsServed.Add(1)
+			if rec.reply != nil {
+				srcThread := serverLocalID
+				if cur := p.sched.Current(); cur != nil {
+					srcThread = cur.ID()
 				}
-				return
-			case int32(ctx.seq-rec.seq) < 0:
-				return // straggler from an abandoned earlier Call; drop
+				_ = p.send(srcThread, src, rec.replyTag, rec.reply)
 			}
+			return
+		case rsrStale:
+			return // straggler from an abandoned earlier Call or epoch; drop
 		}
-		p.rsrSeen[src] = &rsrDedup{seq: ctx.seq, replyTag: ctx.replyTag}
+		p.rsrSeen[src] = &rsrDedup{epoch: ctx.epoch, seq: ctx.seq, replyTag: ctx.replyTag}
 	}
 	handler := p.handlers[int32(binary.LittleEndian.Uint32(payload[0:]))]
 	if handler == nil {

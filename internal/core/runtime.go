@@ -60,8 +60,18 @@ type Runtime struct {
 	funcs    map[string]ThreadFunc
 	handlers map[int32]Handler
 
+	// restartMains holds per-address mains for restored processes
+	// (OnRestart); willRecover marks addresses whose scheduled crash has a
+	// recovery, so their kill is not reported as a run error. Both are fixed
+	// before Run.
+	restartMains map[comm.Addr]MainFunc
+	willRecover  map[comm.Addr]bool
+
 	mu    sync.Mutex
 	procs map[comm.Addr]*Process
+	// epochs is the high-water incarnation number issued per address
+	// (see nextEpoch).
+	epochs map[comm.Addr]uint32
 }
 
 // NewSimRuntime creates a runtime whose processes execute in virtual time
@@ -110,13 +120,16 @@ func newRuntime(topo Topology, cfg Config, model *machine.Model, real bool) *Run
 		panic("core: topology must have at least one PE and one process")
 	}
 	return &Runtime{
-		topo:     topo,
-		cfg:      cfg.withDefaults(),
-		model:    model,
-		real:     real,
-		funcs:    make(map[string]ThreadFunc),
-		handlers: make(map[int32]Handler),
-		procs:    make(map[comm.Addr]*Process),
+		topo:         topo,
+		cfg:          cfg.withDefaults(),
+		model:        model,
+		real:         real,
+		funcs:        make(map[string]ThreadFunc),
+		handlers:     make(map[int32]Handler),
+		restartMains: make(map[comm.Addr]MainFunc),
+		willRecover:  make(map[comm.Addr]bool),
+		procs:        make(map[comm.Addr]*Process),
+		epochs:       make(map[comm.Addr]uint32),
 	}
 }
 
@@ -405,7 +418,7 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 			rt.mu.Unlock()
 			p.WaitSignal() // rendezvous: all endpoints registered
 			if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
-				perr[i] = fmt.Errorf("%v: %w", addr, err)
+				rt.noteRunErr(perr, i, addr, err)
 			}
 		})
 		ready = append(ready, sp)
@@ -417,9 +430,26 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 	})
 	net.Faults = rt.cfg.Faults
 	if rt.cfg.Faults != nil {
-		for _, c := range rt.cfg.Faults.Crashes() {
+		plan := rt.cfg.Faults
+		for _, c := range plan.Crashes() {
 			c := c
-			kernel.At(c.At, func() { rt.crashPE(c.PE) })
+			kernel.At(c.At, func() {
+				rt.crashPE(c.PE, c.At)
+				plan.WitnessCrash(c.PE, c.At, c.RestartAfter)
+			})
+			if c.RestartAfter <= 0 {
+				continue
+			}
+			for _, a := range addrs {
+				if a.PE == c.PE {
+					rt.willRecover[a] = true
+				}
+			}
+			recoverAt := c.At.Add(c.RestartAfter)
+			kernel.At(recoverAt, func() {
+				plan.WitnessRecover(c.PE, recoverAt)
+				rt.restartPE(kernel, net, c.PE, perr)
+			})
 		}
 	}
 	if err := kernel.Run(0); err != nil {
@@ -434,8 +464,12 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 // ult.ErrKilled), and every surviving process is told the dead addresses so
 // receives pinned to them fail over to comm.ErrPeerDead instead of hanging.
 // It runs as a kernel callback, outside any process, walking the sorted
-// address list for a deterministic kill and notification order.
-func (rt *Runtime) crashPE(pe int32) {
+// address list for a deterministic kill and notification order. The failure
+// instant is stamped explicitly (MarkPeerDeadAt): on the parallel kernel
+// the fan-out executes at the controller while survivor shards' clocks sit
+// anywhere inside the conservative window, and the stamped time feeds the
+// waiting-thread integral, which must not depend on the kernel.
+func (rt *Runtime) crashPE(pe int32, at sim.Time) {
 	addrs := rt.topo.Addrs()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -457,7 +491,7 @@ func (rt *Runtime) crashPE(pe int32) {
 		}
 		for _, dead := range addrs {
 			if dead.PE == pe {
-				p.ep.MarkPeerDead(dead)
+				p.ep.MarkPeerDeadAt(dead, at)
 			}
 		}
 	}

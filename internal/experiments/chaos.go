@@ -7,6 +7,7 @@ import (
 	"chant/internal/core"
 	"chant/internal/faults"
 	"chant/internal/machine"
+	"chant/internal/recovery"
 	"chant/internal/sim"
 	"chant/internal/trace"
 )
@@ -53,6 +54,19 @@ type ChaosConfig struct {
 	// kernel with that many shards (core.Config.SimShards). Zero keeps the
 	// sequential reference kernel.
 	Shards int
+
+	// Recovery extension (enabled by CrashAt > 0): CrashPE crashes at
+	// CrashAt and restarts RestartAfter later from the coordinated
+	// checkpoint that PE0's first worker initiates at its CheckpointIter-th
+	// iteration; surviving workers wait out the outage for up to RejoinWait
+	// per call instead of failing. The soak then exercises the whole
+	// recovery path — marker flood, capture, in-flight logging, restore,
+	// rejoin, epoch-aware dedup — under the same lossy network.
+	CrashPE        int32
+	CrashAt        sim.Time
+	RestartAfter   sim.Duration
+	RejoinWait     sim.Duration
+	CheckpointIter int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -104,6 +118,17 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Model == nil {
 		c.Model = machine.Paragon1994()
 	}
+	if c.CrashAt > 0 {
+		if c.RestartAfter == 0 {
+			c.RestartAfter = 10 * sim.Millisecond
+		}
+		if c.RejoinWait == 0 {
+			c.RejoinWait = 200 * sim.Millisecond
+		}
+		if c.CheckpointIter == 0 {
+			c.CheckpointIter = c.Iters / 4
+		}
+	}
 	return c
 }
 
@@ -124,17 +149,21 @@ type ChaosResult struct {
 // RunChaos executes the chaos soak once and reports what happened.
 func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	cfg = cfg.withDefaults()
-	plan := faults.New(faults.Config{
+	fcfg := faults.Config{
 		Default: faults.LinkRates{
 			DropProb:  cfg.DropProb,
 			DupProb:   cfg.DupProb,
 			DelayProb: cfg.DelayProb,
 			DelayMax:  cfg.DelayMax,
 		},
-	}, cfg.FaultSeed)
+	}
+	if cfg.CrashAt > 0 {
+		fcfg.Crashes = []faults.Crash{{PE: cfg.CrashPE, At: cfg.CrashAt, RestartAfter: cfg.RestartAfter}}
+	}
+	plan := faults.New(fcfg, cfg.FaultSeed)
 
 	topo := core.Topology{PEs: 2 * cfg.Pairs, ProcsPerPE: 1}
-	rt := core.NewSimRuntime(topo, core.Config{
+	ccfg := core.Config{
 		Policy:        cfg.Policy,
 		Delivery:      core.DeliverCtx,
 		EventLogSize:  1 << 15,
@@ -145,7 +174,12 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		MaxUnexpected: 1024,
 		Faults:        plan,
 		SimShards:     cfg.Shards,
-	}, cfg.Model)
+	}
+	if cfg.CrashAt > 0 {
+		ccfg.CheckpointStore = recovery.NewMemStore()
+		ccfg.RejoinWait = cfg.RejoinWait
+	}
+	rt := core.NewSimRuntime(topo, ccfg, cfg.Model)
 	rt.RegisterHandler(chaosEchoHandler, func(ctx *core.RSRContext) ([]byte, error) {
 		return ctx.Req, nil
 	})
@@ -164,6 +198,14 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 					reply := make([]byte, cfg.MsgSize)
 					for i := 0; i < cfg.Iters; i++ {
 						host.Compute(cfg.Alpha)
+						if cfg.CrashAt > 0 && pe == 0 && w == 0 && i == cfg.CheckpointIter {
+							// The recovery soak's coordinated snapshot: one
+							// initiator, machine-wide marker flood, every
+							// process archives its checkpoint mid-workload.
+							if err := me.Checkpoint(); err != nil {
+								panic(fmt.Sprintf("chaos: checkpoint: %v", err))
+							}
+						}
 						req[0] = byte(w)
 						req[1] = byte(i)
 						n, err := me.Call(peer, chaosEchoHandler, req, reply)

@@ -40,6 +40,9 @@ const (
 	KindCrash
 	// KindStall is a message held until a stalled PE resumes.
 	KindStall
+	// KindRecover is a PE coming back after a crash with a RestartAfter
+	// delay. It is a witness-stream event, never a message decision.
+	KindRecover
 )
 
 func (k Kind) String() string {
@@ -56,6 +59,8 @@ func (k Kind) String() string {
 		return "crash"
 	case KindStall:
 		return "stall"
+	case KindRecover:
+		return "recover"
 	}
 	return "invalid"
 }
@@ -93,11 +98,23 @@ func (c Cut) active(now sim.Time) bool {
 	return now >= c.From && (c.To == 0 || now < c.To)
 }
 
-// Crash kills PE at virtual time At: every message to or from it afterwards
-// is discarded, and runtimes that consult the plan cancel its threads.
+// Crash kills PE at virtual time At: every message to or from it during the
+// outage is discarded, and runtimes that consult the plan cancel its threads.
+// A positive RestartAfter schedules recovery: the PE is dead only over
+// [At, At+RestartAfter), after which a consulting runtime restarts it (from
+// its latest checkpoint, when one exists). Zero keeps the crash permanent.
 type Crash struct {
-	PE int32
-	At sim.Time
+	PE           int32
+	At           sim.Time
+	RestartAfter sim.Duration
+}
+
+// deadAt reports whether this crash keeps pe dead at time now.
+func (c Crash) deadAt(pe int32, now sim.Time) bool {
+	if c.PE != pe || now < c.At {
+		return false
+	}
+	return c.RestartAfter <= 0 || now < c.At.Add(c.RestartAfter)
 }
 
 // Stall freezes PE's wires over [From, To): messages touching it are held
@@ -151,7 +168,9 @@ func (e Event) String() string {
 	return fmt.Sprintf("#%d %v %v->%v %v +%v", e.Seq, e.At, e.Src, e.Dst, e.Kind, e.Delay)
 }
 
-// Stats summarizes a plan's injected faults.
+// Stats summarizes a plan's injected faults. New fields append only — the
+// chaos invariance hashes fold the whole struct in, so existing fields (and
+// their order) are part of the pinned behaviour.
 type Stats struct {
 	Messages       uint64 // messages the plan decided on
 	Drops          uint64 // stochastic drops
@@ -160,6 +179,8 @@ type Stats struct {
 	PartitionDrops uint64
 	CrashDrops     uint64
 	StallDelays    uint64
+	Crashes        uint64 // witnessed PE crash events
+	Recoveries     uint64 // witnessed PE recover events
 }
 
 // linkState is one link's private decision stream.
@@ -214,10 +235,12 @@ func (p *Plan) linkStream(l Link) *linkState {
 	return s
 }
 
-// DeadAt reports whether pe has crashed by virtual time now.
+// DeadAt reports whether pe is down at virtual time now: at or past a
+// scheduled crash and, when the crash carries a RestartAfter delay, before
+// its recovery instant. A crash without RestartAfter is permanent.
 func (p *Plan) DeadAt(pe int32, now sim.Time) bool {
 	for _, c := range p.cfg.Crashes {
-		if c.PE == pe && now >= c.At {
+		if c.deadAt(pe, now) {
 			return true
 		}
 	}
@@ -246,7 +269,8 @@ func (p *Plan) stallUntil(pe int32, now sim.Time) sim.Time {
 }
 
 // Crashes reports the crash schedule sorted by time (then PE), the order a
-// runtime should arm its crash events in.
+// runtime should arm its crash events in. Each entry carries its recover
+// time as Crash.RestartAfter (zero for a permanent crash).
 func (p *Plan) Crashes() []Crash {
 	out := make([]Crash, len(p.cfg.Crashes))
 	copy(out, p.cfg.Crashes)
@@ -344,6 +368,32 @@ func (p *Plan) DecideDeferred(now sim.Time, src, dst comm.Addr, size int) (Decis
 		note(KindDelay, extra)
 	}
 	return d, evs
+}
+
+// WitnessCrash records a PE crash on the witness stream at the instant the
+// runtime executes it. The event's Delay field carries the recover time
+// (RestartAfter; zero for a permanent crash), so crash/recover pairs are
+// readable from the stream alone. Call it in global event order — runtimes
+// call it from the crash's own kernel callback, which is globally ordered
+// under both the sequential and the parallel kernel.
+func (p *Plan) WitnessCrash(pe int32, at sim.Time, restartAfter sim.Duration) {
+	a := comm.Addr{PE: pe, Proc: -1}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Crashes++
+	p.seq++
+	p.events = append(p.events, Event{Seq: p.seq, At: at, Src: a, Dst: a, Kind: KindCrash, Delay: restartAfter})
+}
+
+// WitnessRecover records a PE recovery on the witness stream, pairing the
+// crash event that scheduled it. Same ordering contract as WitnessCrash.
+func (p *Plan) WitnessRecover(pe int32, at sim.Time) {
+	a := comm.Addr{PE: pe, Proc: -1}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Recoveries++
+	p.seq++
+	p.events = append(p.events, Event{Seq: p.seq, At: at, Src: a, Dst: a, Kind: KindRecover})
 }
 
 // Commit appends events returned by DecideDeferred to the witness stream,

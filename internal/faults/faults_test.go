@@ -164,3 +164,53 @@ func TestStatsAccounting(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashIntervalWithRestart(t *testing.T) {
+	cfg := Config{Crashes: []Crash{{PE: 1, At: 100, RestartAfter: 50}}}
+	p := New(cfg, 7)
+	a := comm.Addr{PE: 0, Proc: 0}
+	b := comm.Addr{PE: 1, Proc: 0}
+	if p.DeadAt(1, 99) {
+		t.Error("dead before the crash instant")
+	}
+	if !p.DeadAt(1, 100) || !p.DeadAt(1, 149) {
+		t.Error("not dead inside the outage window")
+	}
+	if p.DeadAt(1, 150) || p.DeadAt(1, 1000) {
+		t.Error("still dead at or after the recovery instant")
+	}
+	if d := p.Decide(120, a, b, 8); !d.Drop || d.Kind != KindCrash {
+		t.Errorf("message during the outage survived: %+v", d)
+	}
+	if d := p.Decide(200, a, b, 8); d.Drop {
+		t.Errorf("message after recovery was dropped: %+v", d)
+	}
+	crashes := p.Crashes()
+	if len(crashes) != 1 || crashes[0].RestartAfter != 50 {
+		t.Errorf("Crashes() lost the recover time: %+v", crashes)
+	}
+}
+
+func TestWitnessCrashRecoverPairs(t *testing.T) {
+	p := New(Config{}, 7)
+	p.WitnessCrash(2, 100, 50)
+	p.WitnessRecover(2, 150)
+	evs := p.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d witness events, want 2", len(evs))
+	}
+	c, r := evs[0], evs[1]
+	if c.Kind != KindCrash || c.At != 100 || c.Delay != 50 || c.Src.PE != 2 {
+		t.Errorf("crash event = %+v", c)
+	}
+	if r.Kind != KindRecover || r.At != 150 || r.Src.PE != 2 {
+		t.Errorf("recover event = %+v", r)
+	}
+	if c.Seq != 1 || r.Seq != 2 {
+		t.Errorf("witness events out of sequence: %d, %d", c.Seq, r.Seq)
+	}
+	st := p.Stats()
+	if st.Crashes != 1 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

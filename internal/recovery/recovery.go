@@ -1,0 +1,179 @@
+// Package recovery is the crash-recovery data plane: coordinated checkpoints
+// of a Chant process, their byte-deterministic serialization, versioned
+// checkpoint stores, and the marker bookkeeping of the snapshot protocol.
+//
+// The protocol is the classic marker-based coordinated snapshot (Chandy and
+// Lamport's algorithm) run over the runtime's remote-service-request layer:
+// an initiator captures its own state and floods a marker to every peer on
+// the reserved RSR system tag; a process receiving its first marker captures
+// its state at that instant and floods markers itself; messages arriving on
+// a channel after the local capture but before that channel's marker are the
+// channel's in-flight content and are appended to the checkpoint's log. The
+// runtime (internal/core) drives the message exchange; this package owns the
+// per-process protocol state (Recorder), what a snapshot contains
+// (Checkpoint), and how it is stored (Store).
+//
+// Everything here is deterministic: slices are kept in canonical orders
+// (addresses by (PE, Proc), dedup records by source thread, names sorted),
+// no maps are iterated, and the encoding writes fixed-width little-endian
+// fields in a fixed order — the same checkpoint always serializes to the
+// same bytes, which is what lets differential tests compare snapshots across
+// runs bitwise.
+package recovery
+
+import (
+	"sort"
+
+	"chant/internal/comm"
+	"chant/internal/sim"
+	"chant/internal/trace"
+)
+
+// CapturedMessage is one message recorded in a checkpoint: either an entry
+// of the unexpected queue at capture time, or an in-flight message recorded
+// between marker arrivals. On restore it is re-delivered into the restarted
+// endpoint's mailbox in its original arrival order.
+type CapturedMessage struct {
+	Hdr    comm.Header
+	Data   []byte
+	SentAt sim.Time
+}
+
+// DedupState is one entry of the RSR idempotency cache: the latest request
+// (epoch, sequence) seen from one client thread and, when already sent, the
+// cached reply wire. Restoring these is what preserves exactly-once Call
+// semantics across a restart — a client retry straddling the outage is
+// answered from the cache instead of re-running the handler.
+type DedupState struct {
+	SrcPE, SrcProc, SrcThread int32
+	Epoch                     uint32
+	Seq                       uint32
+	ReplyTag                  int32
+	HasReply                  bool
+	Reply                     []byte
+}
+
+// SharedState is one shared-variable entry: the local cache (or, at the
+// home, the authoritative value) plus the home-side directory of cachers.
+type SharedState struct {
+	Name      string
+	Value     []byte
+	Version   int64
+	Valid     bool
+	Home      bool
+	Directory []comm.Addr // sorted by (PE, Proc); home entries only
+}
+
+// Checkpoint is everything a restarted process needs to resume serving:
+// which handlers were registered (ids only — code is re-registered by the
+// runtime and validated against this list), shared-variable state, the RSR
+// dedup cache and client sequence counter, the pending unexpected-queue
+// contents, the trace counters, and the in-flight messages recorded by the
+// marker protocol. Thread stacks are deliberately absent: a restored process
+// resumes as a server (handlers plus re-delivered messages), not mid-main.
+type Checkpoint struct {
+	Addr       comm.Addr
+	Epoch      uint32 // the epoch this checkpoint was captured in
+	At         sim.Time
+	Handlers   []int32 // sorted registered handler ids
+	NextReq    int32   // RSR client sequence counter
+	Dedup      []DedupState
+	Shared     []SharedState
+	Unexpected []CapturedMessage
+	InFlight   []CapturedMessage
+	Counters   trace.Snapshot
+}
+
+// Normalize sorts the order-canonical sections in place: dedup records by
+// source thread, shared entries by name (directories by address), handler
+// ids ascending. Capture paths that build the sections from map walks call
+// it before storing so identical states serialize identically.
+func (cp *Checkpoint) Normalize() {
+	sort.Slice(cp.Handlers, func(i, j int) bool { return cp.Handlers[i] < cp.Handlers[j] })
+	sort.Slice(cp.Dedup, func(i, j int) bool {
+		a, b := cp.Dedup[i], cp.Dedup[j]
+		if a.SrcPE != b.SrcPE {
+			return a.SrcPE < b.SrcPE
+		}
+		if a.SrcProc != b.SrcProc {
+			return a.SrcProc < b.SrcProc
+		}
+		return a.SrcThread < b.SrcThread
+	})
+	sort.Slice(cp.Shared, func(i, j int) bool { return cp.Shared[i].Name < cp.Shared[j].Name })
+	for i := range cp.Shared {
+		d := cp.Shared[i].Directory
+		sort.Slice(d, func(a, b int) bool {
+			if d[a].PE != d[b].PE {
+				return d[a].PE < d[b].PE
+			}
+			return d[a].Proc < d[b].Proc
+		})
+	}
+}
+
+// Recorder tracks one coordinated snapshot in progress at one process: which
+// incoming channels are still being recorded (their marker has not arrived)
+// and the in-flight messages logged so far. It is driven from the process's
+// own scheduler context and needs no locking.
+type Recorder struct {
+	id       uint32
+	pending  map[comm.Addr]bool
+	npending int
+	inflight []CapturedMessage
+}
+
+// NewRecorder starts recording a snapshot with the given id over the given
+// incoming channels (every peer process of the topology). Channels whose
+// marker already arrived are marked done with MarkerFrom.
+func NewRecorder(id uint32, channels []comm.Addr) *Recorder {
+	r := &Recorder{id: id, pending: make(map[comm.Addr]bool, len(channels))}
+	for _, a := range channels {
+		if !r.pending[a] {
+			r.pending[a] = true
+			r.npending++
+		}
+	}
+	return r
+}
+
+// ID reports the snapshot id this recorder belongs to.
+func (r *Recorder) ID() uint32 { return r.id }
+
+// MarkerFrom records the marker's arrival on the channel from src, closing
+// that channel's recording window. It reports whether the snapshot is now
+// complete (markers received on every channel). Duplicate markers (the
+// protocol's reliable flooding retries them) are idempotent.
+func (r *Recorder) MarkerFrom(src comm.Addr) (done bool) {
+	if r.pending[src] {
+		delete(r.pending, src)
+		r.npending--
+	}
+	return r.npending == 0
+}
+
+// Recording reports whether the channel from src is still inside its
+// recording window.
+func (r *Recorder) Recording(src comm.Addr) bool { return r.pending[src] }
+
+// Record logs one in-flight message if its source channel is still
+// recording, reporting whether it was logged. The payload is copied: the
+// caller's buffer is typically reused for the next request.
+func (r *Recorder) Record(hdr comm.Header, data []byte, sentAt sim.Time) bool {
+	src := comm.Addr{PE: hdr.SrcPE, Proc: hdr.SrcProc}
+	if !r.pending[src] {
+		return false
+	}
+	r.inflight = append(r.inflight, CapturedMessage{
+		Hdr:    hdr,
+		Data:   append([]byte(nil), data...),
+		SentAt: sentAt,
+	})
+	return true
+}
+
+// Done reports whether every channel's marker has arrived.
+func (r *Recorder) Done() bool { return r.npending == 0 }
+
+// InFlight returns the recorded in-flight messages in arrival order.
+func (r *Recorder) InFlight() []CapturedMessage { return r.inflight }

@@ -1,0 +1,233 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"chant/internal/comm"
+	"chant/internal/sim"
+	"chant/internal/trace"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Addr:     comm.Addr{PE: 2, Proc: 1},
+		Epoch:    3,
+		At:       sim.Time(12345),
+		Handlers: []int32{7, -6, 1, -9},
+		NextReq:  42,
+		Dedup: []DedupState{
+			{SrcPE: 1, SrcProc: 0, SrcThread: 5, Epoch: 2, Seq: 9, ReplyTag: -0x3F00, HasReply: true, Reply: []byte("cached")},
+			{SrcPE: 0, SrcProc: 0, SrcThread: 2, Epoch: 3, Seq: 1, ReplyTag: -0x3F01},
+		},
+		Shared: []SharedState{
+			{Name: "zeta", Value: []byte{1, 2, 3}, Version: 4, Valid: true},
+			{Name: "alpha", Value: []byte{9}, Version: 7, Valid: true, Home: true,
+				Directory: []comm.Addr{{PE: 3, Proc: 0}, {PE: 1, Proc: 0}}},
+		},
+		Unexpected: []CapturedMessage{
+			{Hdr: comm.Header{SrcPE: 1, DstPE: 2, Tag: 10, Size: 2}, Data: []byte("hi"), SentAt: 100},
+		},
+		InFlight: []CapturedMessage{
+			{Hdr: comm.Header{SrcPE: 0, DstPE: 2, Tag: 11, Size: 3}, Data: []byte("abc"), SentAt: 110},
+			{Hdr: comm.Header{SrcPE: 3, DstPE: 2, Tag: 12}, SentAt: 115},
+		},
+		Counters: trace.Snapshot{Sends: 17, Recvs: 16, Checkpoints: 1, AvgWaiting: 1.5, MaxWaiting: 4},
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := sampleCheckpoint()
+	a.Normalize()
+	first := Encode(a)
+	second := Encode(a)
+	if !bytes.Equal(first, second) {
+		t.Fatal("encoding the same checkpoint twice produced different bytes")
+	}
+
+	// A semantically identical checkpoint built in a different section order
+	// normalizes to the same bytes.
+	b := sampleCheckpoint()
+	b.Handlers = []int32{-9, 1, -6, 7}
+	b.Dedup[0], b.Dedup[1] = b.Dedup[1], b.Dedup[0]
+	b.Shared[0], b.Shared[1] = b.Shared[1], b.Shared[0]
+	b.Normalize()
+	if !bytes.Equal(first, Encode(b)) {
+		t.Fatal("normalized encodings of equivalent checkpoints differ")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cp := sampleCheckpoint()
+	cp.Normalize()
+	blob := Encode(cp)
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(cp, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+	// Re-encoding the decoded value reproduces the blob exactly.
+	if !bytes.Equal(blob, Encode(got)) {
+		t.Fatal("re-encoding a decoded checkpoint changed the bytes")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cp := sampleCheckpoint()
+	cp.Normalize()
+	blob := Encode(cp)
+
+	if _, err := Decode([]byte("nope")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(blob[:len(blob)-5]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(append(append([]byte(nil), blob...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: got %v, want ErrCorrupt", err)
+	}
+	// Corrupt a section count deep inside: must error, not crash or OOM.
+	mangled := append([]byte(nil), blob...)
+	mangled[len(codecMagic)+8+4+8] = 0xFF // handler count low byte
+	if _, err := Decode(mangled); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mangled count: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotCodecComplete fills every field of trace.Snapshot with a
+// distinct value via reflection and asserts the codec carries all of them.
+// Adding a counter without extending the codec field lists fails here.
+func TestSnapshotCodecComplete(t *testing.T) {
+	var s trace.Snapshot
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(1000 + i))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.25)
+		case reflect.Int:
+			f.SetInt(int64(2000 + i))
+		default:
+			t.Fatalf("trace.Snapshot field %s has unhandled kind %v; extend the recovery codec and this test", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	cp := &Checkpoint{Counters: s}
+	got, err := Decode(Encode(cp))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Counters != s {
+		t.Fatalf("snapshot codec dropped fields:\n got %+v\nwant %+v", got.Counters, s)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	p0 := comm.Addr{PE: 0, Proc: 0}
+	p2 := comm.Addr{PE: 2, Proc: 0}
+	r := NewRecorder(7, []comm.Addr{p0, p2, p0}) // duplicate channel collapses
+	if r.ID() != 7 {
+		t.Fatalf("ID = %d, want 7", r.ID())
+	}
+	if r.Done() {
+		t.Fatal("fresh recorder reports done")
+	}
+	if !r.Recording(p0) || !r.Recording(p2) {
+		t.Fatal("channels not recording at start")
+	}
+
+	h0 := comm.Header{SrcPE: 0, SrcProc: 0, Tag: 5, Size: 1}
+	buf := []byte{0xAA}
+	if !r.Record(h0, buf, 10) {
+		t.Fatal("message on recording channel not logged")
+	}
+	buf[0] = 0xBB // caller reuses the buffer; the log must hold a copy
+	if r.InFlight()[0].Data[0] != 0xAA {
+		t.Fatal("recorded payload aliases the caller's buffer")
+	}
+
+	if done := r.MarkerFrom(p0); done {
+		t.Fatal("done after first of two markers")
+	}
+	if r.Record(h0, []byte{1}, 11) {
+		t.Fatal("message logged after its channel's marker")
+	}
+	if done := r.MarkerFrom(p0); done { // duplicate marker is idempotent
+		t.Fatal("duplicate marker completed the snapshot")
+	}
+	if done := r.MarkerFrom(p2); !done {
+		t.Fatal("snapshot not done after last marker")
+	}
+	if !r.Done() {
+		t.Fatal("Done disagrees with MarkerFrom")
+	}
+	if len(r.InFlight()) != 1 {
+		t.Fatalf("in-flight log has %d entries, want 1", len(r.InFlight()))
+	}
+}
+
+func TestMemStoreVersioning(t *testing.T) {
+	testStoreVersioning(t, NewMemStore())
+}
+
+func TestDirStoreVersioning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	testStoreVersioning(t, s)
+
+	// A fresh DirStore over the same directory rediscovers the versions.
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatalf("NewDirStore reopen: %v", err)
+	}
+	cp, v, err := s2.Latest(comm.Addr{PE: 2, Proc: 1})
+	if err != nil || v != 2 {
+		t.Fatalf("reopened Latest: version %d, err %v; want 2, nil", v, err)
+	}
+	if cp.Epoch != 4 {
+		t.Fatalf("reopened Latest epoch = %d, want 4", cp.Epoch)
+	}
+}
+
+func testStoreVersioning(t *testing.T, s Store) {
+	t.Helper()
+	addr := comm.Addr{PE: 2, Proc: 1}
+
+	if _, _, err := s.Latest(addr); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on empty store: %v, want ErrNoCheckpoint", err)
+	}
+	if _, err := s.Get(addr, 1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Get on empty store: %v, want ErrNoCheckpoint", err)
+	}
+
+	cp1 := sampleCheckpoint()
+	if v, err := s.Put(cp1); err != nil || v != 1 {
+		t.Fatalf("first Put: version %d, err %v; want 1, nil", v, err)
+	}
+	cp2 := sampleCheckpoint()
+	cp2.Epoch = 4
+	if v, err := s.Put(cp2); err != nil || v != 2 {
+		t.Fatalf("second Put: version %d, err %v; want 2, nil", v, err)
+	}
+
+	got1, err := s.Get(addr, 1)
+	if err != nil || got1.Epoch != 3 {
+		t.Fatalf("Get v1: epoch %d, err %v; want 3, nil", got1.Epoch, err)
+	}
+	latest, v, err := s.Latest(addr)
+	if err != nil || v != 2 || latest.Epoch != 4 {
+		t.Fatalf("Latest: version %d, epoch %d, err %v; want 2, 4, nil", v, latest.Epoch, err)
+	}
+	// Other addresses are independent.
+	if _, _, err := s.Latest(comm.Addr{PE: 9, Proc: 0}); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest for foreign addr: %v, want ErrNoCheckpoint", err)
+	}
+}

@@ -1,0 +1,164 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"chant/internal/comm"
+)
+
+// ErrNoCheckpoint reports a lookup for a process with no stored checkpoint.
+var ErrNoCheckpoint = errors.New("recovery: no checkpoint stored")
+
+// Store is a versioned checkpoint archive. Versions count from 1 per process
+// address; Put appends, reads never mutate. Implementations round-trip
+// through the canonical encoding, so what Latest returns is exactly what a
+// cold restart would decode from storage.
+type Store interface {
+	// Put archives cp (normalized and encoded) and returns its version.
+	Put(cp *Checkpoint) (version int, err error)
+	// Get decodes the given version for addr. It returns ErrNoCheckpoint if
+	// that version does not exist.
+	Get(addr comm.Addr, version int) (*Checkpoint, error)
+	// Latest decodes the newest version for addr, reporting its number. It
+	// returns ErrNoCheckpoint if the process never checkpointed.
+	Latest(addr comm.Addr) (*Checkpoint, int, error)
+}
+
+// MemStore is the in-memory Store used by simulated runtimes: encoded blobs
+// held per address, safe for concurrent use (processes of one simulation
+// share it).
+type MemStore struct {
+	mu    sync.Mutex
+	blobs map[comm.Addr][][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[comm.Addr][][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(cp *Checkpoint) (int, error) {
+	cp.Normalize()
+	blob := Encode(cp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[cp.Addr] = append(s.blobs[cp.Addr], blob)
+	return len(s.blobs[cp.Addr]), nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(addr comm.Addr, version int) (*Checkpoint, error) {
+	s.mu.Lock()
+	vs := s.blobs[addr]
+	var blob []byte
+	if version >= 1 && version <= len(vs) {
+		blob = vs[version-1]
+	}
+	s.mu.Unlock()
+	if blob == nil {
+		return nil, fmt.Errorf("%w: %v version %d", ErrNoCheckpoint, addr, version)
+	}
+	return Decode(blob)
+}
+
+// Latest implements Store.
+func (s *MemStore) Latest(addr comm.Addr) (*Checkpoint, int, error) {
+	s.mu.Lock()
+	vs := s.blobs[addr]
+	n := len(vs)
+	var blob []byte
+	if n > 0 {
+		blob = vs[n-1]
+	}
+	s.mu.Unlock()
+	if blob == nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoCheckpoint, addr)
+	}
+	cp, err := Decode(blob)
+	return cp, n, err
+}
+
+// DirStore is the on-disk Store: one file per checkpoint version under a
+// directory, named pe<PE>.p<Proc>.v<version>.ckpt. File contents are the
+// canonical encoding, so archives are comparable byte-for-byte across runs.
+type DirStore struct {
+	dir string
+
+	mu       sync.Mutex
+	versions map[comm.Addr]int // highest version written or discovered
+}
+
+// NewDirStore opens (creating if needed) an on-disk store rooted at dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &DirStore{dir: dir, versions: make(map[comm.Addr]int)}
+	return s, nil
+}
+
+func (s *DirStore) path(addr comm.Addr, version int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("pe%d.p%d.v%06d.ckpt", addr.PE, addr.Proc, version))
+}
+
+// latestVersion reports the highest version on disk for addr (0 if none),
+// preferring the cached high-water mark. Caller holds s.mu.
+func (s *DirStore) latestVersion(addr comm.Addr) int {
+	if v, ok := s.versions[addr]; ok {
+		return v
+	}
+	v := 0
+	for {
+		if _, err := os.Stat(s.path(addr, v+1)); err != nil {
+			break
+		}
+		v++
+	}
+	s.versions[addr] = v
+	return v
+}
+
+// Put implements Store.
+func (s *DirStore) Put(cp *Checkpoint) (int, error) {
+	cp.Normalize()
+	blob := Encode(cp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.latestVersion(cp.Addr) + 1
+	// Write-then-rename so a torn write never masquerades as a checkpoint.
+	tmp := s.path(cp.Addr, v) + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.path(cp.Addr, v)); err != nil {
+		return 0, err
+	}
+	s.versions[cp.Addr] = v
+	return v, nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(addr comm.Addr, version int) (*Checkpoint, error) {
+	blob, err := os.ReadFile(s.path(addr, version))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v version %d", ErrNoCheckpoint, addr, version)
+	}
+	return Decode(blob)
+}
+
+// Latest implements Store.
+func (s *DirStore) Latest(addr comm.Addr) (*Checkpoint, int, error) {
+	s.mu.Lock()
+	v := s.latestVersion(addr)
+	s.mu.Unlock()
+	if v == 0 {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoCheckpoint, addr)
+	}
+	cp, err := s.Get(addr, v)
+	return cp, v, err
+}

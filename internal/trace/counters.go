@@ -55,6 +55,14 @@ type Counters struct {
 	RSRTimeouts       atomic.Uint64 // RSR calls that exhausted their retry budget
 	RSRDupsServed     atomic.Uint64 // duplicate RSR requests answered from the dedup cache
 
+	// Recovery events (coordinated checkpoints and PE restart).
+	Checkpoints      atomic.Uint64 // coordinated snapshots this process finalized
+	InFlightLogged   atomic.Uint64 // in-flight messages recorded between marker arrivals
+	Restarts         atomic.Uint64 // times this process was restored from a checkpoint
+	InFlightReplayed atomic.Uint64 // logged messages re-delivered after a restore
+	RejoinsServed    atomic.Uint64 // rejoin announcements served from restarted peers
+	PeersRecovered   atomic.Uint64 // peers this process moved from dead back to alive
+
 	wait waitingIntegrator
 }
 
@@ -162,6 +170,8 @@ type Snapshot struct {
 	FaultDrops, FaultDups, FaultDelays, UnexpectedDropped              uint64
 	RecvTimeouts, PeerDeadRecvs, PeersDead                             uint64
 	RSRRetries, RSRTimeouts, RSRDupsServed                             uint64
+	Checkpoints, InFlightLogged, Restarts                              uint64
+	InFlightReplayed, RejoinsServed, PeersRecovered                    uint64
 	AvgWaiting                                                         float64
 	MaxWaiting                                                         int
 }
@@ -198,9 +208,58 @@ func (c *Counters) Snap(end sim.Time) Snapshot {
 		RSRRetries:        c.RSRRetries.Load(),
 		RSRTimeouts:       c.RSRTimeouts.Load(),
 		RSRDupsServed:     c.RSRDupsServed.Load(),
+		Checkpoints:       c.Checkpoints.Load(),
+		InFlightLogged:    c.InFlightLogged.Load(),
+		Restarts:          c.Restarts.Load(),
+		InFlightReplayed:  c.InFlightReplayed.Load(),
+		RejoinsServed:     c.RejoinsServed.Load(),
+		PeersRecovered:    c.PeersRecovered.Load(),
 		AvgWaiting:        c.AvgWaiting(end),
 		MaxWaiting:        c.MaxWaiting(),
 	}
+}
+
+// Preload adds the event counts of a checkpoint snapshot into c, so a
+// process restored from that checkpoint continues its counter history instead
+// of restarting from zero. The caller passes a freshly zeroed Counters;
+// add-only keeps the counter discipline (no Store ever discards a racing
+// Add). Only the plain accumulators are restorable; the waiting-thread
+// integrator is time-coupled and starts fresh in the new life.
+func (c *Counters) Preload(s Snapshot) {
+	c.FullSwitches.Add(s.FullSwitches)
+	c.PartialSwitches.Add(s.PartialSwitches)
+	c.Yields.Add(s.Yields)
+	c.YieldsNoSwitch.Add(s.YieldsNoSwitch)
+	c.IdleEntries.Add(s.IdleEntries)
+	c.ThreadsCreated.Add(s.ThreadsCreated)
+	c.Sends.Add(s.Sends)
+	c.Recvs.Add(s.Recvs)
+	c.RecvImmediate.Add(s.RecvImmediate)
+	c.EarlyArrivals.Add(s.EarlyArrivals)
+	c.BytesSent.Add(s.BytesSent)
+	c.MsgTestCalls.Add(s.MsgTestCalls)
+	c.MsgTestFails.Add(s.MsgTestFails)
+	c.TestAnyCalls.Add(s.TestAnyCalls)
+	c.TestAnyScanned.Add(s.TestAnyScanned)
+	c.RSRRequests.Add(s.RSRRequests)
+	c.RSRSent.Add(s.RSRSent)
+	c.NullsSent.Add(s.NullsSent)
+	c.FaultDrops.Add(s.FaultDrops)
+	c.FaultDups.Add(s.FaultDups)
+	c.FaultDelays.Add(s.FaultDelays)
+	c.UnexpectedDropped.Add(s.UnexpectedDropped)
+	c.RecvTimeouts.Add(s.RecvTimeouts)
+	c.PeerDeadRecvs.Add(s.PeerDeadRecvs)
+	c.PeersDead.Add(s.PeersDead)
+	c.RSRRetries.Add(s.RSRRetries)
+	c.RSRTimeouts.Add(s.RSRTimeouts)
+	c.RSRDupsServed.Add(s.RSRDupsServed)
+	c.Checkpoints.Add(s.Checkpoints)
+	c.InFlightLogged.Add(s.InFlightLogged)
+	c.Restarts.Add(s.Restarts)
+	c.InFlightReplayed.Add(s.InFlightReplayed)
+	c.RejoinsServed.Add(s.RejoinsServed)
+	c.PeersRecovered.Add(s.PeersRecovered)
 }
 
 // Add accumulates other into s field-by-field. Waiting-thread statistics
@@ -235,6 +294,12 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.RSRRetries += other.RSRRetries
 	s.RSRTimeouts += other.RSRTimeouts
 	s.RSRDupsServed += other.RSRDupsServed
+	s.Checkpoints += other.Checkpoints
+	s.InFlightLogged += other.InFlightLogged
+	s.Restarts += other.Restarts
+	s.InFlightReplayed += other.InFlightReplayed
+	s.RejoinsServed += other.RejoinsServed
+	s.PeersRecovered += other.PeersRecovered
 	s.AvgWaiting += other.AvgWaiting
 	if other.MaxWaiting > s.MaxWaiting {
 		s.MaxWaiting = other.MaxWaiting
