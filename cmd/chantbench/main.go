@@ -18,9 +18,15 @@
 // redirect it to BENCH_hotpath.json. chantbench -exp parallel -json runs
 // the parallel-kernel scaling sweep instead (sequential vs parallel wall
 // clock on a 32-PE workload across GOMAXPROCS); redirect it to
-// BENCH_parallel.json. chantbench -exp recovery -json measures the crash
-// recovery subsystem (checkpoint capture cost, marker overhead, restart-to-
-// rejoin latency); redirect it to BENCH_recovery.json.
+// BENCH_parallel.json. Adding -baseline BENCH_parallel.json gates the sweep
+// against the committed figures: a best_speedup regression of more than 10%
+// exits nonzero (skipped on hosts with fewer than 4 cores). chantbench
+// -exp recovery -json measures the crash recovery subsystem (checkpoint
+// capture cost, marker overhead, restart-to-rejoin latency); redirect it to
+// BENCH_recovery.json.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever was run, so
+// performance PRs can attach evidence for the hot spots they claim.
 package main
 
 import (
@@ -28,26 +34,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"chant/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a normal return path, so the pprof defers fire
+// before the process exits.
+func run() int {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (see package comment)")
-		md     = flag.Bool("md", false, "render Markdown instead of terminal tables")
-		report = flag.Bool("report", false, "run everything and emit the full report")
-		rounds = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
-		asJSON = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
+		exp        = flag.String("exp", "all", "experiment to run (see package comment)")
+		md         = flag.Bool("md", false, "render Markdown instead of terminal tables")
+		report     = flag.Bool("report", false, "run everything and emit the full report")
+		rounds     = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
+		asJSON     = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
+		baseline   = flag.String("baseline", "", "with -exp parallel -json: committed BENCH_parallel.json to gate against (fails if best_speedup regresses >10%; skipped on hosts with <4 cores)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+			}
+		}()
+	}
+
 	if *asJSON {
 		var payload any
+		var par *experiments.ParallelResult
 		switch *exp {
 		case "parallel":
-			payload = experiments.RunParallel()
+			r := experiments.RunParallel()
+			par, payload = &r, r
 		case "recovery":
 			payload = experiments.RunRecovery()
 		default:
@@ -56,18 +103,23 @@ func main() {
 		out, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(out))
-		return
+		if *baseline != "" && par != nil {
+			if !checkParallelBaseline(*baseline, par) {
+				return 1
+			}
+		}
+		return 0
 	}
 
 	if *report {
 		fmt.Print(experiments.FullReport(*md))
-		return
+		return 0
 	}
 
-	run := func(name string) {
+	runExp := func(name string) {
 		switch name {
 		case "table1":
 			fmt.Println("Table 1: thread package operations")
@@ -165,9 +217,45 @@ func main() {
 			"ablation-testany", "ablation-fastpath", "ablation-delivery",
 			"ablation-scaling", "modern",
 		} {
-			run(name)
+			runExp(name)
 		}
-		return
+		return 0
 	}
-	run(*exp)
+	runExp(*exp)
+	return 0
+}
+
+// checkParallelBaseline compares a fresh parallel sweep against the
+// committed BENCH_parallel.json and reports whether it passes: a
+// best_speedup drop of more than 10% fails. Hosts with fewer than 4 cores
+// skip the comparison (matching TestParallelBench) — a small host measures
+// protocol overhead, not scaling, and its number would gate nothing
+// meaningful.
+func checkParallelBaseline(path string, got *experiments.ParallelResult) bool {
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline check skipped: host has %d cores (<4)\n", runtime.NumCPU())
+		return true
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline: %v\n", err)
+		return false
+	}
+	var want experiments.ParallelResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline %s: %v\n", path, err)
+		return false
+	}
+	if want.BestSpeedup <= 0 {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline %s has no best_speedup; nothing to gate\n", path)
+		return true
+	}
+	if got.BestSpeedup < want.BestSpeedup*0.9 {
+		fmt.Fprintf(os.Stderr, "chantbench: parallel best_speedup regressed: %.3fx vs committed %.3fx (>10%% drop)\n",
+			got.BestSpeedup, want.BestSpeedup)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "chantbench: parallel best_speedup %.3fx vs committed %.3fx: ok\n",
+		got.BestSpeedup, want.BestSpeedup)
+	return true
 }

@@ -45,6 +45,14 @@ type Result struct {
 	PerProc map[comm.Addr]trace.Snapshot
 	// Total sums the per-process snapshots.
 	Total trace.Snapshot
+	// SimWindows and SimInlineWindows report the parallel kernel's
+	// execution-window counts (zero on the sequential kernel and in real
+	// mode): total barrier-synchronized windows, and the subset the
+	// controller ran inline because the window was single-shard or
+	// predicted tiny. Diagnostics only — they never affect results.
+	SimWindows uint64
+	// SimInlineWindows is the inline subset of SimWindows.
+	SimInlineWindows uint64
 }
 
 // Runtime builds and runs one Chant machine. Create it with NewSimRuntime
@@ -456,6 +464,10 @@ func (rt *Runtime) runSim(mains map[comm.Addr]MainFunc) (*Result, error) {
 		return nil, err
 	}
 	res := rt.collect(kernel.Now())
+	if pk, ok := kernel.(*sim.ParKernel); ok {
+		res.SimWindows = pk.Windows
+		res.SimInlineWindows = pk.InlineWindows
+	}
 	return res, errors.Join(perr...)
 }
 

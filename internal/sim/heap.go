@@ -89,13 +89,9 @@ func (h *eventHeap) peekTime() Time { return h.ev[0].at }
 
 // peekKey reports the (time, seq) key of the earliest event. It must not be
 // called on an empty heap.
+//
+// There is deliberately no bulk-rewrite/re-heapify operation: the parallel
+// kernel holds insertions that outlive their window out of the heap and
+// pushes them at the barrier already resolved, so keys in a heap are never
+// rewritten in place.
 func (h *eventHeap) peekKey() eventKey { return eventKey{h.ev[0].at, h.ev[0].seq} }
-
-// heapify restores the heap invariant after keys were rewritten in place
-// (the parallel kernel's barrier replaces provisional sequence numbers with
-// final global ones).
-func (h *eventHeap) heapify() {
-	for i := len(h.ev)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}

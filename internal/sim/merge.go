@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"chant/internal/check"
+)
+
+// The window barrier merge.
+//
+// After a window, each active shard holds a log of the events it executed,
+// in order; the controller must interleave those logs into the global
+// sequential order and assign true sequence numbers to every in-window
+// insertion in that order. Three strategies produce the identical stream:
+//
+//   - a single-shard replay when only one shard executed anything (no
+//     interleaving to compute — the common case for sparse workloads);
+//   - a loser-tree k-way merge, O(total × log shards) comparisons, the
+//     production path when several shards ran;
+//   - the original selection scan, O(total × shards), retained as the
+//     reference the differential merge tests replay against (the
+//     Matcher/RefMatcher pattern).
+//
+// Provisional-key resolution folds into tree replay: a leaf's key is
+// computed when its record becomes the shard's merge head, at which point
+// the inserter — an earlier record of the same log — has already been
+// merged and its resolution recorded.
+
+// sentinelKey sorts after every real event key; it marks an exhausted
+// merge leaf.
+var sentinelKey = eventKey{at: Time(math.MaxInt64), seq: ^uint64(0)}
+
+// recordKey resolves one log record's execution key to its true (time, seq)
+// position. It reports false only when the key is provisional and its
+// inserter has not been merged yet — impossible while the shard log order
+// invariant holds.
+func (sh *shardState) recordKey(r *execRecord) (eventKey, bool) {
+	seq := r.seq
+	if seq >= provBase {
+		n := seq &^ provBase
+		if n > uint64(len(sh.resolve)) || sh.resolve[n-1] == 0 {
+			return eventKey{}, false
+		}
+		seq = sh.resolve[n-1]
+	}
+	return eventKey{r.at, seq}, true
+}
+
+// applyRecord performs the barrier-side half of one merged record, shared by
+// every merge strategy: it assigns true sequence numbers to the record's
+// insertions in order, records provisional resolutions, pushes held-back
+// local insertions and cross-shard insertions under their true seqs, and
+// replays the journal. It clears the record's references but keeps the
+// slice capacity for the next window.
+func (pk *ParKernel) applyRecord(sh *shardState, r *execRecord, bound eventKey) {
+	for i := range r.ins {
+		ins := &r.ins[i]
+		g := pk.nextSeq()
+		if ins.prov != 0 {
+			n := ins.prov &^ provBase
+			for uint64(len(sh.resolve)) < n {
+				sh.resolve = append(sh.resolve, 0)
+			}
+			sh.resolve[n-1] = g
+			if ins.held {
+				// The targeted rewrite: the event never entered the heap
+				// under its provisional key, so instead of scanning and
+				// re-heapifying the shard heap the barrier pushes it once,
+				// already resolved — one O(log n) sift per held event.
+				ins.tk.heap.push(event{at: ins.at, seq: g, fn: ins.fn, proc: ins.proc})
+			}
+			continue
+		}
+		if ins.at < bound.at {
+			panic(fmt.Sprintf("sim: lookahead violation: cross-shard event at %v lands inside the window ending at %v; cross-shard effects must pay at least alpha=%v", ins.at, bound.at, pk.alpha))
+		}
+		ins.tk.heap.push(event{at: ins.at, seq: g, fn: ins.fn, proc: ins.proc})
+	}
+	for _, fn := range r.jrn {
+		fn()
+	}
+	clear(r.ins)
+	r.ins = r.ins[:0]
+	clear(r.jrn)
+	r.jrn = r.jrn[:0]
+}
+
+// merge is the window barrier: it interleaves the shard execution logs into
+// the global sequential order, applying each record (sequence assignment,
+// held and cross-shard pushes, journal replay) as it is merged, then resets
+// the window state and advances the global clock. Runs single-threaded on
+// the controller.
+func (pk *ParKernel) merge(bound eventKey) {
+	shards := pk.shards
+	total, nactive, last := 0, 0, -1
+	for _, si := range pk.active {
+		if n := len(shards[si].shard.log); n > 0 {
+			total += n
+			nactive++
+			last = si
+		}
+	}
+	pk.lastTotal = total
+
+	switch {
+	case total == 0:
+		// Deadline-capped window with nothing below the bound; no state to
+		// fold back.
+	case pk.refMerge:
+		pk.mergeSelect(bound, total)
+	case nactive == 1:
+		// One shard ran: the merged order is its log order verbatim.
+		sh := shards[last].shard
+		for i := range sh.log {
+			pk.applyRecord(sh, &sh.log[i], bound)
+		}
+	default:
+		pk.mergeTree(bound, total)
+	}
+	pk.Events += uint64(total)
+
+	for _, si := range pk.active {
+		s := shards[si]
+		sh := s.shard
+		if check.Enabled {
+			// Held-back insertion bookkeeping means no provisional key can
+			// survive in a heap past the barrier; verify in debug builds.
+			for i := range s.heap.ev {
+				if s.heap.ev[i].seq >= provBase {
+					check.Failf("sim: provisional event key survived the barrier in shard %d's heap", si)
+				}
+			}
+		}
+		sh.log = sh.log[:0]
+		sh.provSeq = 0
+		sh.resolve = sh.resolve[:0]
+		if s.now > pk.now {
+			pk.now = s.now
+		}
+	}
+}
+
+// mergeSelect is the retained reference merge: per merged record, a linear
+// scan selects the shard whose resolved head key is globally smallest —
+// O(total × shards). The loser tree must reproduce its merged order exactly;
+// the differential merge tests in merge_test.go replay random windows
+// through both.
+func (pk *ParKernel) mergeSelect(bound eventKey, total int) {
+	shards := pk.shards
+	ptr := pk.lt.ptr
+	for i := range ptr {
+		ptr[i] = 0
+	}
+	for merged := 0; merged < total; merged++ {
+		best := -1
+		var bestKey eventKey
+		for si, s := range shards {
+			sh := s.shard
+			if ptr[si] >= len(sh.log) {
+				continue
+			}
+			k, ok := sh.recordKey(&sh.log[ptr[si]])
+			if !ok {
+				// Unreachable while the shard log order invariant holds;
+				// skipping an unresolved head can only stall, caught below.
+				continue
+			}
+			if best < 0 || k.less(bestKey) {
+				best, bestKey = si, k
+			}
+		}
+		if best < 0 {
+			panic("sim: parallel barrier merge stalled on an unresolved provisional event; shard log order invariant broken")
+		}
+		sh := shards[best].shard
+		pk.applyRecord(sh, &sh.log[ptr[best]], bound)
+		ptr[best]++
+	}
+}
+
+// loserTree is the k-way merge state, kernel-owned and reused across
+// windows. Leaves are shard indices (padded to a power of two with
+// exhausted sentinels); each internal node remembers the loser of the match
+// played there, and node[0] holds the overall winner — so replacing the
+// winner's key replays exactly one root-to-leaf path: O(log shards)
+// comparisons per merged record.
+type loserTree struct {
+	m    int        // leaf count: power of two ≥ max(shards, 2)
+	node []int32    // node[1..m-1] losers, node[0] the winner (leaf indices)
+	key  []eventKey // current resolved head key per leaf
+	ptr  []int      // next unmerged record per shard
+}
+
+// init sizes the tree for nshards leaves; called once at kernel creation.
+func (lt *loserTree) init(nshards int) {
+	m := 2
+	for m < nshards {
+		m *= 2
+	}
+	lt.m = m
+	lt.node = make([]int32, m)
+	lt.key = make([]eventKey, m)
+	lt.ptr = make([]int, nshards)
+}
+
+// leafKey computes leaf si's current key: its shard's resolved head-record
+// key, or the sentinel once the log is exhausted. An unresolved head is an
+// invariant violation — the merge has stalled.
+func (lt *loserTree) leafKey(shards []*Kernel, si int) eventKey {
+	sh := shards[si].shard
+	if lt.ptr[si] >= len(sh.log) {
+		return sentinelKey
+	}
+	k, ok := sh.recordKey(&sh.log[lt.ptr[si]])
+	if !ok {
+		panic("sim: parallel barrier merge stalled on an unresolved provisional event; shard log order invariant broken")
+	}
+	return k
+}
+
+// build plays every leaf up the tree: losers stay at the internal nodes,
+// and the subtree winner propagates to the parent. Ties go to the lower
+// leaf index, matching the reference scan's first-strictly-smaller rule.
+func (lt *loserTree) build(n int) int32 {
+	if n >= lt.m {
+		return int32(n - lt.m)
+	}
+	a := lt.build(2 * n)
+	b := lt.build(2*n + 1)
+	if lt.key[b].less(lt.key[a]) {
+		lt.node[n] = a
+		return b
+	}
+	lt.node[n] = b
+	return a
+}
+
+// replay re-runs the matches on leaf w's path to the root after its key
+// changed, leaving the new overall winner at node[0].
+func (lt *loserTree) replay(w int) {
+	winner := int32(w)
+	for n := (lt.m + w) / 2; n >= 1; n /= 2 {
+		if lt.key[lt.node[n]].less(lt.key[winner]) {
+			lt.node[n], winner = winner, lt.node[n]
+		}
+	}
+	lt.node[0] = winner
+}
+
+// mergeTree merges the shard logs with the loser tree: O(log shards)
+// comparisons per record instead of the reference scan's O(shards).
+// Provisional-key resolution folds into replay — a leaf's key is computed
+// exactly when its record becomes the merge head, after its inserter (an
+// earlier record of the same log) has been applied.
+func (pk *ParKernel) mergeTree(bound eventKey, total int) {
+	lt := &pk.lt
+	shards := pk.shards
+	for i := range lt.key {
+		if i < len(shards) {
+			lt.ptr[i] = 0
+			lt.key[i] = lt.leafKey(shards, i)
+		} else {
+			lt.key[i] = sentinelKey
+		}
+	}
+	lt.node[0] = lt.build(1)
+	for merged := 0; merged < total; merged++ {
+		w := int(lt.node[0])
+		if lt.key[w] == sentinelKey {
+			panic("sim: parallel barrier merge stalled on an unresolved provisional event; shard log order invariant broken")
+		}
+		sh := shards[w].shard
+		pk.applyRecord(sh, &sh.log[lt.ptr[w]], bound)
+		lt.ptr[w]++
+		lt.key[w] = lt.leafKey(shards, w)
+		lt.replay(w)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// churnResult is everything observable the churn workload produces: per-proc
+// logs (appended only from the proc's own shard, so recording is race-free),
+// the journal stream (appended only at the controller's merge or, on the
+// sequential kernel, inline), final time, event count, and Run's error.
+type churnResult struct {
+	logs []string
+	jrn  string
+	now  Time
+	evs  uint64
+	err  string
+}
+
+// runChurn drives a seeded random workload built to stress every merge
+// ingredient: same-instant ties (jittered advances), provisional keys for
+// events both inside the window (short local At) and past its bound (long
+// local At — the held-back path), cross-shard insertions (AtOn to the ring
+// neighbor at ≥ alpha), journal entries, and parked processes woken across
+// shards.
+func runChurn(k testKernel, seed uint64, nprocs, iters int, alpha Duration) churnResult {
+	logs := make([][]string, nprocs)
+	rx := make([]int, nprocs) // only touched on proc i's shard
+	var jrn []string
+	procs := make([]*Proc, nprocs)
+	journal := func(k *Kernel, fn func()) { k.Journal(fn) }
+	for i := range procs {
+		i := i
+		procs[i] = k.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			rng := NewRNG(seed*0x9E3779B97F4A7C15 + uint64(i) + 1)
+			for it := 0; it < iters; it++ {
+				p.Advance(Duration(rng.Intn(4)) * 5) // often 0: ties
+				logs[i] = append(logs[i], fmt.Sprintf("it%d@%v", it, p.Now()))
+				switch rng.Intn(4) {
+				case 0:
+					// Local event inside the current window (provisional key
+					// resolved while the window is still open).
+					at := p.Now().Add(Duration(rng.Intn(3)) * 2)
+					p.Kernel().At(at, func() {
+						logs[i] = append(logs[i], fmt.Sprintf("near@%v", at))
+					})
+				case 1:
+					// Local event at least a full window ahead: held out of
+					// the heap until the barrier resolves its seq.
+					at := p.Now().Add(alpha + Duration(rng.Intn(3))*7)
+					p.Kernel().At(at, func() {
+						logs[i] = append(logs[i], fmt.Sprintf("far@%v", at))
+					})
+				case 2:
+					// Capture the timestamp now: journal closures replay at
+					// the barrier in merged order, after the proc's clock
+					// has moved on (same contract the fault plane follows).
+					it, now := it, p.Now()
+					journal(p.Kernel(), func() {
+						jrn = append(jrn, fmt.Sprintf("j%d.%d@%v", i, it, now))
+					})
+				}
+				// Ring delivery: crosses shards whenever the neighbor lives
+				// elsewhere, always at least alpha out.
+				j := (i + 1) % nprocs
+				dst := procs[j]
+				at := p.Now().Add(alpha + Duration(rng.Intn(3))*5)
+				src := i
+				p.Kernel().AtOn(dst, at, func() {
+					rx[j]++
+					logs[j] = append(logs[j], fmt.Sprintf("rx%d@%v", src, dst.Now()))
+					dst.Signal()
+				})
+				if it%4 == 3 {
+					for rx[i] <= it {
+						p.WaitSignal()
+					}
+					logs[i] = append(logs[i], fmt.Sprintf("wake@%v", p.Now()))
+				}
+			}
+		})
+	}
+	res := churnResult{}
+	if err := k.Run(0); err != nil {
+		res.err = err.Error()
+	}
+	for _, l := range logs {
+		res.logs = append(res.logs, strings.Join(l, " "))
+	}
+	res.jrn = strings.Join(jrn, " ")
+	res.now = k.Now()
+	res.evs = kernelEvents(k)
+	return res
+}
+
+// diffChurn fails the test wherever got diverges from want.
+func diffChurn(t *testing.T, label string, got, want churnResult) {
+	t.Helper()
+	if got.err != want.err {
+		t.Errorf("%s: err %q, want %q", label, got.err, want.err)
+	}
+	if got.now != want.now {
+		t.Errorf("%s: final time %v, want %v", label, got.now, want.now)
+	}
+	if got.evs != want.evs {
+		t.Errorf("%s: %d events, want %d", label, got.evs, want.evs)
+	}
+	if got.jrn != want.jrn {
+		t.Errorf("%s: journal diverged\n got %s\nwant %s", label, got.jrn, want.jrn)
+	}
+	for i := range want.logs {
+		if got.logs[i] != want.logs[i] {
+			t.Errorf("%s: proc %d log diverged\n got %s\nwant %s", label, i, got.logs[i], want.logs[i])
+		}
+	}
+}
+
+// TestMergeDifferential is the merge property test: over ≥20 seeded random
+// workloads (provisional keys, held-back insertions, cross-shard
+// insertions, journal entries) and several shard counts, the loser-tree
+// merge, the retained selection-scan reference merge, and the sequential
+// kernel must all produce the identical observable stream.
+func TestMergeDifferential(t *testing.T) {
+	const nprocs, iters = 6, 40
+	const alpha = Duration(20)
+	for seed := uint64(0); seed < 24; seed++ {
+		want := runChurn(NewKernel(), seed, nprocs, iters, alpha)
+		if want.err != "" {
+			t.Fatalf("seed %d: sequential churn errored: %v", seed, want.err)
+		}
+		for _, shards := range []int{2, 3, 5, 8} {
+			tree := NewParKernel(shards, alpha)
+			diffChurn(t, fmt.Sprintf("seed %d shards %d loser-tree", seed, shards),
+				runChurn(tree, seed, nprocs, iters, alpha), want)
+
+			ref := NewParKernel(shards, alpha)
+			ref.refMerge = true
+			diffChurn(t, fmt.Sprintf("seed %d shards %d ref-scan", seed, shards),
+				runChurn(ref, seed, nprocs, iters, alpha), want)
+		}
+	}
+}
+
+// TestMergeRefFlagExercisesBothPaths guards the differential test itself:
+// the two kernels must actually take different merge paths (a broken
+// refMerge flag would silently compare the loser tree against itself), and
+// multi-shard runs must execute some multi-shard windows for the tree to
+// merge.
+func TestMergeRefFlagExercisesBothPaths(t *testing.T) {
+	const alpha = Duration(20)
+	pk := NewParKernel(4, alpha)
+	runChurn(pk, 1, 6, 40, alpha)
+	if pk.Windows == 0 {
+		t.Fatalf("churn workload executed no windows")
+	}
+	if pk.refMerge {
+		t.Fatalf("refMerge must default to the loser tree")
+	}
+}

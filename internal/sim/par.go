@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"chant/internal/check"
@@ -25,6 +26,11 @@ import (
 //     counter. provBase exceeds every true sequence number, which is correct
 //     locally: an event inserted during the window has a larger true seq
 //     than every event that predates the window.
+//   - An in-window insertion enters its shard's heap immediately only when
+//     it lands inside the window and must still execute in it. Insertions at
+//     or past the bound are held in the window log and pushed at the barrier
+//     under their true seqs, so the heap never holds a provisional key at a
+//     barrier and nothing needs rewriting in place (see merge.go).
 //   - Each shard logs the events it executed, in order, with the insertions
 //     each one performed. A shard's log order equals the sequential global
 //     order restricted to that shard (induction: insertions are performed by
@@ -39,21 +45,37 @@ import (
 //   - Cross-shard insertions (simnet deliveries) are pushed into the target
 //     shard's heap with their true seqs; any such event inside the closing
 //     window is a lookahead violation and panics. Journaled side effects
-//     (fault-plane event records) replay in merged order. Finally the
-//     remaining provisional keys in shard heaps are rewritten to their true
-//     seqs and the heaps re-heapified.
+//     (fault-plane event records) replay in merged order.
 //
 // Controller callbacks (ParKernel.At: the time-0 rendezvous, scheduled
 // crashes) run single-threaded between windows; a pending callback's
 // (time, seq) key caps the window bound so callbacks interleave with shard
 // events exactly as sequentially, even mid-instant.
+//
+// The execution strategy is adaptive, the results are not: a window whose
+// events all live on one shard, or that is predicted tiny, runs inline on
+// the controller goroutine instead of paying the work/done fan-out — the
+// two strategies execute the same events against the same state, so the
+// choice is purely a wall-clock matter.
 const provBase uint64 = 1 << 63
+
+// inlineEventThreshold is the inline-window heuristic: when the previous
+// window executed fewer than this many events per currently active shard,
+// the fan-out's fixed cost (two channel operations plus a goroutine wakeup
+// per shard) is predicted to exceed the parallel win and the controller
+// runs the window inline. Only wall-clock time depends on the estimate
+// being right.
+const inlineEventThreshold = 16
 
 // insEntry records one insertion performed by an in-window event.
 type insEntry struct {
 	tk   *Kernel // destination shard kernel
 	at   Time
 	prov uint64 // provisional key when the insertion was shard-local, else 0
+	// held marks a shard-local insertion landing at or past the window
+	// bound: it was kept out of the heap and is pushed at the barrier under
+	// its true seq.
+	held bool
 	fn   func()
 	proc *Proc
 }
@@ -70,13 +92,29 @@ type execRecord struct {
 type shardState struct {
 	pk      *ParKernel
 	id      int
-	active  bool // true while the shard's worker executes a window
+	active  bool     // true while the shard's worker executes a window
+	bound   eventKey // exclusive key bound of the window being executed
 	provSeq uint64
 	log     []execRecord
 	resolve []uint64 // provisional counter (1-based) -> true global seq
 }
 
 func (sh *shardState) cur() *execRecord { return &sh.log[len(sh.log)-1] }
+
+// appendRecord extends the window log by one record. Slots freed by a
+// previous window's reset keep their ins/jrn backing arrays, so a
+// steady-state window reuses them instead of allocating.
+func (sh *shardState) appendRecord(at Time, seq uint64) {
+	if n := len(sh.log); n < cap(sh.log) {
+		sh.log = sh.log[:n+1]
+		r := &sh.log[n]
+		r.at, r.seq = at, seq
+		r.ins = r.ins[:0]
+		r.jrn = r.jrn[:0]
+		return
+	}
+	sh.log = append(sh.log, execRecord{at: at, seq: seq})
+}
 
 // insertLocal handles an insertion into the shard's own heap.
 func (sh *shardState) insertLocal(k *Kernel, t Time, fn func(), p *Proc) {
@@ -87,9 +125,22 @@ func (sh *shardState) insertLocal(k *Kernel, t Time, fn func(), p *Proc) {
 	}
 	sh.provSeq++
 	key := provBase | sh.provSeq
-	k.heap.push(event{at: t, seq: key, fn: fn, proc: p})
 	r := sh.cur()
-	r.ins = append(r.ins, insEntry{tk: k, at: t, prov: key, fn: fn, proc: p})
+	if t < sh.bound.at {
+		// Executes within this window: the heap needs it now, under its
+		// provisional key (which orders it correctly against everything the
+		// shard can still pop: after every pre-window seq at its instant,
+		// and among this window's own insertions in provisional order).
+		k.heap.push(event{at: t, seq: key, fn: fn, proc: p})
+		r.ins = append(r.ins, insEntry{tk: k, at: t, prov: key, fn: fn, proc: p})
+		return
+	}
+	// Lands at or past the bound, so it cannot execute in this window (when
+	// the bound is capped by a controller callback, the callback's seq
+	// predates the window and every provisional resolution exceeds it).
+	// Hold it out of the heap; the barrier pushes it with its true seq —
+	// the targeted alternative to rewriting heap keys in place.
+	r.ins = append(r.ins, insEntry{tk: k, at: t, prov: key, held: true, fn: fn, proc: p})
 }
 
 // insertRemote handles an insertion aimed at another shard's heap.
@@ -117,15 +168,34 @@ type ParKernel struct {
 	running bool
 	stopped atomic.Bool // latched from any shard; read between windows
 
+	// The worker pool is started lazily by the first fanned-out window and
+	// torn down when Run returns; a run whose windows all inline never pays
+	// for it.
 	work []chan eventKey
 	done chan struct{}
+
+	// Window-loop scratch, kernel-owned and reused so a steady-state window
+	// allocates nothing.
+	active    []int // shard indices with work below the current bound
+	lastTotal int   // events the previous window executed (inline heuristic)
+	serial    bool  // GOMAXPROCS was 1 at Run: fan-out can never win
+	lt        loserTree
+
+	// refMerge forces the retained selection-scan reference merge instead
+	// of the loser tree; the differential merge tests flip it.
+	refMerge bool
 
 	// Events counts every event dispatched across all shards plus controller
 	// callbacks, for diagnostics. Matches the sequential kernel's count.
 	Events uint64
 
-	// Windows counts barrier-synchronized execution windows, for diagnostics.
+	// Windows counts execution windows, for diagnostics.
 	Windows uint64
+
+	// InlineWindows counts the windows the controller ran inline on its own
+	// goroutine — single-shard or predicted-tiny windows that skip the
+	// work/done fan-out and barrier entirely.
+	InlineWindows uint64
 }
 
 // NewParKernel returns a parallel kernel with nshards shard kernels and the
@@ -139,12 +209,17 @@ func NewParKernel(nshards int, alpha Duration) *ParKernel {
 	if alpha <= 0 {
 		panic("sim: NewParKernel needs a positive lookahead")
 	}
-	pk := &ParKernel{alpha: alpha, shards: make([]*Kernel, nshards)}
+	pk := &ParKernel{
+		alpha:  alpha,
+		shards: make([]*Kernel, nshards),
+		active: make([]int, 0, nshards),
+	}
 	for i := range pk.shards {
 		k := NewKernel()
 		k.shard = &shardState{pk: pk, id: i}
 		pk.shards[i] = k
 	}
+	pk.lt.init(nshards)
 	return pk
 }
 
@@ -209,24 +284,14 @@ func (pk *ParKernel) Run(deadline Time) error {
 	}
 	pk.running = true
 	pk.stopped.Store(false)
-	defer func() { pk.running = false }()
-
-	// One persistent worker per shard. All synchronization is strict channel
-	// handoff: the controller owns every shard's state between windows, a
-	// worker owns its shard's state while executing one, and the work/done
-	// sends order those regimes. Nondeterministic interleaving never touches
-	// simulation state — divergence would trip the differential goldens.
-	pk.work = make([]chan eventKey, len(pk.shards))
-	pk.done = make(chan struct{}, len(pk.shards))
-	for i := range pk.shards {
-		pk.work[i] = make(chan eventKey, 1)
-		//chant:allow-nondet shard worker pool: strict window handoff over work/done channels, joined at a deterministic barrier
-		go pk.worker(i)
-	}
+	pk.lastTotal = 0
+	// A 1-proc host cannot overlap shard execution, so every window inlines;
+	// the read is host configuration, not simulation state — both strategies
+	// produce the same event stream bit for bit.
+	pk.serial = runtime.GOMAXPROCS(0) == 1
 	defer func() {
-		for _, w := range pk.work {
-			close(w)
-		}
+		pk.running = false
+		pk.stopWorkers()
 	}()
 
 	for !pk.stopped.Load() {
@@ -281,13 +346,7 @@ func (pk *ParKernel) Run(deadline Time) error {
 		}
 
 		pk.Windows++
-		for i := range pk.shards {
-			pk.work[i] <- bound
-		}
-		for range pk.shards {
-			<-pk.done
-		}
-		pk.merge(bound)
+		pk.runWindow(bound)
 	}
 	if pk.stopped.Load() {
 		return nil
@@ -300,6 +359,79 @@ func (pk *ParKernel) Run(deadline Time) error {
 	return nil
 }
 
+// selectActive collects (into kernel-owned scratch) the shards with pending
+// work below bound — the only shards the window can touch, since cross-shard
+// effects land at or past the bound by the lookahead promise.
+func (pk *ParKernel) selectActive(bound eventKey) []int {
+	act := pk.active[:0]
+	for i, s := range pk.shards {
+		if s.heap.Len() > 0 && s.heap.peekKey().less(bound) {
+			act = append(act, i)
+		}
+	}
+	pk.active = act
+	return act
+}
+
+// runWindow executes one window below bound: selects the shards with
+// pending work, runs them inline or fans out to the worker pool, and merges
+// at the barrier.
+func (pk *ParKernel) runWindow(bound eventKey) {
+	act := pk.selectActive(bound)
+	if pk.serial || len(act) <= 1 || pk.lastTotal < len(act)*inlineEventThreshold {
+		pk.InlineWindows++
+		for _, i := range act {
+			pk.shards[i].runShardWindow(bound)
+		}
+	} else {
+		pk.dispatch(bound, act)
+	}
+	pk.merge(bound)
+}
+
+// dispatch fans the window out to the worker pool (started on first use)
+// and joins the barrier.
+func (pk *ParKernel) dispatch(bound eventKey, act []int) {
+	if pk.work == nil {
+		pk.startWorkers()
+	}
+	for _, i := range act {
+		pk.work[i] <- bound
+	}
+	for range act {
+		<-pk.done
+	}
+}
+
+// startWorkers launches one persistent worker goroutine per shard. All
+// synchronization is strict channel handoff: the controller owns every
+// shard's state between windows, a worker owns its shard's state while
+// executing one, and the work/done sends order those regimes.
+// Nondeterministic interleaving never touches simulation state — divergence
+// would trip the differential goldens.
+func (pk *ParKernel) startWorkers() {
+	pk.work = make([]chan eventKey, len(pk.shards))
+	if pk.done == nil {
+		pk.done = make(chan struct{}, len(pk.shards))
+	}
+	for i := range pk.shards {
+		pk.work[i] = make(chan eventKey, 1)
+		//chant:allow-nondet shard worker pool: strict window handoff over work/done channels, joined at a deterministic barrier
+		go pk.worker(i)
+	}
+}
+
+// stopWorkers tears the worker pool down (if it was ever started).
+func (pk *ParKernel) stopWorkers() {
+	if pk.work == nil {
+		return
+	}
+	for _, w := range pk.work {
+		close(w)
+	}
+	pk.work = nil
+}
+
 // worker executes windows for shard i until the work channel closes.
 func (pk *ParKernel) worker(i int) {
 	k := pk.shards[i]
@@ -310,11 +442,13 @@ func (pk *ParKernel) worker(i int) {
 }
 
 // runShardWindow executes this shard's events with key strictly below bound.
-// Runs on the shard's worker goroutine; the window log it appends to is read
-// back by the controller after the barrier.
+// Runs on the shard's worker goroutine (or inline on the controller for
+// small windows — the two are interchangeable); the window log it appends to
+// is read back by the controller after the barrier.
 func (k *Kernel) runShardWindow(bound eventKey) {
 	sh := k.shard
 	sh.active = true
+	sh.bound = bound
 	for k.heap.Len() > 0 {
 		if !k.heap.peekKey().less(bound) {
 			break
@@ -324,7 +458,7 @@ func (k *Kernel) runShardWindow(bound eventKey) {
 			check.Failf("sim: shard %d event heap went backwards: popped event at %v with the clock already at %v", sh.id, e.at, k.now)
 		}
 		k.now = e.at
-		sh.log = append(sh.log, execRecord{at: e.at, seq: e.seq})
+		sh.appendRecord(e.at, e.seq)
 		if e.fn != nil {
 			e.fn()
 			continue
@@ -332,100 +466,4 @@ func (k *Kernel) runShardWindow(bound eventKey) {
 		e.proc.run()
 	}
 	sh.active = false
-}
-
-// merge is the window barrier: it k-way merges the shard execution logs into
-// the global sequential order, assigns true sequence numbers to every
-// in-window insertion in that order, applies cross-shard insertions, replays
-// journaled side effects, rewrites provisional heap keys, and advances the
-// global clock. Runs single-threaded on the controller.
-func (pk *ParKernel) merge(bound eventKey) {
-	shards := pk.shards
-	ptr := make([]int, len(shards))
-	total := 0
-	for _, s := range shards {
-		total += len(s.shard.log)
-	}
-
-	for merged := 0; merged < total; merged++ {
-		best := -1
-		var bestKey eventKey
-		for si, s := range shards {
-			sh := s.shard
-			if ptr[si] >= len(sh.log) {
-				continue
-			}
-			r := &sh.log[ptr[si]]
-			seq := r.seq
-			if seq >= provBase {
-				n := seq &^ provBase
-				if n > uint64(len(sh.resolve)) || sh.resolve[n-1] == 0 {
-					// Unreachable: the inserter is an earlier record of this
-					// same log, so the head is always resolved. Kept as a
-					// defensive guard; skipping an unresolved head can only
-					// stall if the invariant is broken, caught below.
-					continue
-				}
-				seq = sh.resolve[n-1]
-			}
-			k := eventKey{r.at, seq}
-			if best < 0 || k.less(bestKey) {
-				best, bestKey = si, k
-			}
-		}
-		if best < 0 {
-			panic("sim: parallel barrier merge stalled on an unresolved provisional event; shard log order invariant broken")
-		}
-		sh := shards[best].shard
-		r := &sh.log[ptr[best]]
-		ptr[best]++
-		for i := range r.ins {
-			ins := &r.ins[i]
-			g := pk.nextSeq()
-			if ins.prov != 0 {
-				n := ins.prov &^ provBase
-				for uint64(len(sh.resolve)) < n {
-					sh.resolve = append(sh.resolve, 0)
-				}
-				sh.resolve[n-1] = g
-				continue
-			}
-			if ins.at < bound.at {
-				panic(fmt.Sprintf("sim: lookahead violation: cross-shard event at %v lands inside the window ending at %v; cross-shard effects must pay at least alpha=%v", ins.at, bound.at, pk.alpha))
-			}
-			ins.tk.heap.push(event{at: ins.at, seq: g, fn: ins.fn, proc: ins.proc})
-		}
-		for _, fn := range r.jrn {
-			fn()
-		}
-		r.ins, r.jrn = nil, nil
-	}
-	pk.Events += uint64(total)
-
-	// Rewrite provisional keys left in shard heaps (events inserted this
-	// window that execute in a later one) to their true sequence numbers,
-	// then restore each heap invariant and reset the window state.
-	for _, s := range shards {
-		sh := s.shard
-		changed := false
-		for i := range s.heap.ev {
-			if seq := s.heap.ev[i].seq; seq >= provBase {
-				n := seq &^ provBase
-				if n > uint64(len(sh.resolve)) || sh.resolve[n-1] == 0 {
-					panic("sim: provisional event key survived the barrier unresolved")
-				}
-				s.heap.ev[i].seq = sh.resolve[n-1]
-				changed = true
-			}
-		}
-		if changed {
-			s.heap.heapify()
-		}
-		sh.log = sh.log[:0]
-		sh.provSeq = 0
-		sh.resolve = sh.resolve[:0]
-		if s.now > pk.now {
-			pk.now = s.now
-		}
-	}
 }

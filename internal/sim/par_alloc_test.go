@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"chant/internal/check"
+)
+
+// allocKernel builds a parallel kernel plus a long-running advance-only
+// workload whose windows are homogeneous: procs march their clocks forward
+// in small jittered steps, so every window executes a handful of events per
+// shard, some of whose resumption insertions land inside the window
+// (provisional heap entries) and some past the bound (held-back entries).
+func allocKernel(shards, nprocs, iters int, alpha Duration) *ParKernel {
+	pk := NewParKernel(shards, alpha)
+	for i := 0; i < nprocs; i++ {
+		i := i
+		pk.Spawn("w", func(p *Proc) {
+			rng := NewRNG(uint64(i) + 1)
+			for it := 0; it < iters; it++ {
+				p.Advance(Duration(rng.Intn(5)+1) * 5)
+			}
+		})
+	}
+	return pk
+}
+
+// stepWindow drives exactly one window through the controller's own path:
+// find the minimal pending key, compute the lookahead bound, execute, merge.
+// The callback heap is empty and no deadline applies, so this mirrors Run's
+// loop body for this workload.
+func stepWindow(t *testing.T, pk *ParKernel, fanout bool) {
+	t.Helper()
+	have := false
+	var min eventKey
+	for _, s := range pk.shards {
+		if s.heap.Len() == 0 {
+			continue
+		}
+		if k := s.heap.peekKey(); !have || k.less(min) {
+			min, have = k, true
+		}
+	}
+	if !have {
+		t.Fatal("workload exhausted mid-measurement; raise iters")
+	}
+	bound := eventKey{at: min.at.Add(pk.alpha)}
+	pk.Windows++
+	if fanout {
+		act := pk.selectActive(bound)
+		pk.dispatch(bound, act)
+		pk.merge(bound)
+		return
+	}
+	pk.runWindow(bound)
+}
+
+// TestParKernelSteadyStateZeroAlloc is the allocation regression guard for
+// the window machinery: once slice capacities have warmed up, a
+// steady-state window — inline or fanned out to the worker pool — must
+// perform zero heap allocations. Record slots, insertion logs, resolve
+// tables, the loser tree, and the active-shard scratch are all kernel-owned
+// and reused; the heaps retain their backing arrays.
+func TestParKernelSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race for allocation exactness")
+	}
+	if check.Enabled {
+		t.Skip("chantdebug invariant checks are not allocation-audited")
+	}
+	const shards, nprocs = 4, 8
+	const alpha = Duration(20)
+	pk := allocKernel(shards, nprocs, 200000, alpha)
+
+	// Warm up capacities (logs, ins slices, heaps, resolve tables) on the
+	// inline path, then measure it.
+	for i := 0; i < 100; i++ {
+		stepWindow(t, pk, false)
+	}
+	if got := testing.AllocsPerRun(100, func() { stepWindow(t, pk, false) }); got != 0 {
+		t.Errorf("inline steady-state window allocates %.1f times; want 0", got)
+	}
+
+	// The fan-out path: first dispatch starts the worker pool (one-time
+	// allocation), after which windows must also be allocation-free.
+	stepWindow(t, pk, true)
+	if got := testing.AllocsPerRun(100, func() { stepWindow(t, pk, true) }); got != 0 {
+		t.Errorf("fanned-out steady-state window allocates %.1f times; want 0", got)
+	}
+	if pk.InlineWindows == 0 {
+		t.Errorf("inline windows never taken on the inline path")
+	}
+
+	// Drain the workload so the proc goroutines finish.
+	if err := pk.Run(0); err != nil {
+		t.Fatalf("drain run: %v", err)
+	}
+}
