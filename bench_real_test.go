@@ -1,8 +1,10 @@
 package chant
 
 import (
+	"fmt"
 	"testing"
 
+	"chant/internal/check"
 	"chant/internal/comm"
 	"chant/internal/core"
 	"chant/internal/machine"
@@ -86,6 +88,152 @@ func BenchmarkHotPathPingPong(b *testing.B) {
 				t.Send(peer, 1, out)
 			}
 		})
+}
+
+// benchMultiProducer floods one receiving PE from `senders` peer PEs, with
+// credit-window flow control bounding the in-flight backlog. One op is one
+// round: the receiver absorbing one message from every sender. The serial
+// arm forces the per-message mailbox path (SetSerialDelivery), so the pair
+// isolates what the MPSC ingress ring's batched drain buys under
+// multi-producer contention.
+func benchMultiProducer(b *testing.B, senders int, serial bool) {
+	const window = 32
+	rt := core.NewRealRuntime(core.Topology{PEs: senders + 1, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS, DisableServer: true}, machine.Modern())
+	rounds := b.N
+	mains := map[comm.Addr]core.MainFunc{}
+	mains[comm.Addr{PE: 0, Proc: 0}] = func(t *core.Thread) {
+		if serial {
+			t.Process().Endpoint().SetSerialDelivery(true)
+		}
+		for s := 1; s <= senders; s++ {
+			t.Send(core.GlobalID{PE: int32(s), Proc: 0, Thread: 0}, 2, []byte{1})
+		}
+		buf := make([]byte, 16)
+		got := make([]int, senders+1)
+		for i := 0; i < senders*rounds; i++ {
+			_, from, err := t.Recv(core.AnyThread, 1, buf)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			got[from.PE]++
+			if got[from.PE]%window == 0 {
+				t.Send(from, 3, []byte{1})
+			}
+		}
+	}
+	for s := 1; s <= senders; s++ {
+		s := s
+		mains[comm.Addr{PE: int32(s), Proc: 0}] = func(t *core.Thread) {
+			recv := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			ack := make([]byte, 4)
+			out := make([]byte, 16)
+			if _, _, err := t.Recv(core.AnyThread, 2, ack); err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				t.Send(recv, 1, out)
+				if (i+1)%window == 0 {
+					if _, _, err := t.Recv(core.AnyThread, 3, ack); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	_, err := rt.Run(mains)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRealMultiProducer compares batched ingress drain against the
+// serial per-message mailbox path while 2 and 4 producer PEs flood one
+// receiver.
+func BenchmarkRealMultiProducer(b *testing.B) {
+	for _, senders := range []int{2, 4} {
+		for _, arm := range []struct {
+			name   string
+			serial bool
+		}{{"batched", false}, {"serial", true}} {
+			senders, arm := senders, arm
+			b.Run(fmt.Sprintf("senders=%d/%s", senders, arm.name), func(b *testing.B) {
+				benchMultiProducer(b, senders, arm.serial)
+			})
+		}
+	}
+}
+
+// BenchmarkRealStreaming measures one-way streaming bandwidth: a single
+// sender floods 4 KiB messages at one receiver under a credit window. One
+// op is one message; the bytes metric reports the achieved bandwidth.
+func BenchmarkRealStreaming(b *testing.B) {
+	const window = 32
+	const msgSize = 4096
+	b.SetBytes(msgSize)
+	rt := core.NewRealRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS, DisableServer: true}, machine.Modern())
+	rounds := b.N
+	b.ResetTimer()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+			out := make([]byte, msgSize)
+			ack := make([]byte, 4)
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				if (i+1)%window == 0 {
+					t.Recv(peer, 3, ack)
+				}
+			}
+		},
+		{PE: 1, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			buf := make([]byte, msgSize)
+			for i := 0; i < rounds; i++ {
+				if _, _, err := t.Recv(core.AnyThread, 1, buf); err != nil {
+					b.Error(err)
+					return
+				}
+				if (i+1)%window == 0 {
+					t.Send(peer, 3, []byte{1})
+				}
+			}
+		},
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestHotPathAllocsPinned pins the steady-state allocation count of the
+// real-mode ping-pong hot path. The pooled messages, per-thread wait boxes,
+// and mailbox bucket freelists hold it at zero; the pin leaves slack only
+// for amortized startup. (The pre-ring baseline in
+// BENCH_real_baseline.json sat at 8 allocs/op.)
+func TestHotPathAllocsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed pin skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race for allocation exactness")
+	}
+	if check.Enabled {
+		t.Skip("chantdebug invariant checks are not allocation-audited")
+	}
+	r := testing.Benchmark(BenchmarkHotPathPingPong)
+	if got := r.AllocsPerOp(); got > 2 {
+		t.Fatalf("hot-path ping-pong allocates %d allocs/op (%d B/op); pinned at <= 2 (baseline was 8)",
+			got, r.AllocedBytesPerOp())
+	}
+	t.Logf("hot-path ping-pong: %d allocs/op, %d B/op, %d ns/op",
+		r.AllocsPerOp(), r.AllocedBytesPerOp(), r.NsPerOp())
 }
 
 // BenchmarkRealRSR measures remote-procedure-call round trips through the

@@ -23,7 +23,11 @@
 // exits nonzero (skipped on hosts with fewer than 4 cores). chantbench
 // -exp recovery -json measures the crash recovery subsystem (checkpoint
 // capture cost, marker overhead, restart-to-rejoin latency); redirect it to
-// BENCH_recovery.json.
+// BENCH_recovery.json. chantbench -exp real -json measures the real-mode
+// data plane (per-policy ping-pong latency and allocations, zero-copy
+// direct share, streaming bandwidth, multi-producer batched-vs-serial
+// drain); redirect it to BENCH_real.json, and add -baseline BENCH_real.json
+// to gate latency (25% slack) and allocs/op against the committed figures.
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever was run, so
 // performance PRs can attach evidence for the hot spots they claim.
@@ -54,7 +58,7 @@ func run() int {
 		report     = flag.Bool("report", false, "run everything and emit the full report")
 		rounds     = flag.Int("rounds", 0, "table2 exchanges per size (default 500)")
 		asJSON     = flag.Bool("json", false, "run the hot-path A/B benchmarks and emit JSON (BENCH_hotpath.json)")
-		baseline   = flag.String("baseline", "", "with -exp parallel -json: committed BENCH_parallel.json to gate against (fails if best_speedup regresses >10%; skipped on hosts with <4 cores)")
+		baseline   = flag.String("baseline", "", "with -exp parallel|real and -json: committed BENCH_*.json to gate against (parallel: best_speedup may not regress >10%, skipped on hosts with <4 cores; real: latency 25% slack, allocs/op 10%+0.5)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	)
@@ -91,12 +95,16 @@ func run() int {
 	if *asJSON {
 		var payload any
 		var par *experiments.ParallelResult
+		var realRes *experiments.RealResult
 		switch *exp {
 		case "parallel":
 			r := experiments.RunParallel()
 			par, payload = &r, r
 		case "recovery":
 			payload = experiments.RunRecovery()
+		case "real":
+			r := experiments.RunReal()
+			realRes, payload = &r, r
 		default:
 			payload = experiments.RunHotPath()
 		}
@@ -108,6 +116,11 @@ func run() int {
 		fmt.Println(string(out))
 		if *baseline != "" && par != nil {
 			if !checkParallelBaseline(*baseline, par) {
+				return 1
+			}
+		}
+		if *baseline != "" && realRes != nil {
+			if !checkRealBaseline(*baseline, realRes) {
 				return 1
 			}
 		}
@@ -194,6 +207,20 @@ func run() int {
 			fmt.Printf("  encode:                  %10.1f ns/snapshot wall\n", r.EncodeNsPerSnapshot)
 			fmt.Printf("  restart-to-rejoin:       %10.1f us virtual  (epoch %d, crash run %.3f ms)\n",
 				r.RejoinLatencyVirtualUS, r.RestartEpoch, r.CrashRunVirtualMS)
+		case "real":
+			fmt.Println("Real-mode data plane: ingress ring, zero-copy receive, streaming (wall clock)")
+			r := experiments.RunReal()
+			for _, row := range r.Rows {
+				fmt.Printf("  ping-pong %-20s %8.1f ns/op  %.1f allocs/op\n",
+					row.Policy+":", row.PingPongNsOp, row.PingPongAllocsOp)
+			}
+			fmt.Printf("  zero-copy direct share (PS): %.1f%%\n", r.DirectShare*100)
+			fmt.Printf("  streaming 4 KiB:             %8.0f msgs/s  %.0f MB/s\n",
+				r.StreamMsgsPerSec, r.StreamMBPerSec)
+			for _, row := range r.MultiProducer {
+				fmt.Printf("  %d senders -> 1:  batched %8.1f ns/round  serial %8.1f ns/round  %.2fx  (%.1f msgs/batch)\n",
+					row.Senders, row.BatchedNsOp, row.SerialNsOp, row.Speedup, row.AvgBatch)
+			}
 		case "hotpath":
 			fmt.Println("Hot paths: constant-time structures vs the seed's linear scans (wall clock)")
 			r := experiments.RunHotPath()
@@ -258,4 +285,39 @@ func checkParallelBaseline(path string, got *experiments.ParallelResult) bool {
 	fmt.Fprintf(os.Stderr, "chantbench: parallel best_speedup %.3fx vs committed %.3fx: ok\n",
 		got.BestSpeedup, want.BestSpeedup)
 	return true
+}
+
+// checkRealBaseline compares a fresh real-mode sweep against the committed
+// BENCH_real.json: best ping-pong latency may not regress more than 25%
+// (wall-clock latency is noisy, especially on small hosts), and the minimum
+// allocs/op may not exceed the committed figure by more than 10% plus half
+// an allocation of absolute slack (so a committed 0.0 tolerates amortized
+// startup noise but not a real per-op allocation).
+func checkRealBaseline(path string, got *experiments.RealResult) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline: %v\n", err)
+		return false
+	}
+	var want experiments.RealResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: baseline %s: %v\n", path, err)
+		return false
+	}
+	ok := true
+	if want.BestPingPongNsOp > 0 && got.BestPingPongNsOp > want.BestPingPongNsOp*1.25 {
+		fmt.Fprintf(os.Stderr, "chantbench: real best ping-pong regressed: %.0f ns/op vs committed %.0f (>25%%)\n",
+			got.BestPingPongNsOp, want.BestPingPongNsOp)
+		ok = false
+	}
+	if got.MinAllocsOp > want.MinAllocsOp*1.1+0.5 {
+		fmt.Fprintf(os.Stderr, "chantbench: real allocs/op regressed: %.2f vs committed %.2f\n",
+			got.MinAllocsOp, want.MinAllocsOp)
+		ok = false
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "chantbench: real ping-pong %.0f ns/op (committed %.0f), %.2f allocs/op (committed %.2f): ok\n",
+			got.BestPingPongNsOp, want.BestPingPongNsOp, got.MinAllocsOp, want.MinAllocsOp)
+	}
+	return ok
 }

@@ -25,8 +25,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "detlint",
 	Doc: "report nondeterminism sources (wall clock, global math/rand, raw " +
-		"goroutines, effectful map iteration, multi-case select) in Chant's " +
-		"simulation-critical packages; suppress legitimate sites with a " +
+		"goroutines, effectful map iteration, multi-case select) and " +
+		"unbounded atomic spin loops in Chant's simulation-critical " +
+		"packages; suppress legitimate sites with a " +
 		"//chant:allow-nondet <reason> comment",
 	Run: run,
 }
@@ -64,6 +65,7 @@ func run(pass *analysis.Pass) error {
 		}
 		for _, decl := range file.Decls {
 			report(pass, decl, enclosingFunc(decl))
+			checkSpinLoops(pass, decl)
 		}
 	}
 	return nil

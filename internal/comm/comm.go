@@ -82,6 +82,11 @@ type Message struct {
 	// pooled marks a message drawn from the real-transport recycling pool
 	// (pool.go); the mailbox returns it there after its terminal copy.
 	pooled bool
+
+	// next links the message into its destination endpoint's real-mode
+	// ingress ring (ingress.go) while in flight there. Producers publish it
+	// via the ring's atomic head; after take, the draining consumer owns it.
+	next *Message
 }
 
 // MatchSpec selects which messages a receive accepts. Any field may be the
@@ -161,4 +166,18 @@ func (s Status) String() string {
 // DeliverLocal.
 type Transport interface {
 	Deliver(msg *Message)
+}
+
+// DirectTransport is the optional zero-copy extension of Transport. A
+// transport that can reach the destination endpoint synchronously from the
+// sending goroutine (memnet always; tcpnet for loopback destinations) offers
+// TryDeliverDirect: if a posted receive at the destination already matches
+// hdr, the payload is copied straight from data into the waiting thread's
+// buffer — no pooled Message, no intermediate copy — and the call reports
+// true. On false the sender falls back to the ordinary Deliver path; data is
+// only read during the call and is never retained. Real mode only: under a
+// deterministic host the fast path is disabled so simulated delivery stays
+// bit-identical.
+type DirectTransport interface {
+	TryDeliverDirect(hdr Header, data []byte) bool
 }

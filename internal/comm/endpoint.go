@@ -2,6 +2,7 @@ package comm
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"chant/internal/check"
 	"chant/internal/machine"
@@ -24,6 +25,32 @@ type Endpoint struct {
 	tr   Transport
 	mb   mailbox
 
+	// det caches host.Deterministic() (immutable per host). Deterministic
+	// endpoints keep the synchronous per-message delivery path so every
+	// simulated event stream stays bit-identical; everything below exists for
+	// real mode only.
+	det bool
+
+	// dtr is tr's zero-copy extension when it offers one, cached so the send
+	// hot path pays one nil check instead of a type assertion per message.
+	dtr DirectTransport
+
+	// ing is the real-mode MPSC ingress ring: transports enqueue arrivals
+	// here and the owning process drains them in batches (see ingress.go).
+	ing ingress
+
+	// serial, when set, restores the seed's per-message lock-and-wake
+	// delivery and disables the direct path — the benchmark control arm for
+	// measuring batched drain against per-message locking. Never set in
+	// production paths.
+	serial atomic.Bool
+
+	// Ingress instrumentation (real mode only; deliberately kept out of
+	// trace.Counters so no simulated snapshot or chaos hash can see it).
+	ingressBatches  atomic.Uint64
+	ingressMessages atomic.Uint64
+	directDelivered atomic.Uint64
+
 	// dead is the set of peers declared failed (by a transport's failure
 	// detector or a simulated crash event). Guarded by deadMu because
 	// detectors may run on transport-side contexts.
@@ -40,7 +67,11 @@ type Endpoint struct {
 // NewEndpoint creates an endpoint for process addr, charging host and
 // counting into ctrs, sending through tr.
 func NewEndpoint(addr Addr, host machine.Host, ctrs *trace.Counters, tr Transport) *Endpoint {
-	return &Endpoint{addr: addr, host: host, ctrs: ctrs, tr: tr}
+	e := &Endpoint{addr: addr, host: host, ctrs: ctrs, tr: tr, det: host.Deterministic()}
+	if !e.det {
+		e.dtr, _ = tr.(DirectTransport)
+	}
+	return e
 }
 
 // Addr reports the process address of this endpoint.
@@ -133,17 +164,7 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 	e.host.Charge(e.host.Model().SendOverhead)
 	e.ctrs.Sends.Add(1)
 	e.ctrs.BytesSent.Add(uint64(len(data)))
-	var msg *Message
-	if e.host.Deterministic() {
-		// Simulated transports may hold a message indefinitely or re-deliver
-		// it under fault-injected duplication, and pool reuse order is
-		// scheduling-dependent: simulation always sends fresh messages.
-		msg = &Message{Data: make([]byte, len(data))}
-	} else {
-		msg = GetPooledMessage(len(data))
-	}
-	copy(msg.Data, data)
-	msg.Hdr = Header{
+	hdr := Header{
 		SrcPE:     e.addr.PE,
 		SrcProc:   e.addr.Proc,
 		SrcThread: srcThread,
@@ -154,6 +175,24 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 		Size:      int32(len(data)),
 		Flags:     flags,
 	}
+	if e.dtr != nil && e.dtr.TryDeliverDirect(hdr, data) {
+		// Zero-copy matched receive: the payload went straight from the
+		// caller's buffer into the waiting thread's buffer — no pooled
+		// Message was ever built. Real mode only (dtr is nil under a
+		// deterministic host).
+		return
+	}
+	var msg *Message
+	if e.det {
+		// Simulated transports may hold a message indefinitely or re-deliver
+		// it under fault-injected duplication, and pool reuse order is
+		// scheduling-dependent: simulation always sends fresh messages.
+		msg = &Message{Data: make([]byte, len(data))}
+	} else {
+		msg = GetPooledMessage(len(data))
+	}
+	copy(msg.Data, data)
+	msg.Hdr = hdr
 	msg.SentAt = e.host.Now()
 	e.tr.Deliver(msg)
 }
@@ -164,6 +203,7 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 // system buffer is charged (this is the extra copy a pre-posted receive
 // avoids).
 func (e *Endpoint) Irecv(spec MatchSpec, buf []byte) *RecvHandle {
+	e.drainIngress() // a ring-resident arrival must be matchable, like any early arrival
 	h := e.newHandle(spec, buf)
 	if spec.SrcPE != Any && spec.SrcProc != Any &&
 		e.PeerDead(Addr{PE: spec.SrcPE, Proc: spec.SrcProc}) {
@@ -192,6 +232,7 @@ func (e *Endpoint) Irecv(spec MatchSpec, buf []byte) *RecvHandle {
 // completion also charges the receive-completion overhead and counts the
 // receive.
 func (e *Endpoint) Test(h *RecvHandle) bool {
+	e.drainIngress()
 	e.ctrs.MsgTestCalls.Add(1)
 	m := e.host.Model()
 	if !h.done.Load() {
@@ -210,6 +251,7 @@ func (e *Endpoint) Test(h *RecvHandle) bool {
 // each request individually, which is exactly the paper's Section 4.2
 // hypothesis about the Scheduler-polls (WQ) algorithm under MPI.
 func (e *Endpoint) TestAny(hs []*RecvHandle) int {
+	e.drainIngress()
 	e.ctrs.TestAnyCalls.Add(1)
 	e.ctrs.TestAnyScanned.Add(uint64(len(hs)))
 	m := e.host.Model()
@@ -230,6 +272,10 @@ func (e *Endpoint) TestAny(hs []*RecvHandle) int {
 func (e *Endpoint) Recv(spec MatchSpec, buf []byte) (int, Header, error) {
 	h := e.Irecv(spec, buf)
 	for !h.done.Load() {
+		e.drainIngress()
+		if h.done.Load() {
+			break
+		}
 		e.host.Idle()
 	}
 	e.observeCompletion(h)
@@ -245,6 +291,10 @@ func (e *Endpoint) Recv(spec MatchSpec, buf []byte) (int, Header, error) {
 // level).
 func (e *Endpoint) Wait(h *RecvHandle) {
 	for !h.done.Load() {
+		e.drainIngress()
+		if h.done.Load() {
+			break
+		}
 		e.host.Idle()
 	}
 	e.observeCompletion(h)
@@ -253,6 +303,7 @@ func (e *Endpoint) Wait(h *RecvHandle) {
 // Probe reports whether an unexpected message matching spec has arrived,
 // without consuming it.
 func (e *Endpoint) Probe(spec MatchSpec) (Header, bool) {
+	e.drainIngress()
 	hdr, ok := e.mb.findUnexpected(spec)
 	m := e.host.Model()
 	if ok {
@@ -268,6 +319,7 @@ func (e *Endpoint) Probe(spec MatchSpec) (Header, bool) {
 // handle untouched — if the receive already completed (or was canceled),
 // so callers that lose the race still observe the real completion.
 func (e *Endpoint) TimeoutRecv(h *RecvHandle) bool {
+	e.drainIngress() // an already-arrived message must win the race, as it always did
 	if !e.mb.removeFailed(h, ErrTimeout, StatusTimedOut, e.host.Now()) {
 		return false
 	}
@@ -320,18 +372,23 @@ func (e *Endpoint) MsgwaitTimeout(h *RecvHandle, deadline sim.Time) error {
 // whether it was still pending. Used when a thread blocked in a receive is
 // canceled.
 func (e *Endpoint) CancelRecv(h *RecvHandle) bool {
+	e.drainIngress()
 	return e.mb.remove(h)
 }
 
 // QueueDepths reports the current posted-receive and unexpected-message
 // queue lengths, for tests and diagnostics.
-func (e *Endpoint) QueueDepths() (posted, unexpected int) { return e.mb.depths() }
+func (e *Endpoint) QueueDepths() (posted, unexpected int) {
+	e.drainIngress()
+	return e.mb.depths()
+}
 
 // UnexpectedSnapshot visits every unexpected message in arrival order
 // without consuming any — checkpoint capture records the pending queue
 // through this. The visitor must copy data it keeps (the buffers belong to
 // the mailbox) and must not re-enter the endpoint.
 func (e *Endpoint) UnexpectedSnapshot(visit func(hdr Header, data []byte, sentAt sim.Time)) {
+	e.drainIngress() // checkpoint capture must see ring-resident in-flight messages
 	e.mb.snapshotUnexpected(visit)
 }
 
@@ -363,6 +420,7 @@ func (e *Endpoint) TrackCompletions() { e.mb.track() }
 // registered (receives completed by other paths); callers filter by their
 // own bookkeeping. Must be called from the endpoint's process context.
 func (e *Endpoint) DrainCompletions(buf []*RecvHandle) []*RecvHandle {
+	e.drainIngress()
 	return e.mb.drainCompleted(buf)
 }
 
@@ -428,18 +486,90 @@ func (e *Endpoint) ReleaseHandle(h *RecvHandle) {
 	e.freeHandles = append(e.freeHandles, h)
 }
 
-// DeliverLocal is the transport-side delivery entry point: it matches msg
-// in this endpoint's mailbox, counts an early arrival when no receive was
-// posted, and interrupts the host so an idle processor notices. Safe to
-// call from any context (another process's goroutine, a simulator event).
+// DeliverLocal is the transport-side delivery entry point. Safe to call
+// from any context (another process's goroutine, a simulator event).
+//
+// Deterministic endpoints match msg synchronously in the mailbox, count an
+// early arrival when no receive was posted, and interrupt the host — the
+// per-message path every simulated event stream was pinned against. Real
+// endpoints instead push onto the MPSC ingress ring: no mailbox lock, and an
+// interrupt only on the ring's empty-to-nonempty edge, so a burst costs one
+// wakeup and (at the consumer) one lock acquisition instead of one per
+// message. The owning process drains the ring from its polling and wait
+// paths (drainIngress).
 func (e *Endpoint) DeliverLocal(msg *Message) {
-	h, dropped := e.mb.deliver(msg, e.host.Now())
-	if dropped {
-		e.ctrs.UnexpectedDropped.Add(1)
+	if e.det || e.serial.Load() {
+		h, dropped := e.mb.deliver(msg, e.host.Now())
+		if dropped {
+			e.ctrs.UnexpectedDropped.Add(1)
+			return
+		}
+		if h == nil {
+			e.ctrs.EarlyArrivals.Add(1)
+		}
+		e.host.Interrupt()
 		return
 	}
-	if h == nil {
-		e.ctrs.EarlyArrivals.Add(1)
+	if e.ing.push(msg) {
+		e.host.Interrupt()
 	}
+}
+
+// TryDeliverDirect attempts the zero-copy matched-receive fast path on this
+// endpoint: if the mailbox lock is free, the ingress ring is empty (nothing
+// to overtake), and a posted receive matches hdr, the payload is copied
+// straight from data into the waiting thread's buffer and the host is
+// interrupted. data is only read during the call. Safe to call from any
+// context; always false on deterministic endpoints and under serial
+// delivery.
+func (e *Endpoint) TryDeliverDirect(hdr Header, data []byte) bool {
+	if e.det || e.serial.Load() {
+		return false
+	}
+	if !e.mb.tryDepositDirect(&e.ing, hdr, data, e.host.Now()) {
+		return false
+	}
+	e.directDelivered.Add(1)
 	e.host.Interrupt()
+	return true
+}
+
+// drainIngress deposits the ingress ring's backlog into the mailbox in one
+// batch. Called from the endpoint's own process context at every point that
+// observes receive state (tests, waits, probes, snapshots); a no-op on
+// deterministic endpoints and when the ring is empty, so polling hot paths
+// pay a single atomic load.
+func (e *Endpoint) drainIngress() {
+	if e.det || e.ing.empty() {
+		return
+	}
+	matched, early, dropped := e.mb.depositBatch(&e.ing, e.host.Now())
+	n := matched + early + dropped
+	if n == 0 {
+		return
+	}
+	e.ingressBatches.Add(1)
+	e.ingressMessages.Add(uint64(n))
+	if early > 0 {
+		e.ctrs.EarlyArrivals.Add(uint64(early))
+	}
+	if dropped > 0 {
+		e.ctrs.UnexpectedDropped.Add(uint64(dropped))
+	}
+}
+
+// SetSerialDelivery, when on, restores the seed's per-message delivery
+// (mailbox lock + host wakeup per arrival) and disables the zero-copy direct
+// path on this endpoint. It exists solely as the control arm for the
+// batched-vs-serial benchmarks; flip it only while no traffic is in flight.
+func (e *Endpoint) SetSerialDelivery(on bool) {
+	e.drainIngress()
+	e.serial.Store(on)
+}
+
+// IngressStats reports how many ring drains ran, how many messages they
+// deposited, and how many sends completed via the zero-copy direct path.
+// Always zero on deterministic endpoints.
+func (e *Endpoint) IngressStats() (batches, messages, direct uint64) {
+	return e.ingressBatches.Load(), e.ingressMessages.Load(), e.directDelivered.Load()
 }

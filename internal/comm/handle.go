@@ -113,11 +113,19 @@ func (h *RecvHandle) Canceled() bool { return h.canceled }
 // complete deposits msg into the handle's buffer and marks it done.
 // The caller must hold the owning mailbox's lock.
 func (h *RecvHandle) complete(msg *Message, at sim.Time) {
-	h.n = copy(h.buf, msg.Data)
-	if len(msg.Data) > len(h.buf) {
+	h.completeDirect(msg.Hdr, msg.Data, at)
+}
+
+// completeDirect deposits a payload given as a raw header+bytes pair — the
+// zero-copy fast path hands the sender's own buffer here, so no Message is
+// ever materialized. data is only read during the call. The caller must hold
+// the owning mailbox's lock.
+func (h *RecvHandle) completeDirect(hdr Header, data []byte, at sim.Time) {
+	h.n = copy(h.buf, data)
+	if len(data) > len(h.buf) {
 		h.err = ErrTruncated
 	}
-	h.hdr = msg.Hdr
+	h.hdr = hdr
 	h.status = StatusDelivered
 	h.completedAt = at
 	h.done.Store(true)

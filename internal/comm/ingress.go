@@ -1,0 +1,55 @@
+package comm
+
+import "sync/atomic"
+
+// ingress is the real-mode MPSC ingress ring of one endpoint: transport-side
+// producer goroutines (memnet senders, tcpnet reader goroutines) enqueue
+// arriving messages here without touching the mailbox's match lock, and the
+// receiving process drains the whole backlog in one batch under a single
+// lock acquisition. Producers pay one CAS per message; the consumer pays one
+// atomic swap per batch — the per-message lock handoff and wakeup that
+// dominated the old delivery path are gone.
+//
+// The structure is an intrusive Treiber stack over Message.next: push links
+// the message in LIFO order, and take reverses the chain so the consumer
+// deposits in arrival (FIFO) order, preserving the mailbox's per-pair
+// non-overtaking guarantee. Only real-mode endpoints use it; deterministic
+// (simulated) hosts keep the synchronous delivery path, so no simulated
+// event stream can observe the ring.
+type ingress struct {
+	head atomic.Pointer[Message]
+}
+
+// push enqueues msg and reports whether the ring was empty — the
+// empty-to-nonempty transition is the producer's cue to interrupt the
+// consumer's host (later pushes ride the already-pending wakeup). Safe from
+// any goroutine.
+func (q *ingress) push(msg *Message) (wasEmpty bool) {
+	for {
+		old := q.head.Load()
+		msg.next = old
+		if q.head.CompareAndSwap(old, msg) {
+			return old == nil
+		}
+	}
+}
+
+// take detaches the entire backlog in one atomic swap and returns it as a
+// FIFO chain linked through Message.next (oldest first), or nil. The caller
+// owns every returned message. Must run under the consuming mailbox's lock:
+// the zero-copy direct path trusts that an empty ring observed under that
+// lock means no taken-but-undeposited message can be in flight.
+func (q *ingress) take() *Message {
+	top := q.head.Swap(nil)
+	var fifo *Message
+	for top != nil {
+		next := top.next
+		top.next = fifo
+		fifo = top
+		top = next
+	}
+	return fifo
+}
+
+// empty reports whether the ring currently holds no messages.
+func (q *ingress) empty() bool { return q.head.Load() == nil }

@@ -57,9 +57,14 @@ type mailbox struct {
 	tracking  bool
 	completed []*RecvHandle
 
-	// Node freelists (plain, under mu — deterministic, unlike sync.Pool).
-	freePost *postNode
-	freeMsg  *msgNode
+	// Node and bucket freelists (plain, under mu — deterministic, unlike
+	// sync.Pool). Buckets are recycled because the exact-match maps delete
+	// a bucket the moment it empties: without reuse, every post of a
+	// fully-pinned receive allocates a fresh bucket on the hot path.
+	freePost      *postNode
+	freeMsg       *msgNode
+	freePostLists []*postList
+	freeMsgLists  []*msgList
 }
 
 // matchKey is the exact-match signature: the five header fields a MatchSpec
@@ -166,23 +171,14 @@ func (l *msgList) remove(link int, n *msgNode) {
 func (mb *mailbox) deliver(msg *Message, at sim.Time) (h *RecvHandle, dropped bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	key := keyOfHeader(msg.Hdr)
-	var best *postNode
-	if bl := mb.postExact[key]; bl != nil {
-		best = bl.head
-	}
-	for n := mb.postWild.head; n != nil; n = n.next[lLink] {
-		if best != nil && n.seq > best.seq {
-			// The wildcard list is arrival-ordered: nothing past n can be
-			// older than the exact-bucket candidate.
-			break
-		}
-		if n.h.spec.Matches(msg.Hdr) {
-			best = n
-			break
-		}
-	}
-	if best != nil {
+	return mb.deliverLocked(msg, at)
+}
+
+// deliverLocked is deliver's body; the caller holds mb.mu. Batch deposit
+// (depositBatch) reuses it so a whole ingress burst lands under one lock
+// acquisition.
+func (mb *mailbox) deliverLocked(msg *Message, at sim.Time) (h *RecvHandle, dropped bool) {
+	if best := mb.matchPostedLocked(msg.Hdr); best != nil {
 		h := best.h
 		mb.unlinkPost(best)
 		mb.freePostNode(best)
@@ -195,12 +191,89 @@ func (mb *mailbox) deliver(msg *Message, at sim.Time) (h *RecvHandle, dropped bo
 		releaseMessage(msg)
 		return nil, true
 	}
+	key := keyOfHeader(msg.Hdr)
 	mb.seq++
 	n := mb.newMsgNode(msg, key, mb.seq)
 	mb.umAll.pushBack(gLink, n)
 	mb.msgBucket(key).pushBack(lLink, n)
 	mb.nUnexp++
 	return nil, false
+}
+
+// matchPostedLocked reports the oldest posted receive matching hdr, or nil.
+// Caller holds mb.mu and, on a hit, owns unlinking the node.
+func (mb *mailbox) matchPostedLocked(hdr Header) *postNode {
+	var best *postNode
+	if bl := mb.postExact[keyOfHeader(hdr)]; bl != nil {
+		best = bl.head
+	}
+	for n := mb.postWild.head; n != nil; n = n.next[lLink] {
+		if best != nil && n.seq > best.seq {
+			// The wildcard list is arrival-ordered: nothing past n can be
+			// older than the exact-bucket candidate.
+			break
+		}
+		if n.h.spec.Matches(hdr) {
+			return n
+		}
+	}
+	return best
+}
+
+// depositBatch drains the endpoint's ingress ring into the mailbox under a
+// single lock acquisition: each message in the batch runs the ordinary
+// deliverLocked match in arrival order. Real mode only; the caller is the
+// endpoint's own process.
+func (mb *mailbox) depositBatch(q *ingress, at sim.Time) (matched, early, dropped int) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for msg := q.take(); msg != nil; {
+		next := msg.next
+		msg.next = nil
+		h, drop := mb.deliverLocked(msg, at)
+		switch {
+		case drop:
+			dropped++
+		case h != nil:
+			matched++
+		default:
+			early++
+		}
+		msg = next
+	}
+	return matched, early, dropped
+}
+
+// tryDepositDirect is the zero-copy matched-receive fast path: called on the
+// sending goroutine with the sender's buffer, it completes a posted receive
+// by copying data straight into the waiting thread's buffer — no pooled
+// Message, no intermediate copy. It declines (reporting false) whenever the
+// slow path must run: the lock is contended, the ingress ring holds earlier
+// arrivals the deposit must not overtake, or no posted receive matches.
+//
+// Ordering: the ring is only emptied by take() under this same lock, and a
+// producer's own pushes are program-ordered before its direct attempt — so
+// an empty ring observed here proves no earlier message from this sender is
+// still undeposited. Cross-sender arrival order carries no guarantee in real
+// mode, exactly as with per-message delivery.
+func (mb *mailbox) tryDepositDirect(q *ingress, hdr Header, data []byte, at sim.Time) bool {
+	if !mb.mu.TryLock() {
+		return false
+	}
+	defer mb.mu.Unlock()
+	if !q.empty() {
+		return false
+	}
+	best := mb.matchPostedLocked(hdr)
+	if best == nil {
+		return false
+	}
+	h := best.h
+	mb.unlinkPost(best)
+	mb.freePostNode(best)
+	mb.notify(h) // before complete: the notified flag must precede done
+	h.completeDirect(hdr, data, at)
+	return true
 }
 
 // post registers a receive. If an unexpected message already matches, it is
@@ -381,6 +454,7 @@ func (mb *mailbox) unlinkPost(n *postNode) {
 		bl.remove(lLink, n)
 		if bl.head == nil {
 			delete(mb.postExact, n.key)
+			mb.freePostLists = append(mb.freePostLists, bl)
 		}
 	}
 	n.h.entry = nil
@@ -395,6 +469,7 @@ func (mb *mailbox) unlinkMsg(n *msgNode) {
 	ml.remove(lLink, n)
 	if ml.head == nil {
 		delete(mb.umExact, n.key)
+		mb.freeMsgLists = append(mb.freeMsgLists, ml)
 	}
 	mb.nUnexp--
 }
@@ -405,7 +480,13 @@ func (mb *mailbox) postBucket(key matchKey) *postList {
 	}
 	bl := mb.postExact[key]
 	if bl == nil {
-		bl = &postList{}
+		if n := len(mb.freePostLists); n > 0 {
+			bl = mb.freePostLists[n-1]
+			mb.freePostLists[n-1] = nil
+			mb.freePostLists = mb.freePostLists[:n-1]
+		} else {
+			bl = &postList{}
+		}
 		mb.postExact[key] = bl
 	}
 	return bl
@@ -417,7 +498,13 @@ func (mb *mailbox) msgBucket(key matchKey) *msgList {
 	}
 	ml := mb.umExact[key]
 	if ml == nil {
-		ml = &msgList{}
+		if n := len(mb.freeMsgLists); n > 0 {
+			ml = mb.freeMsgLists[n-1]
+			mb.freeMsgLists[n-1] = nil
+			mb.freeMsgLists = mb.freeMsgLists[:n-1]
+		} else {
+			ml = &msgList{}
+		}
 		mb.umExact[key] = ml
 	}
 	return ml

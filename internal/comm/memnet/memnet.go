@@ -136,3 +136,17 @@ func (n *Network) Deliver(msg *comm.Message) {
 	}
 	ep.DeliverLocal(msg)
 }
+
+// TryDeliverDirect implements comm.DirectTransport: every memnet destination
+// is reachable synchronously from the sender's goroutine, so the zero-copy
+// matched-receive fast path is offered whenever both peers are alive. A
+// false return (peer closed, unknown destination, lock contended, no posted
+// match) sends the caller down the ordinary Deliver path, which also owns
+// all fault accounting.
+func (n *Network) TryDeliverDirect(hdr comm.Header, data []byte) bool {
+	if n.peerClosed(hdr.Dst()) || n.peerClosed(hdr.Src()) {
+		return false
+	}
+	ep := n.Endpoint(hdr.Dst())
+	return ep != nil && ep.TryDeliverDirect(hdr, data)
+}

@@ -39,6 +39,7 @@ func releaseMessage(m *Message) {
 	m.Hdr = Header{}
 	m.Data = m.Data[:0]
 	m.SentAt = 0
+	m.next = nil
 	//chant:allow-nondet message pool serves real transports only
 	msgPool.Put(m)
 }

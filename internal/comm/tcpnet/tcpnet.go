@@ -368,6 +368,23 @@ func (n *Node) Deliver(msg *comm.Message) {
 	if !ok {
 		panic(fmt.Sprintf("tcpnet: send to unknown process %v", dst))
 	}
+	n.deliverRemote(msg, dst, addr)
+}
+
+// TryDeliverDirect implements comm.DirectTransport for loopback
+// destinations: a message addressed to an endpoint hosted on this node can
+// skip framing entirely and attempt the zero-copy matched receive. Remote
+// destinations report false and take the framed Deliver path.
+func (n *Node) TryDeliverDirect(hdr comm.Header, data []byte) bool {
+	n.mu.Lock()
+	ep := n.eps[hdr.Dst()]
+	n.mu.Unlock()
+	return ep != nil && ep.TryDeliverDirect(hdr, data)
+}
+
+// deliverRemote frames msg onto dst's connection, redialing with bounded
+// backoff on failure.
+func (n *Node) deliverRemote(msg *comm.Message, dst comm.Addr, addr string) {
 	if uint32(wireHeaderLen+len(msg.Data)) > n.maxFrame {
 		panic(fmt.Sprintf("tcpnet: send to %v: %v (%d bytes)", dst, ErrFrameTooLarge, len(msg.Data)))
 	}
@@ -694,7 +711,7 @@ func (n *Node) readLoop(c net.Conn) {
 		delete(n.inbound, c)
 		n.mu.Unlock()
 	}()
-	r := bufio.NewReader(c)
+	r := bufio.NewReaderSize(c, readBufSize(n.maxFrame))
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -726,6 +743,34 @@ func (n *Node) readLoop(c net.Conn) {
 			n.notePeerEpoch(hdr.Src(), uint32(hdr.Ctx))
 			continue // heartbeat control frame; liveness is its payload
 		}
+		n.mu.Lock()
+		ep := n.eps[hdr.Dst()]
+		n.mu.Unlock()
+		if ep == nil {
+			if payload > 0 {
+				if _, err := io.CopyN(io.Discard, r, int64(payload)); err != nil {
+					return
+				}
+			}
+			continue // no such local endpoint; drop (like NX)
+		}
+		if r.Buffered() >= payload {
+			// The whole payload already sits in the read buffer: offer it to
+			// a matching posted receive in place — no pooled message, no
+			// extra copy. The guard matters: TryDeliverDirect runs with the
+			// destination's mailbox lock held on a miss path, so it must
+			// never be reachable from a blocking socket read.
+			b, err := r.Peek(payload)
+			if err != nil {
+				return
+			}
+			if ep.TryDeliverDirect(hdr, b) {
+				if _, err := r.Discard(payload); err != nil {
+					return
+				}
+				continue
+			}
+		}
 		// Inbound payloads come from the message pool: a steady-state
 		// receiver recycles its buffers instead of allocating per frame.
 		msg := comm.GetPooledMessage(payload)
@@ -734,15 +779,30 @@ func (n *Node) readLoop(c net.Conn) {
 			return
 		}
 		msg.Hdr = hdr
-		n.mu.Lock()
-		ep := n.eps[hdr.Dst()]
-		n.mu.Unlock()
-		if ep == nil {
-			comm.ReleaseMessage(msg)
-			continue // no such local endpoint; drop (like NX)
-		}
 		ep.DeliverLocal(msg)
 	}
+}
+
+// Read-buffer sizing for inbound connections. The seed used bufio's 4 KiB
+// default, so any frame beyond that straddled buffer refills and the
+// zero-copy receive path could never see a whole payload in place. The
+// buffer is sized to hold one maximal frame, clamped to a sane ceiling so a
+// permissive MaxFrameSize (the 64 MiB default) does not pin megabytes per
+// connection.
+const (
+	minReadBuf = 4 << 10
+	maxReadBuf = 1 << 20
+)
+
+func readBufSize(maxFrame uint32) int {
+	n := int(maxFrame) + 4 // length prefix + largest frame
+	if n < minReadBuf {
+		return minReadBuf
+	}
+	if n > maxReadBuf {
+		return maxReadBuf
+	}
+	return n
 }
 
 // Close shuts the node down: the listener, all connections, and the reader

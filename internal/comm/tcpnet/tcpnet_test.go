@@ -422,6 +422,111 @@ func TestTCPHeartbeatRejoinRevivesDeadPeer(t *testing.T) {
 	}
 }
 
+func TestReadBufSizeClamps(t *testing.T) {
+	cases := []struct {
+		maxFrame uint32
+		want     int
+	}{
+		{0, minReadBuf},              // degenerate config still gets a sane buffer
+		{1024, minReadBuf},           // small frames clamp up to the floor
+		{minReadBuf - 4, minReadBuf}, // exactly at the floor after the prefix
+		{64 << 10, 64<<10 + 4},       // one maximal frame plus its length prefix
+		{64 << 20, maxReadBuf},       // permissive default clamps to the ceiling
+		{^uint32(0), maxReadBuf},     // overflow-adjacent input stays clamped
+		{maxReadBuf - 4, maxReadBuf}, // largest un-clamped value
+		{maxReadBuf - 3, maxReadBuf}, // first value past the ceiling
+	}
+	for _, c := range cases {
+		if got := readBufSize(c.maxFrame); got != c.want {
+			t.Errorf("readBufSize(%d) = %d, want %d", c.maxFrame, got, c.want)
+		}
+	}
+}
+
+// TestTCPFrameSizesAroundReadBuffer walks payload sizes straddling the old
+// fixed 4 KiB bufio default and the sized read buffer, so both the in-buffer
+// zero-copy path (Peek + TryDeliverDirect) and the straddling pooled
+// fallback are exercised, in order, on one connection.
+func TestTCPFrameSizesAroundReadBuffer(t *testing.T) {
+	_, eps := bootWithOptions(t, 2, func(o *Options) {
+		o.MaxFrameSize = 64 << 10
+	})
+	sizes := []int{1, 4095, 4096, 4097, 8192, 16384, 60 << 10}
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 64<<10)
+		for i, size := range sizes {
+			n, hdr, err := eps[1].Recv(comm.MatchAll, buf)
+			if err != nil {
+				done <- fmt.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if n != size || hdr.Tag != int32(i) {
+				done <- fmt.Errorf("message %d: n=%d tag=%d, want n=%d tag=%d", i, n, hdr.Tag, size, i)
+				return
+			}
+			for j := 0; j < n; j++ {
+				if buf[j] != byte(j*7+i) {
+					done <- fmt.Errorf("message %d corrupt at byte %d", i, j)
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	for i, size := range sizes {
+		payload := make([]byte, size)
+		for j := range payload {
+			payload[j] = byte(j*7 + i)
+		}
+		eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, int32(i), 0, payload)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+// TestTCPLargeFrameToPostedReceive pre-posts a receive for a frame larger
+// than the old 4 KiB read buffer, the shape the zero-copy Peek path was
+// built for, and checks the payload lands intact in the posted buffer.
+func TestTCPLargeFrameToPostedReceive(t *testing.T) {
+	_, eps := bootWithOptions(t, 2, func(o *Options) {
+		o.MaxFrameSize = 128 << 10
+	})
+	const size = 64 << 10
+	buf := make([]byte, size)
+	spec := comm.MatchSpec{SrcPE: 0, SrcProc: 0, SrcThread: comm.Any, Ctx: comm.Any, Tag: 42}
+	h := eps[1].Irecv(spec, buf)
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i*13 + 5)
+	}
+	eps[0].Send(comm.Addr{PE: 1, Proc: 0}, 0, 42, 0, payload)
+	done := make(chan struct{})
+	go func() {
+		eps[1].Wait(h)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("posted large receive never completed")
+	}
+	if h.Err() != nil || h.Len() != size {
+		t.Fatalf("len=%d err=%v", h.Len(), h.Err())
+	}
+	for i := range buf {
+		if buf[i] != byte(i*13+5) {
+			t.Fatalf("payload corrupt at %d", i)
+		}
+	}
+}
+
 func TestTCPOversizeFramePanics(t *testing.T) {
 	_, eps := bootWithOptions(t, 2, func(o *Options) {
 		o.MaxFrameSize = 4096

@@ -97,15 +97,23 @@ func newPolicy(kind PolicyKind, sched *ult.Sched, ep *comm.Endpoint) policy {
 // when the thread resumes, matching the paper's "threads waiting on
 // outstanding receive requests".
 func waitAccounting(ep *comm.Endpoint, h *comm.RecvHandle) func() {
-	ctrs := ep.Counters()
-	ctrs.WaitBegin(ep.Host().Now())
-	return func() {
-		at := ep.Host().Now()
-		if h.Done() && h.CompletedAt() < at {
-			at = h.CompletedAt()
-		}
-		ctrs.WaitEndAt(at)
+	beginWait(ep)
+	return func() { endWait(ep, h) }
+}
+
+// beginWait/endWait are waitAccounting split into a plain call pair, so the
+// policies' hot wait paths can bracket a wait with `beginWait(ep)` and
+// `defer endWait(ep, h)` — no closure allocation per blocking receive.
+func beginWait(ep *comm.Endpoint) {
+	ep.Counters().WaitBegin(ep.Host().Now())
+}
+
+func endWait(ep *comm.Endpoint, h *comm.RecvHandle) {
+	at := ep.Host().Now()
+	if h.Done() && h.CompletedAt() < at {
+		at = h.CompletedAt()
 	}
+	ep.Counters().WaitEndAt(at)
 }
 
 // tpPolicy is Thread polls (Figure 5): test, and while incomplete, yield
@@ -124,9 +132,11 @@ func (p *tpPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 		return
 	}
 	t := p.sched.Current()
-	end := waitAccounting(p.ep, h)
-	defer end()
-	t.SetOnCancel(func() { p.ep.CancelRecv(h) })
+	w := tpBox(p, t)
+	w.h = h
+	beginWait(p.ep)
+	defer endWait(p.ep, h)
+	t.SetOnCancel(w.cancel)
 	for {
 		p.sched.Yield()
 		if p.ep.Test(h) {
@@ -134,8 +144,28 @@ func (p *tpPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 		}
 	}
 	t.SetOnCancel(nil)
+	w.h = nil
 	// The thread is already running when it notices completion, so the
 	// boost is moot under Thread polls.
+}
+
+// tpWait is the thread's reusable Thread-polls wait state: the cancel hook
+// is materialized once per thread (see ult.TCB.WaitBox) instead of a fresh
+// closure per blocking receive.
+type tpWait struct {
+	p      *tpPolicy
+	h      *comm.RecvHandle
+	cancel func()
+}
+
+func tpBox(p *tpPolicy, t *ult.TCB) *tpWait {
+	if w, ok := t.WaitBox.(*tpWait); ok && w.p == p {
+		return w
+	}
+	w := &tpWait{p: p}
+	w.cancel = func() { w.p.ep.CancelRecv(w.h) }
+	t.WaitBox = w
+	return w
 }
 
 // psPolicy is Scheduler polls (PS): the pending request is stored in the
@@ -158,20 +188,47 @@ func (p *psPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 		return
 	}
 	t := p.sched.Current()
-	end := waitAccounting(p.ep, h)
-	defer end()
-	t.SetOnCancel(func() { p.ep.CancelRecv(h) })
-	t.Pending = func() bool {
-		if !p.ep.Test(h) {
+	w := psBox(p, t)
+	w.h, w.boostTo = h, boostTo
+	beginWait(p.ep)
+	defer endWait(p.ep, h)
+	t.SetOnCancel(w.cancel)
+	t.Pending = w.pending
+	p.sched.Yield()
+	t.SetOnCancel(nil)
+	w.h = nil
+}
+
+// psWait is the thread's reusable Scheduler-polls (PS) wait state: the
+// pending check the scheduler runs at partial switches and the cancel hook
+// are materialized once per thread (see ult.TCB.WaitBox) instead of fresh
+// closures per blocking receive.
+type psWait struct {
+	p       *psPolicy
+	t       *ult.TCB
+	h       *comm.RecvHandle
+	boostTo int
+	pending func() bool
+	cancel  func()
+}
+
+func psBox(p *psPolicy, t *ult.TCB) *psWait {
+	if w, ok := t.WaitBox.(*psWait); ok && w.p == p {
+		return w
+	}
+	w := &psWait{p: p, t: t}
+	w.pending = func() bool {
+		if !w.p.ep.Test(w.h) {
 			return false
 		}
-		if boostTo != noBoost {
-			t.SetPriority(boostTo)
+		if w.boostTo != noBoost {
+			w.t.SetPriority(w.boostTo)
 		}
 		return true
 	}
-	p.sched.Yield()
-	t.SetOnCancel(nil)
+	w.cancel = func() { w.p.ep.CancelRecv(w.h) }
+	t.WaitBox = w
+	return w
 }
 
 // wqEntry is one outstanding request on the Scheduler-polls (WQ) list: an
@@ -242,14 +299,37 @@ func (p *wqPolicy) Wait(h *comm.RecvHandle, boostTo int) {
 	e := p.newEntry(h, t, boostTo)
 	p.pushBack(e)
 	p.index[h] = e
-	end := waitAccounting(p.ep, h)
-	defer end()
-	t.SetOnCancel(func() {
-		p.removeEntry(h, t)
-		p.ep.CancelRecv(h)
-	})
+	w := wqBox(p, t)
+	w.h = h
+	beginWait(p.ep)
+	defer endWait(p.ep, h)
+	t.SetOnCancel(w.cancel)
 	p.sched.Block()
 	t.SetOnCancel(nil)
+	w.h = nil
+}
+
+// wqWait is the thread's reusable Scheduler-polls (WQ) wait state: the
+// cancel hook is materialized once per thread (see ult.TCB.WaitBox) instead
+// of a fresh closure per blocking receive.
+type wqWait struct {
+	p      *wqPolicy
+	t      *ult.TCB
+	h      *comm.RecvHandle
+	cancel func()
+}
+
+func wqBox(p *wqPolicy, t *ult.TCB) *wqWait {
+	if w, ok := t.WaitBox.(*wqWait); ok && w.p == p {
+		return w
+	}
+	w := &wqWait{p: p, t: t}
+	w.cancel = func() {
+		w.p.removeEntry(w.h, w.t)
+		w.p.ep.CancelRecv(w.h)
+	}
+	t.WaitBox = w
+	return w
 }
 
 // preSchedule is the scheduling-point walk installed on the scheduler.

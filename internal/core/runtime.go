@@ -517,6 +517,9 @@ func (rt *Runtime) runReal(mains map[comm.Addr]MainFunc) (*Result, error) {
 	// all exist before the first send.
 	for _, addr := range addrs {
 		host := machine.NewRealHost(rt.model)
+		if rt.cfg.SpinBudget != 0 {
+			host.SetSpinBudget(rt.cfg.SpinBudget)
+		}
 		ctrs := &trace.Counters{}
 		ep := net.NewEndpoint(addr, host, ctrs)
 		rt.procs[addr] = newProcess(rt, addr, host, ctrs, ep, rt.cfg)

@@ -1,0 +1,246 @@
+// Real-mode data-plane measurements: the MPSC ingress ring, batched drain,
+// and zero-copy matched receive, measured as a user would feel them — wall
+// clock and heap allocations on real-mode machines over the in-memory
+// transport. Like the hot-path suite these measure the implementation, not
+// the simulated machine, so they live behind chantbench -exp real -json
+// (BENCH_real.json) rather than in the paper tables.
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"chant/internal/comm"
+	"chant/internal/core"
+	"chant/internal/machine"
+)
+
+// RealRow is one polling policy's ping-pong figures.
+type RealRow struct {
+	Policy           string  `json:"policy"`
+	PingPongNsOp     float64 `json:"pingpong_ns_op"`
+	PingPongAllocsOp float64 `json:"pingpong_allocs_op"`
+}
+
+// MultiProducerRow compares the batched ingress drain against the serial
+// per-message mailbox path with Senders producer PEs flooding one receiver.
+// An op is one round: the receiver absorbing one message from each sender.
+type MultiProducerRow struct {
+	Senders     int     `json:"senders"`
+	BatchedNsOp float64 `json:"batched_ns_op"`
+	SerialNsOp  float64 `json:"serial_ns_op"`
+	// Speedup is serial/batched wall time; meaningful only on multicore
+	// hosts, where producers actually contend.
+	Speedup float64 `json:"speedup_batched_vs_serial"`
+	// AvgBatch is messages deposited per mailbox acquisition on the batched
+	// arm — the figure the ring exists to raise above 1.
+	AvgBatch float64 `json:"avg_batch"`
+}
+
+// RealResult is the BENCH_real.json payload.
+type RealResult struct {
+	// HostCores is runtime.NumCPU(): real-mode latency and contention
+	// figures are only comparable across hosts with similar core counts.
+	HostCores int       `json:"host_cores"`
+	Rows      []RealRow `json:"rows"`
+
+	// DirectShare is the fraction of ping-pong deliveries (PS policy) that
+	// took the zero-copy matched-receive path instead of a pooled message.
+	DirectShare float64 `json:"direct_share"`
+
+	// Streaming: one-way 4 KiB message flood under a credit window.
+	StreamMsgsPerSec float64 `json:"stream_msgs_per_sec"`
+	StreamMBPerSec   float64 `json:"stream_mb_per_sec"`
+
+	MultiProducer []MultiProducerRow `json:"multi_producer"`
+
+	// Gate figures for chantbench -baseline: the best (lowest) ping-pong
+	// latency across policies and the lowest allocation count.
+	BestPingPongNsOp float64 `json:"best_pingpong_ns_op"`
+	MinAllocsOp      float64 `json:"min_allocs_op"`
+}
+
+const realStreamMsgSize = 4096
+
+// realPingPong runs rounds round trips on a 2-PE real-mode machine under
+// one polling policy, reporting wall ns and heap allocations per round trip
+// plus the share of deliveries that took the zero-copy direct path.
+func realPingPong(policy core.PolicyKind, rounds int) (nsOp, allocsOp, directShare float64) {
+	rt := core.NewRealRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: policy}, machine.Modern())
+	var direct, ringMsgs uint64
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	//chant:allow-nondet wall-clock benchmark timing
+	start := time.Now()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+			buf, out := make([]byte, 64), make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				t.Recv(peer, 1, buf)
+			}
+		},
+		{PE: 1, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			buf, out := make([]byte, 64), make([]byte, 64)
+			for i := 0; i < rounds; i++ {
+				t.Recv(peer, 1, buf)
+				t.Send(peer, 1, out)
+			}
+			_, ringMsgs, direct = t.Process().Endpoint().IngressStats()
+		},
+	})
+	//chant:allow-nondet wall-clock benchmark timing
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		panic(err)
+	}
+	if total := direct + ringMsgs; total > 0 {
+		directShare = float64(direct) / float64(total)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(rounds),
+		float64(m1.Mallocs-m0.Mallocs) / float64(rounds), directShare
+}
+
+// realMultiProducer floods one receiver PE from senders peer PEs under a
+// credit window, serial or batched, and reports wall ns per round (one
+// message from each sender) plus the mean ingress batch size.
+func realMultiProducer(senders, rounds int, serial bool) (nsPerRound, avgBatch float64) {
+	const window = 32
+	rt := core.NewRealRuntime(core.Topology{PEs: senders + 1, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS, DisableServer: true}, machine.Modern())
+	var batches, msgs uint64
+	mains := map[comm.Addr]core.MainFunc{}
+	mains[comm.Addr{PE: 0, Proc: 0}] = func(t *core.Thread) {
+		if serial {
+			t.Process().Endpoint().SetSerialDelivery(true)
+		}
+		for s := 1; s <= senders; s++ {
+			t.Send(core.GlobalID{PE: int32(s), Proc: 0, Thread: 0}, 2, []byte{1})
+		}
+		buf := make([]byte, 16)
+		got := make([]int, senders+1)
+		for i := 0; i < senders*rounds; i++ {
+			_, from, err := t.Recv(core.AnyThread, 1, buf)
+			if err != nil {
+				panic(err)
+			}
+			got[from.PE]++
+			if got[from.PE]%window == 0 {
+				t.Send(from, 3, []byte{1})
+			}
+		}
+		batches, msgs, _ = t.Process().Endpoint().IngressStats()
+	}
+	for s := 1; s <= senders; s++ {
+		mains[comm.Addr{PE: int32(s), Proc: 0}] = func(t *core.Thread) {
+			recv := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			ack, out := make([]byte, 4), make([]byte, 16)
+			if _, _, err := t.Recv(core.AnyThread, 2, ack); err != nil {
+				panic(err)
+			}
+			for i := 0; i < rounds; i++ {
+				t.Send(recv, 1, out)
+				if (i+1)%window == 0 {
+					if _, _, err := t.Recv(core.AnyThread, 3, ack); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	//chant:allow-nondet wall-clock benchmark timing
+	start := time.Now()
+	if _, err := rt.Run(mains); err != nil {
+		panic(err)
+	}
+	//chant:allow-nondet wall-clock benchmark timing
+	elapsed := time.Since(start)
+	if batches > 0 {
+		avgBatch = float64(msgs) / float64(batches)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(rounds), avgBatch
+}
+
+// realStreaming floods rounds 4 KiB messages one way under a credit window
+// and reports messages and megabytes per second.
+func realStreaming(rounds int) (msgsPerSec, mbPerSec float64) {
+	const window = 32
+	rt := core.NewRealRuntime(core.Topology{PEs: 2, ProcsPerPE: 1},
+		core.Config{Policy: core.SchedulerPollsPS, DisableServer: true}, machine.Modern())
+	//chant:allow-nondet wall-clock benchmark timing
+	start := time.Now()
+	_, err := rt.Run(map[comm.Addr]core.MainFunc{
+		{PE: 0, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 1, Proc: 0, Thread: 0}
+			out, ack := make([]byte, realStreamMsgSize), make([]byte, 4)
+			for i := 0; i < rounds; i++ {
+				t.Send(peer, 1, out)
+				if (i+1)%window == 0 {
+					t.Recv(peer, 3, ack)
+				}
+			}
+		},
+		{PE: 1, Proc: 0}: func(t *core.Thread) {
+			peer := core.GlobalID{PE: 0, Proc: 0, Thread: 0}
+			buf := make([]byte, realStreamMsgSize)
+			for i := 0; i < rounds; i++ {
+				if _, _, err := t.Recv(core.AnyThread, 1, buf); err != nil {
+					panic(err)
+				}
+				if (i+1)%window == 0 {
+					t.Send(peer, 3, []byte{1})
+				}
+			}
+		},
+	})
+	//chant:allow-nondet wall-clock benchmark timing
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(err)
+	}
+	secs := elapsed.Seconds()
+	return float64(rounds) / secs,
+		float64(rounds) * realStreamMsgSize / (1 << 20) / secs
+}
+
+// RunReal produces the BENCH_real.json measurements.
+func RunReal() RealResult {
+	res := RealResult{HostCores: runtime.NumCPU()}
+	const pingRounds = 20000
+	for _, pol := range []core.PolicyKind{
+		core.ThreadPolls, core.SchedulerPollsPS, core.SchedulerPollsWQ,
+	} {
+		ns, allocs, share := realPingPong(pol, pingRounds)
+		res.Rows = append(res.Rows, RealRow{
+			Policy: pol.String(), PingPongNsOp: ns, PingPongAllocsOp: allocs,
+		})
+		if pol == core.SchedulerPollsPS {
+			res.DirectShare = share
+		}
+		if res.BestPingPongNsOp == 0 || ns < res.BestPingPongNsOp {
+			res.BestPingPongNsOp = ns
+		}
+		if len(res.Rows) == 1 || allocs < res.MinAllocsOp {
+			res.MinAllocsOp = allocs
+		}
+	}
+	res.StreamMsgsPerSec, res.StreamMBPerSec = realStreaming(50000)
+	for _, senders := range []int{2, 4} {
+		const rounds = 10000
+		batched, avgBatch := realMultiProducer(senders, rounds, false)
+		serial, _ := realMultiProducer(senders, rounds, true)
+		res.MultiProducer = append(res.MultiProducer, MultiProducerRow{
+			Senders:     senders,
+			BatchedNsOp: batched,
+			SerialNsOp:  serial,
+			Speedup:     serial / batched,
+			AvgBatch:    avgBatch,
+		})
+	}
+	return res
+}

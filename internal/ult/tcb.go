@@ -125,6 +125,13 @@ type TCB struct {
 	// the cancel unwind needs no cleanup of its own.
 	onCancel func()
 
+	// WaitBox is scratch storage the process's polling policy attaches to
+	// the thread, so per-wait state (the pending check, the cancel hook)
+	// can live in one reusable allocation per thread instead of fresh
+	// closures on every blocking receive. Owned entirely by the policy;
+	// the scheduler never looks inside.
+	WaitBox any
+
 	locals map[*Key]any
 	// localOrder remembers key insertion order so destructors run
 	// deterministically (map iteration order would vary run to run, which

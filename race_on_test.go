@@ -1,0 +1,7 @@
+//go:build race
+
+package chant
+
+// raceEnabled reports whether the race detector is compiled in; its shadow
+// bookkeeping allocates, so allocation-exactness tests skip under it.
+const raceEnabled = true
