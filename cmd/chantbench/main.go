@@ -42,6 +42,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"chant/internal/core"
 	"chant/internal/experiments"
 )
 
@@ -61,8 +62,13 @@ func run() int {
 		baseline   = flag.String("baseline", "", "with -exp parallel|real and -json: committed BENCH_*.json to gate against (parallel: best_speedup may not regress >10%, skipped on hosts with <4 cores; real: latency 25% slack, allocs/op 10%+0.5)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+		traceOut   = flag.String("trace-out", "", "run one traced Table-3 polling cell and write its spans as Perfetto/Chrome trace JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		return writePollingTrace(*traceOut)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -320,4 +326,32 @@ func checkRealBaseline(path string, got *experiments.RealResult) bool {
 			got.BestPingPongNsOp, want.BestPingPongNsOp, got.MinAllocsOp, want.MinAllocsOp)
 	}
 	return ok
+}
+
+// writePollingTrace runs one span-traced cell of the Table-3 polling
+// experiment (the default alpha/beta midpoint under Scheduler polls (PS))
+// and writes the trace as Chrome trace_event JSON, loadable at
+// ui.perfetto.dev. Virtual timestamps: the file is byte-reproducible.
+func writePollingTrace(path string) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: %v\n", err)
+		return 1
+	}
+	cfg := experiments.PollingConfig{
+		Alpha:  500,
+		Beta:   100,
+		Policy: core.SchedulerPollsPS,
+	}
+	row, n, err := experiments.WritePollingTrace(f, cfg)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chantbench: trace-out: %v\n", err)
+		return 1
+	}
+	fmt.Printf("chantbench: wrote %d spans to %s (%s, alpha=%d beta=%d: %.2f ms, %d ctxsw, %d msgtest)\n",
+		n, path, row.Policy, row.Alpha, row.Beta, row.TimeMS, row.CtxSw, row.MsgTest)
+	return 0
 }

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 
@@ -31,11 +34,13 @@ import (
 
 func main() {
 	var (
-		n          = flag.Int("n", 2, "number of processing elements (OS processes)")
-		child      = flag.Bool("child", false, "internal: run as one PE of an existing machine")
-		pe         = flag.Int("pe", 0, "internal: this process's PE number")
-		rendezvous = flag.String("rendezvous", "", "rendezvous address (chosen automatically by the parent)")
-		laps       = flag.Int("laps", 3, "times the token circles the ring")
+		n           = flag.Int("n", 2, "number of processing elements (OS processes)")
+		child       = flag.Bool("child", false, "internal: run as one PE of an existing machine")
+		pe          = flag.Int("pe", 0, "internal: this process's PE number")
+		rendezvous  = flag.String("rendezvous", "", "rendezvous address (chosen automatically by the parent)")
+		laps        = flag.Int("laps", 3, "times the token circles the ring")
+		traceOut    = flag.String("trace-out", "", "write this PE's spans as Perfetto/Chrome trace JSON (parent process only)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (parent process only)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -45,15 +50,17 @@ func main() {
 		log.Fatal("chantrun: need at least 2 PEs")
 	}
 	if !*child {
-		parent(*n, *laps)
+		// Observability flags are deliberately not forwarded to the forked
+		// children: only PE 0 (this process) traces and serves.
+		parent(*n, *laps, *traceOut, *metricsAddr)
 		return
 	}
-	runPE(int32(*pe), *n, *rendezvous, *laps)
+	runPE(int32(*pe), *n, *rendezvous, *laps, "", "")
 }
 
 // parent picks a rendezvous port, forks one child per non-zero PE, and
 // then becomes PE 0 itself (the rendezvous leader and coordinator).
-func parent(n, laps int) {
+func parent(n, laps int, traceOut, metricsAddr string) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +84,7 @@ func parent(n, laps int) {
 		}
 		kids = append(kids, cmd)
 	}
-	runPE(0, n, rendezvous, laps)
+	runPE(0, n, rendezvous, laps, traceOut, metricsAddr)
 	for i, k := range kids {
 		if err := k.Wait(); err != nil {
 			log.Fatalf("pe%d exited: %v", i+1, err)
@@ -87,7 +94,9 @@ func parent(n, laps int) {
 }
 
 // runPE is one processing element's whole life: bootstrap, run, shut down.
-func runPE(pe int32, n int, rendezvous string, laps int) {
+// traceOut and metricsAddr are set only on PE 0; everywhere else
+// observability is off and costs one nil compare per emission site.
+func runPE(pe int32, n int, rendezvous string, laps int, traceOut, metricsAddr string) {
 	node, err := tcpnet.Bootstrap(tcpnet.Options{
 		Self:       comm.Addr{PE: pe, Proc: 0},
 		Rendezvous: rendezvous,
@@ -99,12 +108,26 @@ func runPE(pe int32, n int, rendezvous string, laps int) {
 	}
 	defer node.Close()
 
-	ep := node.NewEndpoint(comm.Addr{PE: pe, Proc: 0},
-		machine.NewRealHost(machine.Modern()), &trace.Counters{})
+	host := machine.NewRealHost(machine.Modern())
+	ep := node.NewEndpoint(comm.Addr{PE: pe, Proc: 0}, host, &trace.Counters{})
+
+	cfg := chant.Config{Policy: chant.SchedulerPollsPS}
+	var tracer *trace.Tracer
+	if traceOut != "" {
+		// One ring is enough: this OS process hosts a single PE. Wall-clock
+		// timestamps, lock-free flight recorder, lossy on wrap.
+		tracer = trace.NewFlightTracer(1, trace.DefaultRingSlots)
+		cfg.Tracer = tracer
+	}
+	if metricsAddr != "" {
+		reg := trace.NewRegistry(host.Now)
+		cfg.Metrics = reg
+		go serveMetrics(metricsAddr, reg)
+	}
 
 	rt := core.NewDistRuntime(
 		chant.Topology{PEs: n, ProcsPerPE: 1},
-		chant.Config{Policy: chant.SchedulerPollsPS},
+		cfg,
 		machine.Modern(),
 	)
 	rt.Register("announcer", func(t *chant.Thread, arg []byte) {
@@ -161,4 +184,47 @@ func runPE(pe int32, n int, rendezvous string, laps int) {
 	}
 	fmt.Printf("[pe%d] done: %d sends, %d recvs, %d RSRs served\n",
 		pe, snap.Sends, snap.Recvs, snap.RSRRequests)
+
+	if tracer != nil {
+		if err := writeTrace(traceOut, tracer); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+	}
+}
+
+// writeTrace dumps the flight recorder's surviving spans as Chrome
+// trace_event JSON, loadable at ui.perfetto.dev.
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans := tracer.Snapshot()
+	if err := trace.ExportTraceJSON(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[pe0] wrote %d spans to %s (dropped %d)\n",
+		len(spans), path, tracer.Dropped())
+	return nil
+}
+
+// serveMetrics exposes the live counters registry in Prometheus text form
+// plus the standard pprof and expvar endpoints for the run's lifetime.
+func serveMetrics(addr string, reg *trace.Registry) {
+	expvar.Publish("chant", expvar.Func(reg.ExpvarSnapshot))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("metrics server: %v", err)
+	}
 }

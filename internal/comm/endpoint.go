@@ -25,6 +25,12 @@ type Endpoint struct {
 	tr   Transport
 	mb   mailbox
 
+	// tracer, when non-nil, receives endpoint spans (sends, ingress
+	// drains, direct deliveries, match-to-observe latency). Each emission
+	// site gates on the nil check before reading any clock, so an untraced
+	// endpoint pays one compare per operation.
+	tracer *trace.Tracer
+
 	// det caches host.Deterministic() (immutable per host). Deterministic
 	// endpoints keep the synchronous per-message delivery path so every
 	// simulated event stream stays bit-identical; everything below exists for
@@ -82,6 +88,10 @@ func (e *Endpoint) Host() machine.Host { return e.host }
 
 // Counters reports the endpoint's event counters.
 func (e *Endpoint) Counters() *trace.Counters { return e.ctrs }
+
+// SetTracer attaches (or, with nil, detaches) a span tracer. Call before
+// traffic flows; the endpoint does not synchronize the swap.
+func (e *Endpoint) SetTracer(tr *trace.Tracer) { e.tracer = tr }
 
 // SetUnexpectedCap bounds the unexpected-message queue to cap entries; zero
 // (the default) leaves it unbounded. Arrivals matching no posted receive
@@ -161,6 +171,10 @@ func (e *Endpoint) Send(dst Addr, ctx, tag, srcThread int32, data []byte) {
 
 // SendFlags is Send with delivery flags (FlagSync) in the header.
 func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []byte) {
+	var sendBegin sim.Time
+	if e.tracer != nil {
+		sendBegin = e.host.Now()
+	}
 	e.host.Charge(e.host.Model().SendOverhead)
 	e.ctrs.Sends.Add(1)
 	e.ctrs.BytesSent.Add(uint64(len(data)))
@@ -180,6 +194,9 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 		// caller's buffer into the waiting thread's buffer — no pooled
 		// Message was ever built. Real mode only (dtr is nil under a
 		// deterministic host).
+		if e.tracer != nil {
+			e.tracer.Span(trace.SpanSend, e.addr.PE, srcThread, sendBegin, e.host.Now(), uint64(len(data)))
+		}
 		return
 	}
 	var msg *Message
@@ -195,6 +212,9 @@ func (e *Endpoint) SendFlags(dst Addr, ctx, tag, srcThread, flags int32, data []
 	msg.Hdr = hdr
 	msg.SentAt = e.host.Now()
 	e.tr.Deliver(msg)
+	if e.tracer != nil {
+		e.tracer.Span(trace.SpanSend, e.addr.PE, srcThread, sendBegin, e.host.Now(), uint64(len(data)))
+	}
 }
 
 // Irecv posts a nonblocking receive for a message matching spec, to be
@@ -401,6 +421,12 @@ func (e *Endpoint) observeCompletion(h *RecvHandle) {
 	h.observed = true
 	e.ctrs.Recvs.Add(1)
 	e.host.Charge(e.host.Model().RecvOverhead)
+	if e.tracer != nil {
+		// Match-to-observe latency: the message completed the receive at
+		// completedAt; only now did a thread look at the result.
+		e.tracer.Span(trace.SpanMatch, e.addr.PE, trace.EndpointTID,
+			h.completedAt, e.host.Now(), uint64(h.n))
+	}
 }
 
 // Observe charges the one-time receive-completion overhead for a handle
@@ -530,6 +556,10 @@ func (e *Endpoint) TryDeliverDirect(hdr Header, data []byte) bool {
 		return false
 	}
 	e.directDelivered.Add(1)
+	if e.tracer != nil {
+		now := e.host.Now()
+		e.tracer.Span(trace.SpanDirectDeliver, e.addr.PE, trace.EndpointTID, now, now, uint64(len(data)))
+	}
 	e.host.Interrupt()
 	return true
 }
@@ -543,6 +573,10 @@ func (e *Endpoint) drainIngress() {
 	if e.det || e.ing.empty() {
 		return
 	}
+	var drainBegin sim.Time
+	if e.tracer != nil {
+		drainBegin = e.host.Now()
+	}
 	matched, early, dropped := e.mb.depositBatch(&e.ing, e.host.Now())
 	n := matched + early + dropped
 	if n == 0 {
@@ -550,6 +584,10 @@ func (e *Endpoint) drainIngress() {
 	}
 	e.ingressBatches.Add(1)
 	e.ingressMessages.Add(uint64(n))
+	if e.tracer != nil {
+		e.tracer.Span(trace.SpanIngressDrain, e.addr.PE, trace.EndpointTID,
+			drainBegin, e.host.Now(), uint64(n))
+	}
 	if early > 0 {
 		e.ctrs.EarlyArrivals.Add(uint64(early))
 	}

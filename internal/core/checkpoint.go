@@ -128,7 +128,19 @@ func (p *Process) peerAddrs() []comm.Addr {
 // for marker-triggered captures): the capture performs no yields, so the
 // snapshot is a consistent instant of the cooperative schedule.
 func (p *Process) beginSnapshot(id uint32) {
+	var capBegin sim.Time
+	tr := p.cfg.Tracer
+	if tr != nil {
+		capBegin = p.ep.Host().Now()
+	}
 	p.snap = &snapState{rec: recovery.NewRecorder(id, p.peerAddrs()), cp: p.captureCheckpoint()}
+	if tr != nil {
+		// The capture itself, not the whole recording window: the windows
+		// stay open until every peer's marker arrives, which is RSR traffic
+		// already covered by rsr-serve spans.
+		tr.Span(trace.SpanCheckpoint, p.addr.PE, trace.EndpointTID,
+			capBegin, p.ep.Host().Now(), uint64(id))
+	}
 	if p.snap.rec.Done() {
 		p.finishSnapshot()
 	}
@@ -298,6 +310,14 @@ func (rt *Runtime) Restore(cp *recovery.Checkpoint, host machine.Host, ctrs *tra
 	addr := cp.Addr
 	if !rt.validAddr(addr) {
 		return nil, fmt.Errorf("%w: checkpoint for %v", ErrBadTarget, addr)
+	}
+	var restoreBegin sim.Time
+	if tr := rt.cfg.Tracer; tr != nil {
+		restoreBegin = host.Now()
+		defer func() {
+			tr.Span(trace.SpanRestore, addr.PE, trace.EndpointTID,
+				restoreBegin, host.Now(), uint64(cp.Epoch))
+		}()
 	}
 	p := newProcess(rt, addr, host, ctrs, ep, rt.cfg)
 	for _, id := range cp.Handlers {

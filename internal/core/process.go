@@ -101,6 +101,22 @@ type Config struct {
 	// process reads its latest checkpoint from. Simulated topologies share
 	// one recovery.NewMemStore() across all processes.
 	CheckpointStore recovery.Store
+	// --- Observability ---
+
+	// Tracer, when non-nil, receives spans from every layer of each
+	// process: scheduler occupancy and blocked intervals, endpoint sends
+	// and drains, RSR calls and serves, recovery brackets. Simulated
+	// runtimes should attach trace.NewTracer (the deterministic ordered
+	// store); real-mode runtimes trace.NewFlightTracer (lock-free per-PE
+	// rings). Nil — the default — disables span collection: every
+	// instrumentation site reduces to one pointer compare.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, gets every process's live Counters registered
+	// under its address label for /metrics scrapes. A restarted process
+	// re-registers under the same label, replacing its previous life (the
+	// restored counters already carry the pre-crash history via Preload).
+	Metrics *trace.Registry
+
 	// RejoinWait, when positive, makes a timed-out Call wait out a dead
 	// peer for up to this long before surfacing comm.ErrPeerDead: each
 	// round charges one RSRTimeout of compute and resends the request with
@@ -177,6 +193,8 @@ func newProcess(rt *Runtime, addr comm.Addr, host machine.Host, ctrs *trace.Coun
 		Name:      addr.String(),
 		EventLog:  evlog,
 		IdleBlock: cfg.IdleBlock,
+		Tracer:    cfg.Tracer,
+		PE:        addr.PE,
 	})
 	p := &Process{
 		rt:       rt,
@@ -191,6 +209,12 @@ func newProcess(rt *Runtime, addr comm.Addr, host machine.Host, ctrs *trace.Coun
 	if cfg.MaxUnexpected > 0 {
 		ep.SetUnexpectedCap(cfg.MaxUnexpected)
 	}
+	if cfg.Tracer != nil {
+		ep.SetTracer(cfg.Tracer)
+	}
+	// Register (or, after a restart, re-register) the live counters for
+	// metrics scrapes. Registry.Register is nil-receiver safe.
+	cfg.Metrics.Register(addr.String(), ctrs)
 	p.policy = newPolicy(cfg.Policy, sched, ep)
 	p.registerBuiltinHandlers()
 	p.registerSharedHandlers()

@@ -7,6 +7,7 @@ import (
 
 	"chant/internal/comm"
 	"chant/internal/sim"
+	"chant/internal/trace"
 	"chant/internal/ult"
 )
 
@@ -176,6 +177,16 @@ func (t *Thread) Call(dst comm.Addr, handler int32, req, replyBuf []byte) (int, 
 	if len(req)+rsrHeaderLen > p.cfg.MaxRSR {
 		return 0, fmt.Errorf("%w: %d bytes", ErrRSRTooLarge, len(req))
 	}
+	if tr := p.cfg.Tracer; tr != nil {
+		// One span per Call, issue to decoded reply (or terminal error),
+		// covering retries and rejoin waits. RSR is control plane, so the
+		// deferred closure is off every data hot path.
+		callBegin := p.ep.Host().Now()
+		defer func() {
+			tr.Span(trace.SpanRSRCall, p.addr.PE, t.gid.Thread,
+				callBegin, p.ep.Host().Now(), uint64(uint32(handler)))
+		}()
+	}
 	p.nextReq++
 	replyTag := tagReplyBase + p.nextReq%tagReplySpan
 	seq := uint32(p.nextReq)
@@ -334,11 +345,24 @@ func (p *Process) startServer() {
 				boost = noBoost
 			}
 			p.policy.Wait(h, boost)
+			var serveBegin sim.Time
+			tr := p.cfg.Tracer
+			if tr != nil {
+				serveBegin = host.Now()
+			}
 			host.Charge(m.RSRDispatch)
 			p.Counters().RSRRequests.Add(1)
 			hdr, n := h.Header(), h.Len()
 			p.ep.ReleaseHandle(h)
 			p.serveOne(hdr, buf[:n])
+			if tr != nil {
+				var harg uint64
+				if n >= 4 {
+					harg = uint64(binary.LittleEndian.Uint32(buf[0:]))
+				}
+				tr.Span(trace.SpanRSRServe, p.addr.PE, serverLocalID,
+					serveBegin, host.Now(), harg)
+			}
 		}
 	}, ult.SpawnOpts{Daemon: true})
 	if p.server.gid.Thread != serverLocalID {

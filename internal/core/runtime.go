@@ -119,7 +119,10 @@ func (rt *Runtime) RunOne(addr comm.Addr, ep *comm.Endpoint, main MainFunc) (tra
 	rt.mu.Lock()
 	rt.procs[addr] = proc
 	rt.mu.Unlock()
-	err := proc.run(rt.wrapMain(addr, main))
+	var err error
+	machine.WithPprofLabels(int(addr.PE), rt.cfg.Policy.String(), "run", func() {
+		err = proc.run(rt.wrapMain(addr, main))
+	})
 	return ep.Counters().Snap(ep.Host().Now()), err
 }
 
@@ -535,9 +538,11 @@ func (rt *Runtime) runReal(mains map[comm.Addr]MainFunc) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			proc := rt.procs[addr]
-			if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
-				errs[i] = fmt.Errorf("%v: %w", addr, err)
-			}
+			machine.WithPprofLabels(int(addr.PE), rt.cfg.Policy.String(), "run", func() {
+				if err := proc.run(rt.wrapMain(addr, mains[addr])); err != nil {
+					errs[i] = fmt.Errorf("%v: %w", addr, err)
+				}
+			})
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chant/internal/core"
+)
+
+// smallTraceCell is a deliberately tiny Table-3 cell so the golden
+// determinism test stays fast while still exercising every span-emitting
+// layer (scheduler, comm, polling policy).
+func smallTraceCell() PollingConfig {
+	return PollingConfig{
+		Workers: 4,
+		Iters:   8,
+		Alpha:   50,
+		Beta:    100,
+		MsgSize: 256,
+		Seed:    7,
+		Policy:  core.SchedulerPollsPS,
+	}
+}
+
+// TestWritePollingTraceDeterministic runs the same traced cell twice and
+// requires byte-identical JSON: the sim is deterministic, timestamps are
+// virtual, and the exporter sorts spans canonically, so any divergence is
+// a bug in one of those three.
+func TestWritePollingTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	rowA, nA, err := WritePollingTrace(&a, smallTraceCell())
+	if err != nil {
+		t.Fatalf("first traced run: %v", err)
+	}
+	rowB, nB, err := WritePollingTrace(&b, smallTraceCell())
+	if err != nil {
+		t.Fatalf("second traced run: %v", err)
+	}
+	if nA == 0 {
+		t.Fatal("traced run emitted zero spans")
+	}
+	if nA != nB {
+		t.Fatalf("span counts differ across identical runs: %d vs %d", nA, nB)
+	}
+	if rowA != rowB {
+		t.Fatalf("measured rows differ across identical runs:\n%+v\n%+v", rowA, rowB)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("trace JSON not byte-deterministic (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}
+
+// TestWritePollingTraceValidJSON checks the exported trace parses as
+// Chrome trace_event JSON with both metadata and complete events present.
+func TestWritePollingTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := WritePollingTrace(&buf, smallTraceCell()); err != nil {
+		t.Fatalf("WritePollingTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			names[ev.Name] = true
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta == 0 || complete == 0 {
+		t.Fatalf("want both metadata and complete events, got M=%d X=%d", meta, complete)
+	}
+	// The polling workload must at least show scheduler occupancy and
+	// message sends; PS also parks threads, producing blocked intervals.
+	for _, want := range []string{"run", "send", "blocked"} {
+		if !names[want] {
+			t.Fatalf("no %q spans in traced polling run (saw %v)", want, names)
+		}
+	}
+}

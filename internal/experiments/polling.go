@@ -7,6 +7,7 @@ import (
 	"chant/internal/core"
 	"chant/internal/machine"
 	"chant/internal/sim"
+	"chant/internal/trace"
 )
 
 // PollingConfig parameterizes the Section 4.2 scheduling experiment: two
@@ -42,6 +43,11 @@ type PollingConfig struct {
 	// conservative kernel with that many shards (core.Config.SimShards).
 	// Zero keeps the sequential reference kernel.
 	Shards int
+
+	// Tracer, when non-nil, records spans from every layer of the run
+	// (scheduler occupancy, sends, matches, RSR) for Perfetto export. Nil
+	// costs one pointer compare per emission site.
+	Tracer *trace.Tracer
 }
 
 func (c PollingConfig) withDefaults() PollingConfig {
@@ -102,7 +108,7 @@ func RunPollingStats(cfg PollingConfig) (PollingRow, SimStats) {
 	cfg = cfg.withDefaults()
 	rt := core.NewSimRuntime(core.Topology{PEs: 2 * cfg.Pairs, ProcsPerPE: 1},
 		core.Config{Policy: cfg.Policy, Delivery: core.DeliverCtx, DisableServer: true,
-			SimShards: cfg.Shards},
+			SimShards: cfg.Shards, Tracer: cfg.Tracer},
 		cfg.Model)
 	workers := int32(cfg.Workers)
 	mk := func(pe int32) core.MainFunc {

@@ -1,0 +1,25 @@
+package machine
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// WithPprofLabels runs fn on the current goroutine with pprof labels
+// identifying which processing element it serves, which polling policy it
+// runs, and what phase of execution it is in. CPU profiles taken from a
+// real-mode run (chantrun -metrics-addr, chantbench -cpuprofile) can then
+// be sliced per PE or per policy in pprof's tag views instead of showing
+// one undifferentiated pile of scheduler frames.
+//
+// Real mode only: sim-mode execution is single-goroutine and virtual-time,
+// so wall-clock profiles of it are not meaningful. The labels live for the
+// duration of fn and are inherited by any goroutine fn starts.
+func WithPprofLabels(pe int, policy, phase string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"pe", strconv.Itoa(pe),
+		"policy", policy,
+		"phase", phase,
+	), func(context.Context) { fn() })
+}

@@ -103,7 +103,15 @@ func (c *Counters) WaitEndAt(at sim.Time) {
 		w.lastAt = at
 	} else {
 		// Retroactive completion: remove this thread's contribution over
-		// [at, lastAt].
+		// [at, lastAt]. Clamp at to the start of the observation window:
+		// a completion stamped before the first wait event (a receive
+		// satisfied before any thread was integrated as waiting, or a
+		// failure detector marking a peer dead at an earlier timestamp)
+		// must not subtract time that was never added, which would drive
+		// the Figure-13 integral negative.
+		if at < w.startAt {
+			at = w.startAt
+		}
 		w.integral -= float64(w.lastAt.Sub(at))
 	}
 	w.current--
@@ -141,7 +149,14 @@ func (c *Counters) AvgWaiting(end sim.Time) float64 {
 		return 0
 	}
 	integral := w.integral + float64(w.current)*float64(end.Sub(w.lastAt))
-	return integral / float64(end.Sub(w.startAt))
+	avg := integral / float64(end.Sub(w.startAt))
+	if avg < 0 {
+		// Retroactive corrections approximate per-thread wait windows with
+		// the process-wide one; floating-point cancellation across many
+		// corrections could otherwise leak an impossible negative average.
+		return 0
+	}
+	return avg
 }
 
 // MaxWaiting reports the peak number of simultaneously waiting threads.

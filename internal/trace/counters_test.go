@@ -107,3 +107,54 @@ func TestCountersConcurrentUpdates(t *testing.T) {
 		t.Fatalf("Sends = %d, want 8000", got)
 	}
 }
+
+func TestWaitEndAtBeforeWindowClamped(t *testing.T) {
+	// Regression: a completion stamped before the first wait event (e.g.
+	// a receive handle that completed before any thread was integrated,
+	// or a failure detector marking a peer dead in the past) used to
+	// subtract [at, lastAt] without clamping at to startAt, driving the
+	// Figure-13 integral negative.
+	var c Counters
+	c.WaitBegin(us(100))
+	c.WaitEndAt(us(40)) // before the window even opened
+	if got := c.AvgWaiting(us(200)); got < 0 {
+		t.Fatalf("AvgWaiting = %v, want >= 0", got)
+	}
+	// The thread's waiting contribution is fully removed: average is 0.
+	if got := c.AvgWaiting(us(200)); math.Abs(got) > 1e-9 {
+		t.Fatalf("AvgWaiting = %v, want 0 (retroactive end removed the only wait)", got)
+	}
+}
+
+func TestWaitEndAtRetroactiveExact(t *testing.T) {
+	// Two threads wait from 0; one's receive completed at 25 but was only
+	// observed at 50. True integral over [0,100]: one thread for 25us,
+	// the other for 100us => avg 1.25.
+	var c Counters
+	c.WaitBegin(us(0))
+	c.WaitBegin(us(0))
+	c.WaitBegin(us(50)) // forces lastAt to 50 with 2 waiting over [0,50)
+	c.WaitEnd(us(50))   // the helper thread leaves immediately
+	c.WaitEndAt(us(25)) // retroactive completion inside the window
+	got := c.AvgWaiting(us(100))
+	if math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("AvgWaiting = %v, want 1.25", got)
+	}
+}
+
+func TestAvgWaitingNeverNegative(t *testing.T) {
+	// Brute adversarial sequence mixing forward updates and maximally
+	// retroactive completions; the average must stay non-negative at
+	// every probe point.
+	var c Counters
+	c.WaitBegin(us(1000))
+	for i := 0; i < 8; i++ {
+		c.WaitBegin(us(1000 + int64(i)*10))
+	}
+	for i := 0; i < 9; i++ {
+		c.WaitEndAt(us(0)) // far before the window
+		if got := c.AvgWaiting(us(2000)); got < 0 {
+			t.Fatalf("AvgWaiting = %v after %d retroactive ends, want >= 0", got, i+1)
+		}
+	}
+}

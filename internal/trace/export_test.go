@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Kind: SpanRun, PE: 1, TID: 2, Begin: us(10), End: us(15), Arg: 0},
+		{Kind: SpanSend, PE: 0, TID: 1, Begin: us(2), End: us(3), Arg: 64},
+		{Kind: SpanIngressDrain, PE: 0, TID: EndpointTID, Begin: us(4), End: us(5), Arg: 3},
+		{Kind: SpanBlocked, PE: 1, TID: 2, Begin: us(0), End: us(10), Arg: 0},
+	}
+}
+
+func TestExportTraceJSONIsValidTraceEvent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportTraceJSON(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var x, m int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			x++
+		case "M":
+			m++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if x != 4 {
+		t.Fatalf("got %d X events, want 4", x)
+	}
+	if m != 4 { // process_name + endpoint thread_name for PEs 0 and 1
+		t.Fatalf("got %d M events, want 4", m)
+	}
+	// Spot-check exact microsecond conversion: the send span begins at
+	// 2us and lasts 1us.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "send" {
+			found = true
+			if e.Ts != 2 || e.Dur != 1 || e.Cat != "comm" || e.Args["v"].(float64) != 64 {
+				t.Fatalf("send event wrong: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("send span missing from export")
+	}
+}
+
+func TestExportTraceJSONByteDeterministic(t *testing.T) {
+	// The same span set in any order exports to identical bytes.
+	a := sampleSpans()
+	b := []Span{a[3], a[1], a[0], a[2]}
+	var bufA, bufB bytes.Buffer
+	if err := ExportTraceJSON(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTraceJSON(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("export depends on span order:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+}
+
+func TestMicrosExactDecimals(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0.000",
+		1:       "0.001",
+		999:     "0.999",
+		1000:    "1.000",
+		1234567: "1234.567",
+		-1500:   "-1.500",
+	}
+	for ns, want := range cases {
+		if got := micros(ns); got != want {
+			t.Errorf("micros(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestSpanKindNamesComplete(t *testing.T) {
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("SpanKind %d has no name", k)
+		}
+		if k.Category() == "" {
+			t.Errorf("SpanKind %d has no category", k)
+		}
+	}
+	if strings.Contains(SpanKind(200).String(), "run") {
+		t.Error("out-of-range kind must not alias a real name")
+	}
+}

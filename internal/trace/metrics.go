@@ -1,0 +1,108 @@
+// The metrics registry: live Counters exposed as Prometheus text format
+// and expvar. A scrape reads the registered Counters *at scrape time*
+// through the SnapshotFields table — the registry holds pointers, never
+// accumulated copies, so there is no second ledger to fall out of sync
+// with recovery's Preload (a restored process's counters already carry
+// their pre-crash history; summing a stale registration on top would
+// double-count it, which is why Register replaces rather than appends when
+// a label re-registers — exactly what happens when a PE restarts).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"chant/internal/sim"
+)
+
+// Registry maps labels (conventionally the process address, "pe.proc") to
+// live Counters. It implements http.Handler, serving Prometheus text.
+type Registry struct {
+	// Now supplies the snapshot end time for the waiting-thread average;
+	// nil means "no clock", which reports AvgWaiting as 0.
+	Now func() sim.Time
+
+	mu    sync.Mutex
+	procs map[string]*Counters
+}
+
+// NewRegistry returns an empty registry whose AvgWaiting window ends at
+// now() (pass nil when no host clock is available).
+func NewRegistry(now func() sim.Time) *Registry {
+	return &Registry{Now: now, procs: make(map[string]*Counters)}
+}
+
+// Register adds (or replaces) the counters exported under label. Replacing
+// is load-bearing for recovery: a restarted process re-registers its fresh,
+// Preload-ed Counters under the same address, and the stale registration
+// from its previous life must stop being scraped or its history would be
+// counted twice.
+func (r *Registry) Register(label string, c *Counters) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.procs[label] = c
+	r.mu.Unlock()
+}
+
+// gather snapshots every registered process, sorted by label.
+func (r *Registry) gather() (labels []string, snaps []Snapshot) {
+	var end sim.Time
+	if r.Now != nil {
+		end = r.Now()
+	}
+	r.mu.Lock()
+	for label := range r.procs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		snaps = append(snaps, r.procs[label].Snap(end))
+	}
+	r.mu.Unlock()
+	return labels, snaps
+}
+
+// WritePrometheus writes every Snapshot field for every registered process
+// in Prometheus text exposition format, one series per (field, process).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	labels, snaps := r.gather()
+	for _, f := range SnapshotFields {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.Name, f.Help, f.Name, f.Kind); err != nil {
+			return err
+		}
+		for i, label := range labels {
+			if _, err := fmt.Fprintf(w, "%s{proc=%q} %g\n",
+				f.Name, label, f.Value(&snaps[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ServeHTTP makes the registry a /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+// ExpvarSnapshot returns the registry as nested maps
+// (proc → field → value), shaped for expvar.Func under /debug/vars.
+func (r *Registry) ExpvarSnapshot() any {
+	labels, snaps := r.gather()
+	out := make(map[string]map[string]float64, len(labels))
+	for i, label := range labels {
+		m := make(map[string]float64, len(SnapshotFields))
+		for _, f := range SnapshotFields {
+			m[f.Field] = f.Value(&snaps[i])
+		}
+		out[label] = m
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chant/internal/sim"
+)
+
+// TestSnapshotFieldsComplete is the "generated table" contract: every field
+// of Snapshot must have exactly one row in SnapshotFields (this test is the
+// only reflection on the metrics path; scrapes stay table-driven).
+func TestSnapshotFieldsComplete(t *testing.T) {
+	covered := map[string]int{}
+	names := map[string]bool{}
+	for _, f := range SnapshotFields {
+		covered[f.Field]++
+		if names[f.Name] {
+			t.Errorf("duplicate metric name %q", f.Name)
+		}
+		names[f.Name] = true
+		if !strings.HasPrefix(f.Name, "chant_") {
+			t.Errorf("metric %q missing chant_ prefix", f.Name)
+		}
+		if f.Kind == MetricCounter && !strings.HasSuffix(f.Name, "_total") {
+			t.Errorf("counter %q missing _total suffix", f.Name)
+		}
+		if f.Help == "" {
+			t.Errorf("field %s has no help text", f.Field)
+		}
+	}
+	st := reflect.TypeOf(Snapshot{})
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		if covered[name] != 1 {
+			t.Errorf("Snapshot field %s has %d table rows, want 1 — update SnapshotFields in fields.go", name, covered[name])
+		}
+		delete(covered, name)
+	}
+	for name := range covered {
+		t.Errorf("SnapshotFields row %s has no Snapshot field", name)
+	}
+}
+
+// TestFieldValuesReadTheRightField cross-checks the hand-written getters
+// against reflection: bump one field at a time and confirm only its table
+// row moves.
+func TestFieldValuesReadTheRightField(t *testing.T) {
+	st := reflect.TypeOf(Snapshot{})
+	for i := 0; i < st.NumField(); i++ {
+		var s Snapshot
+		fv := reflect.ValueOf(&s).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Uint64:
+			fv.SetUint(7)
+		case reflect.Float64:
+			fv.SetFloat(7)
+		case reflect.Int:
+			fv.SetInt(7)
+		default:
+			t.Fatalf("unhandled Snapshot field kind %s", fv.Kind())
+		}
+		for _, f := range SnapshotFields {
+			want := 0.0
+			if f.Field == st.Field(i).Name {
+				want = 7
+			}
+			if got := f.Value(&s); got != want {
+				t.Errorf("with %s=7, table row %s reads %g, want %g",
+					st.Field(i).Name, f.Field, got, want)
+			}
+		}
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	reg := NewRegistry(func() sim.Time { return us(100) })
+	var c Counters
+	c.Sends.Add(3)
+	c.BytesSent.Add(192)
+	c.WaitBegin(us(0))
+	reg.Register("0.0", &c)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP chant_sends_total",
+		"# TYPE chant_sends_total counter",
+		`chant_sends_total{proc="0.0"} 3`,
+		`chant_bytes_sent_total{proc="0.0"} 192`,
+		"# TYPE chant_avg_waiting_threads gauge",
+		`chant_avg_waiting_threads{proc="0.0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Every table row appears.
+	for _, f := range SnapshotFields {
+		if !strings.Contains(out, f.Name+`{proc="0.0"}`) {
+			t.Errorf("metric %s not exported", f.Name)
+		}
+	}
+}
+
+// TestRegistryRestoreNoDoubleCount is the Preload/export audit: a restarted
+// process re-registers fresh Counters preloaded with its checkpoint under
+// the same label. The registry must replace the dead registration — if both
+// lives were scraped, the pre-crash history (carried inside the preloaded
+// counters) would be counted twice.
+func TestRegistryRestoreNoDoubleCount(t *testing.T) {
+	reg := NewRegistry(nil)
+
+	var life1 Counters
+	life1.Sends.Add(10)
+	reg.Register("1.0", &life1)
+
+	// Crash: checkpoint the counters, restore into a fresh Counters.
+	cp := life1.Snap(0)
+	var life2 Counters
+	life2.Preload(cp)
+	life2.Restarts.Add(1)
+	reg.Register("1.0", &life2)
+	life2.Sends.Add(5) // post-restore traffic
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, `chant_sends_total{proc="1.0"}`) != 1 {
+		t.Fatalf("restarted process exported more than once:\n%s", out)
+	}
+	if !strings.Contains(out, `chant_sends_total{proc="1.0"} 15`) {
+		t.Fatalf("want preloaded 10 + new 5 = 15 sends, got:\n%s", out)
+	}
+	if !strings.Contains(out, `chant_restarts_total{proc="1.0"} 1`) {
+		t.Fatalf("restart not visible:\n%s", out)
+	}
+}
+
+func TestRegistryExpvarSnapshot(t *testing.T) {
+	reg := NewRegistry(nil)
+	var c Counters
+	c.Recvs.Add(2)
+	reg.Register("0.0", &c)
+	m, ok := reg.ExpvarSnapshot().(map[string]map[string]float64)
+	if !ok {
+		t.Fatalf("ExpvarSnapshot type %T", reg.ExpvarSnapshot())
+	}
+	if m["0.0"]["Recvs"] != 2 {
+		t.Fatalf("expvar Recvs = %v, want 2", m["0.0"]["Recvs"])
+	}
+	if len(m["0.0"]) != len(SnapshotFields) {
+		t.Fatalf("expvar has %d fields, want %d", len(m["0.0"]), len(SnapshotFields))
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var reg *Registry
+	reg.Register("x", &Counters{}) // must not panic
+}

@@ -41,8 +41,16 @@ func Timeline(events []Event, width int) string {
 	span := float64(end - start)
 	bucket := func(at sim.Time) int {
 		b := int(float64(at-start) / span * float64(width))
+		// Clamp both ends: an event stamped exactly at end maps to width
+		// (the half-open bucket grid has no column for it), and the low
+		// clamp makes the in-range invariant local rather than resting on
+		// the caller having scanned start as the true minimum — either
+		// miss would index running[] out of range.
 		if b >= width {
 			b = width - 1
+		}
+		if b < 0 {
+			b = 0
 		}
 		return b
 	}

@@ -108,3 +108,80 @@ func TestTimelineDefaultWidth(t *testing.T) {
 		t.Fatalf("default width = %d, want 72", len(inner))
 	}
 }
+
+func TestTimelineEventExactlyAtEnd(t *testing.T) {
+	// The last event sits exactly at the window end: its bucket index is
+	// width on the half-open grid and must clamp to the last column, not
+	// index out of range.
+	events := []Event{
+		{At: us(0), Kind: EvSpawn, Thread: 0},
+		{At: us(0), Kind: EvSwitchIn, Thread: 0},
+		{At: us(100), Kind: EvSwitchIn, Thread: 0}, // switch-in at end
+	}
+	out := Timeline(events, 10)
+	row := strings.Split(out, "\n")[1]
+	inner := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if len(inner) != 10 {
+		t.Fatalf("row width = %d, want 10:\n%s", len(inner), out)
+	}
+	if inner[9] != '#' {
+		t.Errorf("final bucket not marked running:\n%s", out)
+	}
+}
+
+func TestTimelineSingleEvent(t *testing.T) {
+	// A one-event log has a zero-length window (end is bumped to
+	// start+1); it must render one in-range row.
+	out := Timeline([]Event{{At: us(7), Kind: EvSwitchIn, Thread: 3}}, 8)
+	if !strings.Contains(out, "t3") {
+		t.Fatalf("missing thread row:\n%s", out)
+	}
+	row := strings.Split(out, "\n")[1]
+	inner := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if len(inner) != 8 || !strings.Contains(inner, "#") {
+		t.Fatalf("single-event render wrong: %q", inner)
+	}
+}
+
+func TestTimelineAllEventsSameInstant(t *testing.T) {
+	events := []Event{
+		{At: us(5), Kind: EvSpawn, Thread: 0},
+		{At: us(5), Kind: EvSwitchIn, Thread: 0},
+		{At: us(5), Kind: EvExit, Thread: 0},
+	}
+	out := Timeline(events, 4) // must not panic; whole life in bucket 0
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no running mark:\n%s", out)
+	}
+}
+
+func TestTimelineWidthOne(t *testing.T) {
+	events := []Event{
+		{At: us(0), Kind: EvSwitchIn, Thread: 0},
+		{At: us(10), Kind: EvSwitchIn, Thread: 1},
+		{At: us(20), Kind: EvExit, Thread: 1},
+	}
+	out := Timeline(events, 1)
+	for _, row := range strings.Split(strings.TrimRight(out, "\n"), "\n")[1:] {
+		inner := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+		if len(inner) != 1 {
+			t.Fatalf("width-1 row = %q:\n%s", inner, out)
+		}
+	}
+}
+
+func TestTimelineUnsortedRetroactiveEvents(t *testing.T) {
+	// Logs are emission-ordered, not time-ordered: a retroactive stamp
+	// can place a later entry before an earlier one. The renderer must
+	// tolerate the inversion (segments may be approximated, never panic).
+	events := []Event{
+		{At: us(50), Kind: EvSwitchIn, Thread: 0},
+		{At: us(10), Kind: EvBlock, Thread: 0}, // stamped in the past
+		{At: us(60), Kind: EvSwitchIn, Thread: 1},
+		{At: us(100), Kind: EvExit, Thread: 1},
+	}
+	out := Timeline(events, 16)
+	if !strings.Contains(out, "t0") || !strings.Contains(out, "t1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"chant/internal/check"
 	"chant/internal/machine"
+	"chant/internal/sim"
 	"chant/internal/trace"
 )
 
@@ -17,6 +18,13 @@ type Options struct {
 	// EventLog, when non-nil, records scheduler events (switches, blocks,
 	// spawns, exits) for debugging; see trace.Log.
 	EventLog *trace.Log
+	// Tracer, when non-nil, receives scheduler spans (thread occupancy
+	// from switch-in to switch-out, blocked intervals). Every emission is
+	// gated on the nil check, so a scheduler without a tracer pays one
+	// compare per site and gathers no timestamps.
+	Tracer *trace.Tracer
+	// PE labels this scheduler's spans with its processing element.
+	PE int32
 	// IdleBlock selects what the scheduler does when nothing is runnable
 	// but external wakeups (message arrivals) remain possible: park the
 	// host awaiting an interrupt (true; kind to real CPUs) or busy-poll
@@ -251,6 +259,10 @@ func (s *Sched) switchIn(t *TCB) {
 	s.ctrs.FullSwitches.Add(1)
 	s.host.Charge(s.host.Model().FullSwitch)
 	s.opts.EventLog.Add(s.host.Now(), trace.EvSwitchIn, t.id)
+	var runBegin sim.Time
+	if s.opts.Tracer != nil {
+		runBegin = s.host.Now()
+	}
 	t.state = Running
 	s.cur = t
 	if check.Enabled {
@@ -266,6 +278,11 @@ func (s *Sched) switchIn(t *TCB) {
 		t.resume <- struct{}{}
 	}
 	<-s.toSched
+	if s.opts.Tracer != nil {
+		// One occupancy interval: this switch-in until the thread parked
+		// (block, yield-with-switch) or finished and control came back.
+		s.opts.Tracer.Span(trace.SpanRun, s.opts.PE, t.id, runBegin, s.host.Now(), 0)
+	}
 	if check.Enabled {
 		s.owner.Acquire("sched " + s.opts.Name)
 	}
@@ -405,6 +422,9 @@ func (s *Sched) Block() {
 	t.state = Blocked
 	s.blocked++
 	s.opts.EventLog.Add(s.host.Now(), trace.EvBlock, t.id)
+	if s.opts.Tracer != nil {
+		t.blockedAt = s.host.Now()
+	}
 	s.park(t)
 	if t.canceled {
 		panic(cancelSignal{})
@@ -425,6 +445,9 @@ func (s *Sched) Unblock(t *TCB) {
 	s.blocked--
 	s.ready.Push(t)
 	s.opts.EventLog.Add(s.host.Now(), trace.EvUnblock, t.id)
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.Span(trace.SpanBlocked, s.opts.PE, t.id, t.blockedAt, s.host.Now(), 0)
+	}
 }
 
 // Exit terminates the calling thread, making value available to joiners

@@ -22,6 +22,8 @@ package ult
 import (
 	"errors"
 	"fmt"
+
+	"chant/internal/sim"
 )
 
 // State describes where a thread is in its lifecycle.
@@ -131,6 +133,11 @@ type TCB struct {
 	// closures on every blocking receive. Owned entirely by the policy;
 	// the scheduler never looks inside.
 	WaitBox any
+
+	// blockedAt remembers when this thread last blocked, so Unblock can
+	// emit the blocked-interval span. Only maintained when the scheduler
+	// has a tracer attached.
+	blockedAt sim.Time
 
 	locals map[*Key]any
 	// localOrder remembers key insertion order so destructors run
